@@ -1,0 +1,114 @@
+"""Microbenchmarks — raw scheduler throughput of the Python models.
+
+Not a paper table; this benchmark sizes the reproduction itself: packets per
+second sustained by the reference engine, the mesh-backed hardware model and
+the classic baselines, for the workloads the other benchmarks use.  Useful
+when scaling simulation durations and when comparing against the paper's
+1 GHz (10^9 packets/s) hardware target to keep expectations calibrated.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import report
+
+from repro.algorithms import FIFOTransaction, build_fig3_tree, build_wfq_tree
+from repro.baselines import DeficitRoundRobin, FIFOQueue
+from repro.core import Packet, ProgrammableScheduler, single_node_tree
+from repro.hardware import HardwareScheduler
+
+PACKET_COUNT = 2000
+
+
+def make_packets(seed=0):
+    rng = random.Random(seed)
+    return [
+        Packet(flow=rng.choice("ABCD"), length=rng.choice([500, 1000, 1500]))
+        for _ in range(PACKET_COUNT)
+    ]
+
+
+def drive(scheduler, packets):
+    for packet in packets:
+        scheduler.enqueue(packet, now=0.0)
+    count = 0
+    while scheduler.dequeue(now=0.0) is not None:
+        count += 1
+    return count
+
+
+def test_throughput_reference_wfq(benchmark):
+    packets = make_packets()
+    count = benchmark(lambda: drive(
+        ProgrammableScheduler(build_wfq_tree({f: 1.0 for f in "ABCD"})),
+        [p.copy() for p in packets]))
+    assert count == PACKET_COUNT
+
+
+def test_throughput_reference_hpfq(benchmark):
+    packets = make_packets()
+    count = benchmark(lambda: drive(
+        ProgrammableScheduler(build_fig3_tree()), [p.copy() for p in packets]))
+    assert count == PACKET_COUNT
+
+
+def test_throughput_hardware_model_hpfq(benchmark):
+    packets = make_packets()
+    count = benchmark(lambda: drive(
+        HardwareScheduler(build_fig3_tree()), [p.copy() for p in packets]))
+    assert count == PACKET_COUNT
+
+
+def test_throughput_reference_fifo(benchmark):
+    packets = make_packets()
+    count = benchmark(lambda: drive(
+        ProgrammableScheduler(single_node_tree(FIFOTransaction())),
+        [p.copy() for p in packets]))
+    assert count == PACKET_COUNT
+
+
+def test_throughput_baseline_fifo_queue(benchmark):
+    packets = make_packets()
+    count = benchmark(lambda: drive(FIFOQueue(), [p.copy() for p in packets]))
+    assert count == PACKET_COUNT
+
+
+def test_throughput_baseline_drr(benchmark):
+    packets = make_packets()
+    count = benchmark(lambda: drive(
+        DeficitRoundRobin(weights={f: 1.0 for f in "ABCD"}),
+        [p.copy() for p in packets]))
+    assert count == PACKET_COUNT
+
+
+def test_throughput_summary_table(benchmark):
+    """One consolidated run printing packets/second for every model."""
+    packets = make_packets()
+
+    def run_all():
+        import time
+
+        results = {}
+        candidates = {
+            "reference FIFO": lambda: ProgrammableScheduler(
+                single_node_tree(FIFOTransaction())),
+            "reference HPFQ": lambda: ProgrammableScheduler(build_fig3_tree()),
+            "hardware-model HPFQ": lambda: HardwareScheduler(build_fig3_tree()),
+            "baseline FIFO queue": lambda: FIFOQueue(),
+            "baseline DRR": lambda: DeficitRoundRobin(),
+        }
+        for name, factory in candidates.items():
+            clones = [p.copy() for p in packets]
+            start = time.perf_counter()
+            drive(factory(), clones)
+            elapsed = time.perf_counter() - start
+            results[name] = PACKET_COUNT / elapsed
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "Python-model throughput (packets/second; hardware target is 10^9)",
+        [{"model": name, "packets_per_second": rate} for name, rate in results.items()],
+    )
+    assert all(rate > 1000 for rate in results.values())

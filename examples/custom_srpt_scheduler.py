@@ -1,0 +1,94 @@
+"""Writing your own scheduling algorithm as a transaction.
+
+The paper's thesis is that a new scheduling algorithm should be a small
+program, not a new chip.  This example writes a *custom* transaction from
+scratch — a bounded-SRPT policy that favours short flows but never lets a
+flow starve for more than a configurable age — and compares flow completion
+times against plain FIFO and textbook SRPT on a heavy-tailed workload.
+
+Run with::
+
+    python examples/custom_srpt_scheduler.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import FIFOTransaction, SRPTTransaction
+from repro.core import (
+    Packet,
+    ProgrammableScheduler,
+    SchedulingTransaction,
+    TransactionContext,
+    single_node_tree,
+)
+from repro.metrics import fct_summary
+from repro.sim import OutputPort, PacketSource, Simulator
+from repro.traffic import flow_arrivals, web_search_flow_sizes
+
+LINK_RATE = 1e9
+DURATION = 0.2
+LOAD = 0.7
+
+
+class AgeBoundedSRPT(SchedulingTransaction):
+    """SRPT with an anti-starvation bound.
+
+    The rank is the flow's remaining size, but any packet older than
+    ``max_age`` seconds is promoted ahead of all size-ranked traffic.  This
+    is exactly the kind of operator-specific tweak the paper argues should
+    be a software change: the whole algorithm is this one transaction.
+    """
+
+    state_variables = ()
+
+    def __init__(self, max_age: float = 0.01) -> None:
+        self.max_age = max_age
+        super().__init__()
+
+    def compute_rank(self, packet: Packet, ctx: TransactionContext):
+        age = ctx.now - packet.arrival_time
+        if age > self.max_age:
+            return -1.0  # ahead of every size-based rank
+        return float(packet.get("remaining_size", 0))
+
+    def describe(self) -> str:
+        return f"AgeBoundedSRPT(max_age={self.max_age}s)"
+
+
+def run(transaction) -> dict:
+    sim = Simulator()
+    port = OutputPort(sim, ProgrammableScheduler(single_node_tree(transaction)),
+                      rate_bps=LINK_RATE)
+    arrivals = flow_arrivals(
+        "flow", load_bps=LOAD * LINK_RATE, duration=DURATION,
+        size_distribution=web_search_flow_sizes(), seed=7,
+    )
+    PacketSource(sim, port, arrivals)
+    sim.run(until=DURATION * 2)
+    packets = port.sink.packets
+    return {
+        "overall": fct_summary(packets),
+        "short": fct_summary(packets, max_size_bytes=100_000),
+    }
+
+
+def main() -> None:
+    results = {
+        "FIFO": run(FIFOTransaction()),
+        "SRPT": run(SRPTTransaction()),
+        "AgeBoundedSRPT": run(AgeBoundedSRPT(max_age=0.01)),
+    }
+    print(f"{'scheduler':<16}{'flows':>7}{'mean FCT (ms)':>15}"
+          f"{'p99 FCT (ms)':>14}{'short-flow mean (ms)':>22}")
+    for name, summary in results.items():
+        overall, short = summary["overall"], summary["short"]
+        print(
+            f"{name:<16}{overall.count:>7}{overall.mean * 1e3:>15.3f}"
+            f"{overall.p99 * 1e3:>14.3f}{short.mean * 1e3:>22.3f}"
+        )
+    print("\nThe custom transaction keeps SRPT's short-flow wins while bounding "
+          "how long any packet can be bypassed — and it took ~10 lines of code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Hardware feasibility report for a scheduling policy.
+
+Given a scheduling tree, this example answers the questions Section 4 and 5
+of the paper answer for their design: how many PIFO blocks does the policy
+need, what do the next-hop tables look like, do the transactions fit the
+atom budget, and what chip area would the mesh cost?
+
+Run with::
+
+    python examples/hardware_feasibility_report.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import build_deep_hierarchy, build_fig4_tree
+from repro.hardware import (
+    AtomPipelineAnalyzer,
+    FlowSchedulerDesign,
+    MeshDesign,
+    PAPER_TRANSACTIONS,
+    PIFOBlockDesign,
+    compile_tree,
+)
+
+
+def report_for(name: str, tree) -> None:
+    print(f"=== {name} ===")
+    program = compile_tree(tree)
+    print(f"tree levels: {program.levels}, PIFO blocks: {program.block_count()}")
+    print(program.mesh.describe())
+
+    mesh_design = MeshDesign(
+        block=PIFOBlockDesign(flow_scheduler=FlowSchedulerDesign()),
+        num_blocks=program.block_count(),
+    )
+    print(f"estimated mesh area: {mesh_design.blocks_area_mm2():.2f} mm^2 "
+          f"+ {mesh_design.atoms_area_mm2():.2f} mm^2 of atoms "
+          f"= {mesh_design.total_area_mm2():.2f} mm^2 "
+          f"({mesh_design.overhead_percent():.1f}% of a 200 mm^2 chip)")
+    print(f"mesh wiring: {program.mesh.total_mesh_wires()} bits "
+          f"({program.mesh.wire_sets()} wire sets x "
+          f"{program.mesh.bits_per_wire_set()} bits)\n")
+
+
+def transaction_feasibility() -> None:
+    print("=== Transaction feasibility (Domino atom mapping) ===")
+    analyzer = AtomPipelineAnalyzer()
+    total_atoms = 0
+    print(f"{'transaction':<16}{'feasible':>9}{'atoms':>7}{'area (um^2)':>13}")
+    for name in sorted(PAPER_TRANSACTIONS):
+        report = analyzer.analyze(PAPER_TRANSACTIONS[name])
+        total_atoms += report.total_atoms
+        print(f"{name:<16}{str(report.feasible):>9}{report.total_atoms:>7}"
+              f"{report.area_um2:>13.0f}")
+    print(f"total atoms for every paper transaction: {total_atoms} "
+          "(budget: 300 per chip)\n")
+
+
+def main() -> None:
+    report_for("Hierarchies with Shaping (Figure 4)", build_fig4_tree())
+    report_for("5-level programmable hierarchy",
+               build_deep_hierarchy(levels=5, fanout=2, flows_per_leaf=2))
+    transaction_feasibility()
+    print("Table 2 reminder: the flow scheduler meets 1 GHz timing up to "
+          f"{FlowSchedulerDesign(num_flows=2048).num_flows} flows "
+          f"({FlowSchedulerDesign(num_flows=2048).area_mm2():.3f} mm^2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""How much does an *exact* PIFO buy over an approximation?
+
+The paper argues a true PIFO is feasible in hardware; the follow-on SP-PIFO
+line of work instead approximates it with a few strict-priority FIFO queues.
+This example compares the two on the same STFQ-ranked workload and prints
+the inversion counts, showing what the exactness is worth and where the
+approximation struggles (rank distributions that drift over time).
+
+Run it with::
+
+    python examples/sp_pifo_approximation.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.extensions import SPPIFOQueue, compare_with_exact_pifo, count_inversions
+
+
+def uniform_rank_workload(elements: int, seed: int = 1):
+    rng = random.Random(seed)
+    return [(index, rng.uniform(0.0, 100.0)) for index in range(elements)]
+
+
+def drifting_rank_workload(elements: int, flows: int = 16, seed: int = 2):
+    rng = random.Random(seed)
+    finish = {f"flow{i}": 0.0 for i in range(flows)}
+    arrivals = []
+    for index in range(elements):
+        flow = rng.choice(list(finish))
+        finish[flow] += rng.uniform(0.5, 1.5)
+        arrivals.append((index, finish[flow]))
+    return arrivals
+
+
+def sweep(label: str, arrivals) -> None:
+    print(f"--- {label} ({len(arrivals)} elements) ---")
+    print(f"{'design':28s} {'inversions':>12s} {'adjacent out-of-order':>22s}")
+    for queues in (2, 4, 8, 16):
+        result = compare_with_exact_pifo(arrivals, num_queues=queues, drain_every=2)
+        print(f"SP-PIFO, {queues:2d} queues          {result.inversions:12d} "
+              f"{result.unpifoness:22.3f}")
+    exact = compare_with_exact_pifo(arrivals, num_queues=2, drain_every=2)
+    print(f"{'exact PIFO (this paper)':28s} {exact.exact_inversions:12d} "
+          f"{0.0:22.3f}")
+    print()
+
+
+def peek_inside_an_sp_pifo() -> None:
+    print("--- inside an SP-PIFO: bounds adapt to the rank distribution ---")
+    queue = SPPIFOQueue(num_queues=4)
+    rng = random.Random(3)
+    for index in range(200):
+        queue.push(index, rng.uniform(0.0, 100.0))
+    print("queue bounds after 200 pushes :", [round(b, 1) for b in queue.bounds()])
+    print("per-queue occupancy           :", queue.occupancy())
+    drained = []
+    while not queue.is_empty:
+        drained.append(queue.pop_with_rank()[0])
+    print("inversions when drained       :", count_inversions(drained))
+    print()
+
+
+if __name__ == "__main__":
+    sweep("stationary uniform ranks", uniform_rank_workload(3000))
+    sweep("drifting STFQ virtual times", drifting_rank_workload(3000))
+    peek_inside_an_sp_pifo()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs (which build a wheel) fail.  ``python setup.py develop`` and
+``pip install -e . --no-build-isolation`` both work through this shim.
+"""
+
+from setuptools import setup
+
+setup()

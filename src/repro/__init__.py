@@ -1,0 +1,56 @@
+"""repro — a reproduction of "Programmable Packet Scheduling at Line Rate".
+
+The library has four layers:
+
+* :mod:`repro.core` — the PIFO programming model: push-in first-out queues,
+  scheduling/shaping transactions, trees of transactions, and the reference
+  scheduler engine.
+* :mod:`repro.algorithms` — every scheduling algorithm the paper programs on
+  PIFOs (WFQ/STFQ, HPFQ, token-bucket shaping, LSTF, Stop-and-Go, minimum
+  rate guarantees, SJF/SRPT/LAS/EDF, SC-EDF, CBQ, RCSD).
+* :mod:`repro.sim`, :mod:`repro.traffic`, :mod:`repro.switch`,
+  :mod:`repro.baselines`, :mod:`repro.metrics` — the substrate: a
+  discrete-event switch simulator, workload generators, classic (non-PIFO)
+  reference schedulers and measurement utilities.
+* :mod:`repro.hardware` — the cycle-level PIFO-block/mesh model, the
+  tree-to-mesh compiler and the chip-area/timing model reproducing the
+  paper's Tables 1 and 2.
+
+Quickstart::
+
+    from repro.core import Packet, ProgrammableScheduler
+    from repro.algorithms import build_fig3_tree
+
+    scheduler = ProgrammableScheduler(build_fig3_tree())
+    scheduler.enqueue(Packet(flow="A", length=1500))
+    packet = scheduler.dequeue()
+"""
+
+from . import exceptions
+from .core import (
+    PIFO,
+    Packet,
+    ProgrammableScheduler,
+    ScheduleTree,
+    SchedulingTransaction,
+    ShapingTransaction,
+    TransactionContext,
+    TreeNode,
+    single_node_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "exceptions",
+    "Packet",
+    "PIFO",
+    "ProgrammableScheduler",
+    "ScheduleTree",
+    "TreeNode",
+    "single_node_tree",
+    "SchedulingTransaction",
+    "ShapingTransaction",
+    "TransactionContext",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""First-In First-Out scheduling (Section 3.4, item 3).
+
+FIFO is programmed by a scheduling transaction that sets the packet's rank
+to the wall-clock time on arrival.  Ties (packets arriving in the same clock
+tick) retain arrival order thanks to the PIFO's FIFO tie-break.
+"""
+
+from __future__ import annotations
+
+from ..core.packet import Packet
+from ..core.pifo import Rank
+from ..core.transaction import SchedulingTransaction, TransactionContext
+
+
+class FIFOTransaction(SchedulingTransaction):
+    """rank = wall-clock arrival time."""
+
+    state_variables = ()
+
+    def compute_rank(self, packet: Packet, ctx: TransactionContext) -> Rank:
+        return ctx.now
+
+    def describe(self) -> str:
+        return "FIFO(rank = arrival time)"
+
+
+class ArrivalSequenceTransaction(SchedulingTransaction):
+    """rank = a per-scheduler arrival counter.
+
+    Equivalent to FIFO but independent of the wall clock, which makes unit
+    tests that enqueue many packets "at the same instant" unambiguous.
+    """
+
+    state_variables = ("counter",)
+
+    def initial_state(self):
+        return {"counter": 0}
+
+    def compute_rank(self, packet: Packet, ctx: TransactionContext) -> Rank:
+        rank = self.state["counter"]
+        self.state["counter"] += 1
+        return rank
+
+    def describe(self) -> str:
+        return "FIFO(rank = arrival sequence number)"

@@ -1,0 +1,106 @@
+"""Fine-grained priority scheduling (Section 3.4, item 1).
+
+These algorithms schedule the packet with the lowest value of a field
+initialised by the end host: Shortest Job First (flow size), Shortest
+Remaining Processing Time (remaining flow size), Least Attained Service
+(service received so far) and Earliest Deadline First (time to deadline).
+Each is a one-line scheduling transaction setting the rank to the field.
+
+For convenience the LAS transaction can also maintain the attained-service
+counter inside the switch when end hosts do not tag packets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.packet import Packet
+from ..core.pifo import Rank
+from ..core.transaction import SchedulingTransaction, TransactionContext
+from ..exceptions import TransactionError
+
+
+class FieldRankTransaction(SchedulingTransaction):
+    """rank = an end-host-initialised packet field.
+
+    The generic building block behind SJF/SRPT/EDF: anything the end host can
+    encode in a header field becomes a scheduling policy.
+    """
+
+    state_variables = ()
+
+    def __init__(self, field_name: str) -> None:
+        self.field_name = field_name
+        super().__init__()
+
+    def compute_rank(self, packet: Packet, ctx: TransactionContext) -> Rank:
+        value = packet.get(self.field_name)
+        if value is None:
+            raise TransactionError(
+                f"packet {packet!r} is missing field {self.field_name!r} "
+                f"required by {type(self).__name__}"
+            )
+        return value
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(rank = p.{self.field_name})"
+
+
+class ShortestJobFirstTransaction(FieldRankTransaction):
+    """SJF: rank = total flow size, tagged by the end host."""
+
+    def __init__(self, field_name: str = "flow_size") -> None:
+        super().__init__(field_name)
+
+
+class SRPTTransaction(FieldRankTransaction):
+    """SRPT: rank = remaining flow size, tagged by the end host.
+
+    pFabric-style switch-local SRPT; Section 3.5 explains that full pFabric
+    (which reorders *all* of a flow's buffered packets on each arrival) is
+    beyond a single PIFO — see ``tests/integration/test_sec35_limitations.py``.
+    """
+
+    def __init__(self, field_name: str = "remaining_size") -> None:
+        super().__init__(field_name)
+
+
+class EarliestDeadlineFirstTransaction(FieldRankTransaction):
+    """EDF: rank = absolute deadline carried by the packet."""
+
+    def __init__(self, field_name: str = "deadline") -> None:
+        super().__init__(field_name)
+
+
+class LeastAttainedServiceTransaction(SchedulingTransaction):
+    """LAS: rank = bytes of service the flow has received so far.
+
+    If packets carry an ``attained_service`` field (set by the end host as
+    the paper suggests), that value is used.  Otherwise the transaction
+    maintains a per-flow byte counter in switch state, which is the common
+    switch-local realisation of LAS.
+    """
+
+    state_variables = ("attained",)
+
+    def __init__(self, field_name: str = "attained_service") -> None:
+        self.field_name = field_name
+        super().__init__()
+
+    def initial_state(self) -> Dict[str, Any]:
+        return {"attained": {}}
+
+    def compute_rank(self, packet: Packet, ctx: TransactionContext) -> Rank:
+        tagged = packet.get(self.field_name)
+        attained: Dict[str, int] = self.state["attained"]
+        flow = ctx.element_flow
+        if tagged is not None:
+            rank = tagged
+            attained[flow] = max(attained.get(flow, 0), tagged) + ctx.element_length
+            return rank
+        rank = attained.get(flow, 0)
+        attained[flow] = rank + ctx.element_length
+        return rank
+
+    def describe(self) -> str:
+        return "LeastAttainedService(rank = bytes served so far)"

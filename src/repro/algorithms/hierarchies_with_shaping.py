@@ -1,0 +1,86 @@
+"""Hierarchies with Shaping (Figure 4, Section 2.3).
+
+The running non-work-conserving example of the paper: the HPFQ hierarchy of
+Figure 3 with the additional requirement that the *Right* class never exceed
+10 Mbit/s regardless of offered load.  The Right node keeps its WFQ
+scheduling transaction and gains a token-bucket **shaping transaction**
+(Figure 4c) that defers the release of Right's PIFO references to the root.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..core.tree import ScheduleTree
+from .hpfq import HierarchySpec, ShapingSpec, build_hierarchy
+
+#: Rate limit on the Right class in the paper's example.
+FIG4_RIGHT_RATE_BPS = 10e6
+
+
+def fig4_spec(
+    right_rate_bps: float = FIG4_RIGHT_RATE_BPS,
+    right_burst_bytes: float = 3000.0,
+) -> HierarchySpec:
+    """Figure 4a: the Figure 3 hierarchy plus a 10 Mbit/s cap on Right."""
+    return HierarchySpec(
+        name="Root",
+        children=(
+            HierarchySpec(name="Left", weight=1.0, flows={"A": 3.0, "B": 7.0}),
+            HierarchySpec(
+                name="Right",
+                weight=9.0,
+                flows={"C": 4.0, "D": 6.0},
+                shaping=ShapingSpec(
+                    rate_bps=right_rate_bps, burst_bytes=right_burst_bytes
+                ),
+            ),
+        ),
+    )
+
+
+def build_fig4_tree(
+    right_rate_bps: float = FIG4_RIGHT_RATE_BPS,
+    right_burst_bytes: float = 3000.0,
+) -> ScheduleTree:
+    """The Hierarchies-with-Shaping tree of Figure 4."""
+    return build_hierarchy(
+        fig4_spec(right_rate_bps=right_rate_bps, right_burst_bytes=right_burst_bytes)
+    )
+
+
+def build_shaped_hierarchy(
+    class_flows: Mapping[str, Mapping[str, float]],
+    class_weights: Mapping[str, float],
+    class_rate_limits_bps: Optional[Mapping[str, float]] = None,
+    burst_bytes: float = 3000.0,
+) -> ScheduleTree:
+    """General two-level hierarchy with optional per-class rate limits.
+
+    Parameters
+    ----------
+    class_flows:
+        Mapping from class name to ``{flow: weight}`` served by that class.
+    class_weights:
+        Weight of each class in the root's fair scheduler.
+    class_rate_limits_bps:
+        Optional mapping from class name to a token-bucket rate limit; a
+        class absent from the mapping is unshaped (work conserving).
+    burst_bytes:
+        Burst allowance shared by every configured rate limit.
+    """
+    limits = dict(class_rate_limits_bps or {})
+    children = []
+    for class_name, flows in class_flows.items():
+        shaping = None
+        if class_name in limits:
+            shaping = ShapingSpec(rate_bps=limits[class_name], burst_bytes=burst_bytes)
+        children.append(
+            HierarchySpec(
+                name=class_name,
+                weight=class_weights.get(class_name, 1.0),
+                flows=dict(flows),
+                shaping=shaping,
+            )
+        )
+    return build_hierarchy(HierarchySpec(name="Root", children=tuple(children)))

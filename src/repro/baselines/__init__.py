@@ -1,0 +1,25 @@
+"""Classic (non-PIFO) schedulers used as baselines and ground truth.
+
+These implement the same ``enqueue``/``dequeue``/``__len__`` interface as
+:class:`~repro.core.scheduler.ProgrammableScheduler`, so any experiment can
+swap a PIFO-programmed algorithm for its fixed-function counterpart.
+"""
+
+from .drr import DeficitRoundRobin
+from .fifo_queue import FIFOQueue
+from .gps import GPSFluidSimulator, GPSResult
+from .hierarchical_drr import HierarchicalDRR
+from .priority_queue import StrictPriorityQueue
+from .sfq import StochasticFairnessQueueing
+from .token_bucket_shaper import OutputTokenBucketShaper
+
+__all__ = [
+    "FIFOQueue",
+    "StrictPriorityQueue",
+    "DeficitRoundRobin",
+    "StochasticFairnessQueueing",
+    "GPSFluidSimulator",
+    "GPSResult",
+    "HierarchicalDRR",
+    "OutputTokenBucketShaper",
+]

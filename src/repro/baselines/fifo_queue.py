@@ -1,0 +1,51 @@
+"""Classic FIFO queue baseline.
+
+Implements the same scheduler interface as
+:class:`~repro.core.scheduler.ProgrammableScheduler` (``enqueue``,
+``dequeue``, ``__len__``) so it can be dropped into an
+:class:`~repro.sim.link.OutputPort` for side-by-side comparisons with the
+PIFO-programmed FIFO transaction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.packet import Packet
+
+
+class FIFOQueue:
+    """A tail-drop FIFO queue."""
+
+    def __init__(self, capacity_packets: Optional[int] = None) -> None:
+        if capacity_packets is not None and capacity_packets <= 0:
+            raise ValueError("capacity_packets must be positive or None")
+        self.capacity_packets = capacity_packets
+        self._queue: Deque[Packet] = deque()
+        self.drops = 0
+
+    def enqueue(self, packet: Packet, now: float = 0.0) -> bool:
+        if (
+            self.capacity_packets is not None
+            and len(self._queue) >= self.capacity_packets
+        ):
+            self.drops += 1
+            return False
+        packet.enqueue_time = now
+        self._queue.append(packet)
+        return True
+
+    def dequeue(self, now: float = 0.0) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        packet.dequeue_time = now
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue

@@ -1,0 +1,137 @@
+"""Generalized Processor Sharing (GPS) fluid reference.
+
+GPS is the idealised fluid fair-queueing discipline that WFQ, STFQ and DRR
+approximate: at every instant, each backlogged flow is served at a rate
+proportional to its weight.  It cannot be implemented packet-by-packet, but
+it can be computed offline for a given arrival trace, which makes it the
+ground truth for fairness experiments — a packet scheduler is "fair" to the
+extent its per-flow service tracks the GPS service curve.
+
+:class:`GPSFluidSimulator` replays an arrival trace through the fluid system
+and reports per-flow service as a function of time plus per-packet virtual
+finish times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.packet import Packet
+
+Arrival = Tuple[float, Packet]
+
+
+@dataclass
+class GPSResult:
+    """Output of a GPS fluid run."""
+
+    #: Per-flow cumulative bytes served at the end of the run.
+    served_bytes: Dict[str, float]
+    #: Per-packet finish times in the fluid system, in input order.
+    finish_times: List[float]
+    #: Time at which the fluid system emptied (or the horizon).
+    end_time: float
+
+    def share_of(self, flow: str) -> float:
+        total = sum(self.served_bytes.values())
+        return self.served_bytes.get(flow, 0.0) / total if total else 0.0
+
+
+class GPSFluidSimulator:
+    """Offline fluid simulation of weighted GPS on a single link."""
+
+    def __init__(
+        self,
+        link_rate_bps: float,
+        weights: Optional[Mapping[str, float]] = None,
+        default_weight: float = 1.0,
+    ) -> None:
+        if link_rate_bps <= 0:
+            raise ValueError("link_rate_bps must be positive")
+        self.link_rate_bytes_per_s = link_rate_bps / 8.0
+        self.weights = dict(weights or {})
+        self.default_weight = default_weight
+
+    def weight_of(self, flow: str) -> float:
+        return self.weights.get(flow, self.default_weight)
+
+    def run(self, arrivals: Sequence[Arrival], horizon: Optional[float] = None) -> GPSResult:
+        """Simulate the fluid system over a finite arrival trace.
+
+        The simulation advances from event to event (arrivals and backlog
+        departures), serving every backlogged flow at rate
+        ``weight / total_backlogged_weight * link_rate`` in between.
+        """
+        ordered = sorted(
+            ((time, index, packet) for index, (time, packet) in enumerate(arrivals)),
+            key=lambda item: (item[0], item[1]),
+        )
+        backlog: Dict[str, float] = {}
+        served: Dict[str, float] = {}
+        # Per-flow list of (cumulative_bytes_required, original_index).
+        pending_finish: Dict[str, List[Tuple[float, int]]] = {}
+        cumulative_in: Dict[str, float] = {}
+        finish_times: List[Optional[float]] = [None] * len(ordered)
+
+        now = 0.0
+        next_arrival = 0
+
+        def _advance(until: float) -> None:
+            nonlocal now
+            while now < until - 1e-15:
+                active = {f: b for f, b in backlog.items() if b > 1e-12}
+                if not active:
+                    now = until
+                    return
+                total_weight = sum(self.weight_of(f) for f in active)
+                # Time until the first active flow empties at current rates.
+                rates = {
+                    f: self.weight_of(f) / total_weight * self.link_rate_bytes_per_s
+                    for f in active
+                }
+                time_to_empty = min(backlog[f] / rates[f] for f in active)
+                step = min(time_to_empty, until - now)
+                for flow, rate in rates.items():
+                    delta = rate * step
+                    backlog[flow] -= delta
+                    served[flow] = served.get(flow, 0.0) + delta
+                    # Record finish times of packets fully served.
+                    queue = pending_finish.get(flow, [])
+                    while queue and served[flow] >= queue[0][0] - 1e-9:
+                        _bytes_needed, index = queue.pop(0)
+                        finish_times[index] = now + step
+                now += step
+
+        for time, index, packet in ordered:
+            _advance(time)
+            now = max(now, time)
+            flow = packet.flow
+            backlog[flow] = backlog.get(flow, 0.0) + packet.length
+            cumulative_in[flow] = cumulative_in.get(flow, 0.0) + packet.length
+            pending_finish.setdefault(flow, []).append((cumulative_in[flow], index))
+            next_arrival += 1
+
+        # Drain the remaining backlog (or stop at the horizon).
+        remaining = sum(backlog.values())
+        if horizon is not None:
+            _advance(horizon)
+        else:
+            while remaining > 1e-9:
+                active = {f: b for f, b in backlog.items() if b > 1e-12}
+                if not active:
+                    break
+                total_weight = sum(self.weight_of(f) for f in active)
+                rates = {
+                    f: self.weight_of(f) / total_weight * self.link_rate_bytes_per_s
+                    for f in active
+                }
+                time_to_empty = min(backlog[f] / rates[f] for f in active)
+                _advance(now + time_to_empty)
+                remaining = sum(backlog.values())
+
+        return GPSResult(
+            served_bytes=dict(served),
+            finish_times=[t if t is not None else float("inf") for t in finish_times],
+            end_time=now,
+        )

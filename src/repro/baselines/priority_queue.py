@@ -1,0 +1,55 @@
+"""Classic strict-priority scheduler baseline.
+
+One FIFO per priority level; the lowest-numbered non-empty level is served
+first.  This is one of the three algorithms the paper notes are actually
+found in today's switches (alongside DRR and traffic shaping).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from ..core.packet import Packet
+
+
+class StrictPriorityQueue:
+    """Strict priority across levels, FIFO within a level."""
+
+    def __init__(self, capacity_per_level: Optional[int] = None) -> None:
+        if capacity_per_level is not None and capacity_per_level <= 0:
+            raise ValueError("capacity_per_level must be positive or None")
+        self.capacity_per_level = capacity_per_level
+        self._levels: Dict[int, Deque[Packet]] = {}
+        self.drops = 0
+        self._count = 0
+
+    def enqueue(self, packet: Packet, now: float = 0.0) -> bool:
+        level = self._levels.setdefault(packet.priority, deque())
+        if (
+            self.capacity_per_level is not None
+            and len(level) >= self.capacity_per_level
+        ):
+            self.drops += 1
+            return False
+        packet.enqueue_time = now
+        level.append(packet)
+        self._count += 1
+        return True
+
+    def dequeue(self, now: float = 0.0) -> Optional[Packet]:
+        for priority in sorted(self._levels):
+            level = self._levels[priority]
+            if level:
+                packet = level.popleft()
+                packet.dequeue_time = now
+                self._count -= 1
+                return packet
+        return None
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0

@@ -1,0 +1,85 @@
+"""Stochastic Fairness Queueing (McKenney) baseline.
+
+SFQ approximates fair queueing by hashing flows into a fixed number of
+buckets and serving the buckets round-robin.  Flows that collide in a bucket
+share that bucket's service.  It is listed by the paper as one of the
+practical approximations of WFQ, and serves here as a cheap baseline whose
+fairness degrades with collisions — a contrast the fairness benchmarks can
+show against STFQ-on-PIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..core.packet import Packet
+
+
+class StochasticFairnessQueueing:
+    """Round-robin over hash buckets of flows.
+
+    Parameters
+    ----------
+    bucket_count:
+        Number of hash buckets.  More buckets means fewer collisions and
+        fairness closer to per-flow fair queueing.
+    hash_seed:
+        Perturbs the flow-to-bucket hash (real SFQ re-seeds periodically to
+        avoid persistent collisions; tests pick seeds deterministically).
+    capacity_packets:
+        Optional bound on total buffered packets (tail drop).
+    """
+
+    def __init__(
+        self,
+        bucket_count: int = 64,
+        hash_seed: int = 0,
+        capacity_packets: Optional[int] = None,
+    ) -> None:
+        if bucket_count <= 0:
+            raise ValueError("bucket_count must be positive")
+        self.bucket_count = bucket_count
+        self.hash_seed = hash_seed
+        self.capacity_packets = capacity_packets
+        self._buckets: List[Deque[Packet]] = [deque() for _ in range(bucket_count)]
+        self._next_bucket = 0
+        self._count = 0
+        self.drops = 0
+
+    def bucket_of(self, flow: str) -> int:
+        """Deterministic hash of a flow to a bucket index."""
+        value = 2166136261 ^ self.hash_seed
+        for char in flow:
+            value = ((value ^ ord(char)) * 16777619) & 0xFFFFFFFF
+        return value % self.bucket_count
+
+    def enqueue(self, packet: Packet, now: float = 0.0) -> bool:
+        if self.capacity_packets is not None and self._count >= self.capacity_packets:
+            self.drops += 1
+            return False
+        packet.enqueue_time = now
+        self._buckets[self.bucket_of(packet.flow)].append(packet)
+        self._count += 1
+        return True
+
+    def dequeue(self, now: float = 0.0) -> Optional[Packet]:
+        if self._count == 0:
+            return None
+        for offset in range(self.bucket_count):
+            index = (self._next_bucket + offset) % self.bucket_count
+            bucket = self._buckets[index]
+            if bucket:
+                packet = bucket.popleft()
+                packet.dequeue_time = now
+                self._count -= 1
+                self._next_bucket = (index + 1) % self.bucket_count
+                return packet
+        return None  # pragma: no cover - unreachable while _count > 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0

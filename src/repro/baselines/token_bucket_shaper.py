@@ -1,0 +1,90 @@
+"""Classic output-side token-bucket shaper baseline.
+
+Unlike the PIFO shaping transaction — which rate-limits on the *input* side,
+before elements are enqueued into the shared PIFO — this baseline gates the
+*output*: packets sit in an internal FIFO and are released only when the
+token bucket has enough tokens at dequeue time.
+
+Section 3.5 ("Output rate limiting") explains the behavioural difference:
+after a period of starvation by higher-priority traffic, the input-side
+shaper lets the accumulated (already released) elements drain at line rate,
+while the output-side shaper keeps enforcing the rate.  The ablation
+benchmark ``benchmarks/test_ablation_shaping_side.py`` reproduces exactly
+that transient.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.packet import Packet
+
+
+class OutputTokenBucketShaper:
+    """FIFO queue whose head departs only when conforming to a token bucket."""
+
+    def __init__(
+        self,
+        rate_bps: float,
+        burst_bytes: float,
+        capacity_packets: Optional[int] = None,
+    ) -> None:
+        if rate_bps <= 0 or burst_bytes <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_bytes_per_s = rate_bps / 8.0
+        self.burst_bytes = burst_bytes
+        self.capacity_packets = capacity_packets
+        self.tokens = burst_bytes
+        self.last_update = 0.0
+        self._queue: Deque[Packet] = deque()
+        self.drops = 0
+
+    def _replenish(self, now: float) -> None:
+        if now > self.last_update:
+            self.tokens = min(
+                self.tokens + self.rate_bytes_per_s * (now - self.last_update),
+                self.burst_bytes,
+            )
+            self.last_update = now
+
+    # -- scheduler interface ----------------------------------------------------
+    def enqueue(self, packet: Packet, now: float = 0.0) -> bool:
+        if (
+            self.capacity_packets is not None
+            and len(self._queue) >= self.capacity_packets
+        ):
+            self.drops += 1
+            return False
+        packet.enqueue_time = now
+        self._queue.append(packet)
+        return True
+
+    def dequeue(self, now: float = 0.0) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        self._replenish(now)
+        head = self._queue[0]
+        if head.length > self.tokens:
+            return None
+        self.tokens -= head.length
+        self._queue.popleft()
+        head.dequeue_time = now
+        return head
+
+    def next_shaping_release(self) -> Optional[float]:
+        """Time at which the head packet will conform (for port wake-ups)."""
+        if not self._queue:
+            return None
+        head = self._queue[0]
+        deficit = head.length - self.tokens
+        if deficit <= 0:
+            return self.last_update
+        return self.last_update + deficit / self.rate_bytes_per_s
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue

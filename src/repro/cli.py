@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    List every reproduced experiment (id, paper reference, description).
+``run EXPERIMENT [--quick] [--json]``
+    Run one experiment and print its paper-vs-measured table.
+``report [--quick] [EXPERIMENT ...]``
+    Run several experiments (all by default) and print the combined report.
+``programs``
+    List the transactions available in the transaction language.
+``show PROGRAM``
+    Print a transaction's source, its state analysis and the Domino-style
+    atom pipeline it compiles to.
+
+The CLI never writes files; redirect stdout to capture a report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .hardware.atoms import AtomPipelineAnalyzer
+from .lang.analysis import analyze_program, spec_from_program
+from .lang.programs import PROGRAM_SOURCES, PROGRAM_STATE, SHAPING_PROGRAMS
+from .reporting import (
+    generate_report,
+    list_experiments,
+    render_kv,
+    render_table,
+    run_experiment,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Programmable Packet Scheduling at Line Rate' "
+            "(SIGCOMM 2016): run the paper's experiments and inspect "
+            "scheduling transactions."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list reproduced experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see 'list')")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="shorter simulation durations")
+    run_parser.add_argument("--json", action="store_true",
+                            help="print the result as JSON instead of a table")
+
+    report_parser = subparsers.add_parser(
+        "report", help="run several experiments and print the combined report"
+    )
+    report_parser.add_argument("experiments", nargs="*",
+                               help="experiment ids (default: all)")
+    report_parser.add_argument("--quick", action="store_true",
+                               help="shorter simulation durations")
+
+    subparsers.add_parser("programs",
+                          help="list transaction-language programs")
+
+    show_parser = subparsers.add_parser(
+        "show", help="show a program's source, analysis and atom pipeline"
+    )
+    show_parser.add_argument("program", help="program name (see 'programs')")
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations                                                   #
+# --------------------------------------------------------------------------- #
+def _cmd_list() -> int:
+    rows = [
+        {
+            "id": spec.experiment_id,
+            "paper": spec.paper_reference,
+            "description": spec.description,
+        }
+        for spec in list_experiments()
+    ]
+    print(render_table(rows, title="Reproduced experiments"))
+    return 0
+
+
+def _cmd_run(experiment: str, quick: bool, as_json: bool) -> int:
+    try:
+        result = run_experiment(experiment, quick=quick)
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(render_table(result.rows, title=result.title))
+    if result.notes:
+        print(f"\nNotes: {result.notes}")
+    return 0
+
+
+def _cmd_report(experiments: Sequence[str], quick: bool) -> int:
+    ids = list(experiments) or None
+    try:
+        print(generate_report(ids, quick=quick))
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_programs() -> int:
+    rows = []
+    for name in sorted(PROGRAM_SOURCES):
+        analysis = analyze_program(PROGRAM_SOURCES[name], state=PROGRAM_STATE[name])
+        rows.append(
+            {
+                "program": name,
+                "kind": "shaping" if name in SHAPING_PROGRAMS else "scheduling",
+                "state_variables": len(PROGRAM_STATE[name]),
+                "stateless_ops": analysis.stateless_ops,
+            }
+        )
+    print(render_table(rows, title="Transaction-language programs"))
+    return 0
+
+
+def _cmd_show(program: str) -> int:
+    if program not in PROGRAM_SOURCES:
+        known = ", ".join(sorted(PROGRAM_SOURCES))
+        print(f"unknown program {program!r}; known programs: {known}",
+              file=sys.stderr)
+        return 2
+    source = PROGRAM_SOURCES[program]
+    state = PROGRAM_STATE[program]
+    kind = "shaping" if program in SHAPING_PROGRAMS else "scheduling"
+    analysis = analyze_program(source, state=state)
+    spec = spec_from_program(program, source, state=state, kind=kind)
+    pipeline = AtomPipelineAnalyzer().analyze(spec)
+
+    print(f"# {program} ({kind} transaction)")
+    print(source.strip())
+    print()
+    print(render_kv(
+        {
+            "feasible at line rate": pipeline.feasible,
+            "atoms": pipeline.total_atoms,
+            "pipeline depth": pipeline.pipeline_depth,
+            "atom area (mm^2)": pipeline.area_mm2,
+        },
+        title="Atom pipeline (Section 4.1)",
+    ))
+    print()
+    print("Analysis")
+    print("========")
+    print(analysis.summary())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.quick, args.json)
+    if args.command == "report":
+        return _cmd_report(args.experiments, args.quick)
+    if args.command == "programs":
+        return _cmd_programs()
+    if args.command == "show":
+        return _cmd_show(args.program)
+    parser.error(f"unhandled command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Packet model used throughout the library.
+
+A :class:`Packet` carries the handful of header fields that the paper's
+scheduling and shaping transactions read (flow identifier, length, class,
+slack, deadline, ...) plus a free-form ``fields`` mapping for
+algorithm-specific metadata written by end hosts (for example the remaining
+flow size used by SRPT, or the service received so far used by LAS).
+
+The scheduler never inspects payloads; only the metadata matters, exactly as
+in the paper where transactions operate on ``p.x`` packet fields.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Monotonic packet identifier source.  Used only for debugging and for
+#: deterministic tie-breaking in tests; the PIFO itself breaks ties by
+#: enqueue order, not by packet id.
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A packet as seen by the scheduling subsystem.
+
+    Parameters
+    ----------
+    flow:
+        Flow identifier.  A *flow* is any set of packets sharing an
+        attribute (a TCP connection, a tenant, a traffic class); the paper
+        uses the same loose definition.
+    length:
+        Packet length in bytes (headers + payload).
+    arrival_time:
+        Wall-clock time (seconds) at which the packet arrived at the switch.
+    packet_class:
+        Optional class label used by tree predicates (for example ``"Left"``
+        or ``"Right"`` in the HPFQ example of Figure 3).
+    priority:
+        Optional strict-priority level (lower is more important), mirroring
+        the IP TOS field use in Section 3.4.
+    fields:
+        Algorithm-specific metadata: ``slack``, ``deadline``,
+        ``remaining_size``, ``flow_size``, ``attained_service`` and so on.
+    """
+
+    flow: str
+    length: int
+    arrival_time: float = 0.0
+    packet_class: Optional[str] = None
+    priority: int = 0
+    fields: Dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    # Filled in by the switch / simulator as the packet moves through.
+    enqueue_time: Optional[float] = None
+    dequeue_time: Optional[float] = None
+    departure_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"packet length must be positive, got {self.length}")
+
+    # -- field helpers -----------------------------------------------------
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return a metadata field, falling back to ``default``."""
+        return self.fields.get(name, default)
+
+    def set(self, name: str, value: Any) -> None:
+        """Set a metadata field."""
+        self.fields[name] = value
+
+    @property
+    def length_bits(self) -> int:
+        """Packet length in bits."""
+        return self.length * 8
+
+    # -- timing helpers ----------------------------------------------------
+    @property
+    def queueing_delay(self) -> Optional[float]:
+        """Time spent waiting in the scheduler, if both stamps are known."""
+        if self.enqueue_time is None or self.dequeue_time is None:
+            return None
+        return self.dequeue_time - self.enqueue_time
+
+    @property
+    def total_delay(self) -> Optional[float]:
+        """Arrival-to-departure delay, if the departure stamp is known."""
+        if self.departure_time is None:
+            return None
+        return self.departure_time - self.arrival_time
+
+    def copy(self) -> "Packet":
+        """Return a deep-enough copy (fields dict is copied, not shared)."""
+        return Packet(
+            flow=self.flow,
+            length=self.length,
+            arrival_time=self.arrival_time,
+            packet_class=self.packet_class,
+            priority=self.priority,
+            fields=dict(self.fields),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f" class={self.packet_class}" if self.packet_class else ""
+        return (
+            f"Packet(id={self.packet_id}, flow={self.flow!r}, "
+            f"len={self.length}B{extra})"
+        )
+
+
+def make_packets(
+    flow: str,
+    count: int,
+    length: int = 1500,
+    start_time: float = 0.0,
+    spacing: float = 0.0,
+    packet_class: Optional[str] = None,
+    **fields: Any,
+) -> list:
+    """Convenience constructor for a burst of identical packets.
+
+    Parameters
+    ----------
+    flow:
+        Flow identifier shared by all packets.
+    count:
+        Number of packets to create.
+    length:
+        Length in bytes of each packet.
+    start_time:
+        Arrival time of the first packet.
+    spacing:
+        Inter-arrival gap in seconds between consecutive packets.
+    packet_class:
+        Optional class label for tree predicates.
+    fields:
+        Extra metadata copied into every packet's ``fields`` mapping.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    packets = []
+    for i in range(count):
+        packets.append(
+            Packet(
+                flow=flow,
+                length=length,
+                arrival_time=start_time + i * spacing,
+                packet_class=packet_class,
+                fields=dict(fields),
+            )
+        )
+    return packets

@@ -1,0 +1,156 @@
+"""Packet predicates for scheduling-tree nodes.
+
+Each node in a tree of scheduling transactions carries a *packet predicate*
+that selects which packets execute that node's transactions (Figure 3b shows
+``p.class == Left`` and ``p.class == Right``).  A predicate is simply a
+callable ``Packet -> bool``; this module provides named, composable
+implementations so trees are self-describing and trees built from
+configuration are easy to audit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from .packet import Packet
+
+Predicate = Callable[[Packet], bool]
+
+
+class MatchAll:
+    """Matches every packet.  Used at the root of most trees (``True`` in
+    Figure 3b)."""
+
+    def __call__(self, packet: Packet) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "MatchAll()"
+
+
+class MatchNone:
+    """Matches no packet.  Useful for temporarily disabling a subtree."""
+
+    def __call__(self, packet: Packet) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "MatchNone()"
+
+
+class ClassEquals:
+    """Matches packets whose ``packet_class`` equals the given label."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __call__(self, packet: Packet) -> bool:
+        return packet.packet_class == self.label
+
+    def __repr__(self) -> str:
+        return f"ClassEquals({self.label!r})"
+
+
+class ClassIn:
+    """Matches packets whose ``packet_class`` is one of the given labels."""
+
+    def __init__(self, labels: Iterable[str]) -> None:
+        self.labels = frozenset(labels)
+
+    def __call__(self, packet: Packet) -> bool:
+        return packet.packet_class in self.labels
+
+    def __repr__(self) -> str:
+        return f"ClassIn({sorted(self.labels)!r})"
+
+
+class FlowEquals:
+    """Matches packets belonging to a specific flow."""
+
+    def __init__(self, flow: str) -> None:
+        self.flow = flow
+
+    def __call__(self, packet: Packet) -> bool:
+        return packet.flow == self.flow
+
+    def __repr__(self) -> str:
+        return f"FlowEquals({self.flow!r})"
+
+
+class FlowIn:
+    """Matches packets whose flow is in the given set."""
+
+    def __init__(self, flows: Iterable[str]) -> None:
+        self.flows = frozenset(flows)
+
+    def __call__(self, packet: Packet) -> bool:
+        return packet.flow in self.flows
+
+    def __repr__(self) -> str:
+        return f"FlowIn({sorted(self.flows)!r})"
+
+
+class PriorityEquals:
+    """Matches packets with a specific strict-priority level."""
+
+    def __init__(self, priority: int) -> None:
+        self.priority = priority
+
+    def __call__(self, packet: Packet) -> bool:
+        return packet.priority == self.priority
+
+    def __repr__(self) -> str:
+        return f"PriorityEquals({self.priority})"
+
+
+class FieldEquals:
+    """Matches packets whose metadata field ``name`` equals ``value``."""
+
+    def __init__(self, name: str, value) -> None:
+        self.name = name
+        self.value = value
+
+    def __call__(self, packet: Packet) -> bool:
+        return packet.get(self.name) == self.value
+
+    def __repr__(self) -> str:
+        return f"FieldEquals({self.name!r}, {self.value!r})"
+
+
+class And:
+    """Logical conjunction of predicates."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        self.predicates: Sequence[Predicate] = predicates
+
+    def __call__(self, packet: Packet) -> bool:
+        return all(predicate(packet) for predicate in self.predicates)
+
+    def __repr__(self) -> str:
+        return f"And({', '.join(repr(p) for p in self.predicates)})"
+
+
+class Or:
+    """Logical disjunction of predicates."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        self.predicates: Sequence[Predicate] = predicates
+
+    def __call__(self, packet: Packet) -> bool:
+        return any(predicate(packet) for predicate in self.predicates)
+
+    def __repr__(self) -> str:
+        return f"Or({', '.join(repr(p) for p in self.predicates)})"
+
+
+class Not:
+    """Logical negation of a predicate."""
+
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = predicate
+
+    def __call__(self, packet: Packet) -> bool:
+        return not self.predicate(packet)
+
+    def __repr__(self) -> str:
+        return f"Not({self.predicate!r})"

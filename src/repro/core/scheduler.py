@@ -1,0 +1,357 @@
+"""The reference programmable-scheduler engine.
+
+:class:`ProgrammableScheduler` executes a :class:`~repro.core.tree.ScheduleTree`
+with the exact semantics of Sections 2.1-2.3:
+
+* **Enqueue** — the packet walks its matching path from leaf to root.  At
+  each node the scheduling transaction computes a rank and one element is
+  pushed into that node's scheduling PIFO (the packet at the leaf, a
+  reference to the child node elsewhere).  The first node on the path with a
+  shaping transaction pushes a release token into its shaping PIFO and
+  *suspends* the walk; when the token's wall-clock time arrives the walk
+  *resumes* at the parent (Figure 5).  Suspend/resume can repeat if several
+  shaped nodes lie on the path.
+* **Dequeue** — starting at the root's scheduling PIFO, pop an element; if
+  it is a reference, recursively pop the referenced child until a packet is
+  reached (Figure 2).  Transactions get an ``on_dequeue`` callback so that
+  algorithms like STFQ can maintain their virtual time.
+
+The engine is intentionally simple and single-threaded: it is the semantic
+ground truth against which the cycle-level hardware model
+(:mod:`repro.hardware`) is validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from ..exceptions import PIFOFullError, SchedulerError
+from .packet import Packet
+from .pifo import Rank
+from .transaction import TransactionContext
+from .tree import ScheduleTree, TreeNode
+
+
+@dataclass
+class ShapingToken:
+    """A suspended enqueue waiting in a node's shaping PIFO.
+
+    Attributes
+    ----------
+    node:
+        The shaped node; on release, a reference to this node is enqueued
+        into its parent's scheduling PIFO.
+    packet:
+        The packet whose arrival triggered the walk.  Its metadata (length,
+        flow) feeds the remaining transactions on the path.
+    path:
+        The full leaf-to-root path the packet matched.
+    resume_index:
+        Index into ``path`` of the node at which the walk resumes (the
+        shaped node's parent).
+    release_time:
+        Wall-clock time at which the token becomes eligible.
+    """
+
+    node: TreeNode
+    packet: Packet
+    path: List[TreeNode]
+    resume_index: int
+    release_time: float
+
+
+@dataclass
+class SchedulerStats:
+    """Counters maintained by the reference scheduler."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    shaping_releases: int = 0
+    transactions_executed: int = 0
+    per_flow_enqueued: dict = field(default_factory=dict)
+    per_flow_dequeued: dict = field(default_factory=dict)
+
+
+class ProgrammableScheduler:
+    """Reference implementation of a PIFO-programmed packet scheduler.
+
+    Parameters
+    ----------
+    tree:
+        The scheduling algorithm, expressed as a tree of scheduling and
+        shaping transactions.
+    drop_on_full:
+        When a node's scheduling PIFO is at capacity, drop the packet
+        (returning ``False`` from :meth:`enqueue`) instead of raising.
+        Mirrors a switch dropping on buffer exhaustion.
+    """
+
+    def __init__(self, tree: ScheduleTree, drop_on_full: bool = True) -> None:
+        self.tree = tree
+        self.drop_on_full = drop_on_full
+        self.stats = SchedulerStats()
+        self._buffered_packets = 0
+
+    # ------------------------------------------------------------------ #
+    # Enqueue path                                                        #
+    # ------------------------------------------------------------------ #
+    def enqueue(self, packet: Packet, now: Optional[float] = None) -> bool:
+        """Run the packet's transactions and buffer it.
+
+        Returns ``True`` if the packet was buffered, ``False`` if it was
+        dropped because a PIFO on its path was full.
+        """
+        time_now = packet.arrival_time if now is None else now
+        path = self.tree.match_path(packet)
+        try:
+            self._walk_up(packet, path, start_index=0, now=time_now, from_child=None)
+        except PIFOFullError:
+            if not self.drop_on_full:
+                raise
+            self.stats.dropped += 1
+            return False
+        packet.enqueue_time = time_now
+        self._buffered_packets += 1
+        self.stats.enqueued += 1
+        self.stats.per_flow_enqueued[packet.flow] = (
+            self.stats.per_flow_enqueued.get(packet.flow, 0) + 1
+        )
+        return True
+
+    def _walk_up(
+        self,
+        packet: Packet,
+        path: List[TreeNode],
+        start_index: int,
+        now: float,
+        from_child: Optional[TreeNode],
+    ) -> None:
+        """Execute transactions along ``path[start_index:]``.
+
+        Suspends (returns early) at the first node carrying a shaping
+        transaction that is not the last node of the path.
+        """
+        child = from_child
+        for index in range(start_index, len(path)):
+            node = path[index]
+            element = packet if child is None else child
+            ctx = TransactionContext(
+                now=now,
+                node=node.name,
+                element_flow=node.element_flow(packet, child),
+                element_length=packet.length,
+            )
+            rank = node.scheduling(packet, ctx)
+            node.scheduling_pifo.push(element, rank)
+            self.stats.transactions_executed += 1
+
+            has_parent_on_path = index + 1 < len(path)
+            if node.shaping is not None and has_parent_on_path:
+                send_time = node.shaping(packet, ctx)
+                self.stats.transactions_executed += 1
+                token = ShapingToken(
+                    node=node,
+                    packet=packet,
+                    path=path,
+                    resume_index=index + 1,
+                    release_time=send_time,
+                )
+                assert node.shaping_pifo is not None
+                node.shaping_pifo.push(token, send_time)
+                return
+            child = node
+
+    # ------------------------------------------------------------------ #
+    # Shaping releases                                                    #
+    # ------------------------------------------------------------------ #
+    def process_shaping_releases(self, now: float) -> int:
+        """Release every shaping token whose time has arrived.
+
+        Tokens are processed in global release-time order so that multiple
+        shaped nodes interleave deterministically.  Returns the number of
+        tokens released.
+        """
+        released = 0
+        while True:
+            best_node: Optional[TreeNode] = None
+            best_time: Optional[float] = None
+            for node in self.tree.nodes():
+                if node.shaping_pifo is None or node.shaping_pifo.is_empty:
+                    continue
+                head_time = node.shaping_pifo.peek_rank()
+                if head_time <= now and (best_time is None or head_time < best_time):
+                    best_node = node
+                    best_time = head_time
+            if best_node is None:
+                return released
+            token: ShapingToken = best_node.shaping_pifo.pop()
+            self.stats.shaping_releases += 1
+            released += 1
+            # Resume the walk at the parent, using the token's release time
+            # as "now" so rank computations are independent of how late the
+            # caller polls.
+            self._walk_up(
+                token.packet,
+                token.path,
+                start_index=token.resume_index,
+                now=max(token.release_time, 0.0),
+                from_child=token.node,
+            )
+
+    def next_shaping_release(self) -> Optional[float]:
+        """Earliest pending shaping release time, or ``None`` if none.
+
+        The simulator uses this to schedule a wake-up for non-work-conserving
+        algorithms instead of busy-polling.
+        """
+        times = [
+            node.shaping_pifo.peek_rank()
+            for node in self.tree.nodes()
+            if node.shaping_pifo is not None and not node.shaping_pifo.is_empty
+        ]
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------ #
+    # Dequeue path                                                        #
+    # ------------------------------------------------------------------ #
+    def dequeue(self, now: float = 0.0) -> Optional[Packet]:
+        """Return the next packet to transmit, or ``None`` if none eligible.
+
+        ``None`` can mean the scheduler is empty *or* that all buffered
+        packets are held back by shaping transactions; use
+        :meth:`next_shaping_release` to distinguish.
+        """
+        self.process_shaping_releases(now)
+        node = self.tree.root
+        if node.scheduling_pifo.is_empty:
+            return None
+        while True:
+            entry = node.scheduling_pifo.pop_entry()
+            element = entry.element
+            ctx = TransactionContext(
+                now=now,
+                node=node.name,
+                element_flow=(
+                    element.name if isinstance(element, TreeNode) else element.flow
+                ),
+                element_length=(
+                    0 if isinstance(element, TreeNode) else element.length
+                ),
+                extras={"rank": entry.rank},
+            )
+            node.scheduling.on_dequeue(element, ctx)
+            if isinstance(element, TreeNode):
+                node = element
+                if node.scheduling_pifo.is_empty:
+                    raise SchedulerError(
+                        f"dangling reference: node {node.name!r} was referenced "
+                        "by its parent but its scheduling PIFO is empty"
+                    )
+                continue
+            packet: Packet = element
+            packet.dequeue_time = now
+            self._buffered_packets -= 1
+            self.stats.dequeued += 1
+            self.stats.per_flow_dequeued[packet.flow] = (
+                self.stats.per_flow_dequeued.get(packet.flow, 0) + 1
+            )
+            return packet
+
+    def peek(self, now: float = 0.0) -> Optional[Packet]:
+        """Return the packet that :meth:`dequeue` would return, without
+        removing it.  Shaping releases due by ``now`` are applied."""
+        self.process_shaping_releases(now)
+        node = self.tree.root
+        if node.scheduling_pifo.is_empty:
+            return None
+        while True:
+            element = node.scheduling_pifo.peek()
+            if isinstance(element, TreeNode):
+                node = element
+                if node.scheduling_pifo.is_empty:
+                    raise SchedulerError(
+                        f"dangling reference: node {node.name!r} was referenced "
+                        "by its parent but its scheduling PIFO is empty"
+                    )
+                continue
+            return element
+
+    # ------------------------------------------------------------------ #
+    # Convenience                                                         #
+    # ------------------------------------------------------------------ #
+    def drain(self, now: float = 0.0) -> List[Packet]:
+        """Dequeue until no packet is eligible at time ``now``.
+
+        For work-conserving trees this empties the scheduler and returns the
+        complete departure order; shaped trees may leave packets pending.
+        """
+        packets: List[Packet] = []
+        while True:
+            packet = self.dequeue(now)
+            if packet is None:
+                return packets
+            packets.append(packet)
+
+    def drain_timed(self, until: float, step: Optional[float] = None) -> List[Packet]:
+        """Drain a shaped scheduler by advancing wall-clock time.
+
+        Repeatedly dequeues, jumping the clock to the next shaping release
+        when nothing is eligible, until ``until`` is reached or the
+        scheduler is empty.  Packets' ``dequeue_time`` reflects when they
+        became eligible, which is what the shaping experiments measure.
+        """
+        packets: List[Packet] = []
+        now = 0.0
+        while now <= until and len(self) > 0:
+            packet = self.dequeue(now)
+            if packet is not None:
+                packets.append(packet)
+                continue
+            next_release = self.next_shaping_release()
+            if next_release is None:
+                break
+            if step is not None:
+                now = min(until, max(next_release, now + step))
+            else:
+                now = next_release
+            if next_release > until:
+                break
+        return packets
+
+    def __len__(self) -> int:
+        """Number of packets currently buffered (not PIFO elements)."""
+        return self._buffered_packets
+
+    @property
+    def is_empty(self) -> bool:
+        return self._buffered_packets == 0
+
+    def buffered_elements(self) -> int:
+        """Total elements across every PIFO in the tree (packets + refs)."""
+        return self.tree.buffered_elements()
+
+    def reset(self) -> None:
+        """Reset PIFOs, transaction state and counters for a fresh run."""
+        self.tree.reset()
+        self.stats = SchedulerStats()
+        self._buffered_packets = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProgrammableScheduler(root={self.tree.root.name!r}, "
+            f"buffered={self._buffered_packets})"
+        )
+
+
+def run_enqueue_dequeue(
+    scheduler: ProgrammableScheduler,
+    packets: Iterator[Packet],
+    now: float = 0.0,
+) -> List[Packet]:
+    """Enqueue every packet, then drain — the standard unit-test harness for
+    work-conserving algorithms."""
+    for packet in packets:
+        scheduler.enqueue(packet, now=now)
+    return scheduler.drain(now=now)

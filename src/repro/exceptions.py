@@ -1,0 +1,64 @@
+"""Exception hierarchy for the PIFO reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PIFOError(ReproError):
+    """Base class for errors raised by PIFO data structures."""
+
+
+class PIFOEmptyError(PIFOError):
+    """Raised when dequeuing or peeking an empty PIFO."""
+
+
+class PIFOFullError(PIFOError):
+    """Raised when pushing into a PIFO that has reached its capacity."""
+
+
+class TransactionError(ReproError):
+    """Raised when a scheduling or shaping transaction misbehaves.
+
+    Examples include a transaction that fails to set a rank, or one whose
+    state declaration does not cover a state variable it accesses.
+    """
+
+
+class TreeConfigurationError(ReproError):
+    """Raised when a scheduling tree is structurally invalid.
+
+    Examples include a packet that matches no leaf predicate, a node with a
+    duplicate name, or a shaping transaction attached to the root node.
+    """
+
+
+class SchedulerError(ReproError):
+    """Raised by the reference scheduler engine for invalid operations."""
+
+
+class BufferError_(ReproError):
+    """Raised by the shared-memory buffer model (admission failures)."""
+
+
+class HardwareModelError(ReproError):
+    """Raised by the cycle-level hardware model for constraint violations."""
+
+
+class CompilationError(ReproError):
+    """Raised when a scheduling tree cannot be compiled onto a PIFO mesh."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event simulator for scheduling-in-the-past and
+    similar misuse."""
+
+
+class TrafficError(ReproError):
+    """Raised by traffic generators for invalid workload specifications."""

@@ -1,0 +1,211 @@
+"""Multi-pipeline PIFO blocks (Section 6.3).
+
+The highest-end switches exceed the packet rate a single 1 GHz pipeline can
+source or sink, so they run several ingress and several egress pipelines
+that *share* the scheduler subsystem.  The paper argues its design extends
+naturally: the flow scheduler lives in flip-flops, so adding ports is
+straightforward, and the rank store needs the same multi-port SRAM used by
+multi-pipeline packet buffers today.
+
+:class:`MultiPipelineBlock` models exactly that: a PIFO block whose per-cycle
+budget is ``ingress_pipelines`` enqueues and ``egress_pipelines`` dequeues
+instead of one of each.  Requests beyond the budget in a cycle are refused
+(strict mode) or counted (permissive mode), which lets the Section 6.3
+benchmark quantify how many pipelines a block must expose before a
+3.2 Tbit/s-class switch stops losing scheduler slots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..exceptions import HardwareModelError
+from ..hardware.pifo_block import DequeuedElement, PIFOBlock
+
+
+@dataclass(frozen=True)
+class PipelinePortConfig:
+    """Port provisioning of a multi-pipeline block.
+
+    ``ingress_pipelines`` bounds enqueues per cycle, ``egress_pipelines``
+    bounds dequeues per cycle.  The paper's single-pipeline baseline is
+    (1, 1); a Tomahawk-class 3.2 Tbit/s switch needs roughly (6, 6) at a
+    64-byte minimum packet size.
+    """
+
+    ingress_pipelines: int = 1
+    egress_pipelines: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ingress_pipelines <= 0 or self.egress_pipelines <= 0:
+            raise ValueError("pipeline counts must be positive")
+
+
+@dataclass
+class MultiPipelineStats:
+    """Per-cycle port-budget accounting."""
+
+    enqueues_accepted: int = 0
+    enqueues_refused: int = 0
+    dequeues_accepted: int = 0
+    dequeues_refused: int = 0
+    #: Cycles in which at least one enqueue had to be refused.
+    enqueue_overflow_cycles: int = 0
+    #: Cycles in which at least one dequeue had to be refused.
+    dequeue_overflow_cycles: int = 0
+    cycles_observed: int = 0
+
+    @property
+    def enqueue_loss_fraction(self) -> float:
+        total = self.enqueues_accepted + self.enqueues_refused
+        return self.enqueues_refused / total if total else 0.0
+
+    @property
+    def dequeue_loss_fraction(self) -> float:
+        total = self.dequeues_accepted + self.dequeues_refused
+        return self.dequeues_refused / total if total else 0.0
+
+
+class MultiPipelineBlock:
+    """A PIFO block shared by several ingress and egress pipelines.
+
+    The underlying element storage and ordering semantics are exactly those
+    of :class:`~repro.hardware.pifo_block.PIFOBlock`; only the per-cycle
+    port budget changes.  The inner block runs in functional mode (its own
+    1-enqueue/1-dequeue constraint is superseded by the port budget modelled
+    here).
+
+    Parameters
+    ----------
+    ports:
+        Ingress/egress provisioning.
+    strict:
+        When True, operations beyond the per-cycle budget are refused
+        (``enqueue`` returns False / ``dequeue`` returns None); when False
+        they proceed but are counted, modelling an over-clocked block.
+    """
+
+    def __init__(
+        self,
+        ports: PipelinePortConfig = PipelinePortConfig(),
+        name: str = "multi-pipeline-block",
+        strict: bool = True,
+        **block_kwargs: Any,
+    ) -> None:
+        self.ports = ports
+        self.name = name
+        self.strict = strict
+        self.block = PIFOBlock(name=f"{name}.inner", strict_timing=False, **block_kwargs)
+        self.stats = MultiPipelineStats()
+        self._cycle: Optional[int] = None
+        self._enqueues_this_cycle = 0
+        self._dequeues_this_cycle = 0
+
+    # -- cycle accounting -----------------------------------------------------
+    def _advance_cycle(self, cycle: Optional[int]) -> None:
+        if cycle is None or cycle == self._cycle:
+            return
+        if cycle < (self._cycle or 0):
+            raise HardwareModelError(
+                f"cycle numbers must not go backwards (got {cycle} after "
+                f"{self._cycle})"
+            )
+        self._cycle = cycle
+        self._enqueues_this_cycle = 0
+        self._dequeues_this_cycle = 0
+        self.stats.cycles_observed += 1
+
+    # -- block interface --------------------------------------------------------
+    def enqueue(
+        self,
+        logical_pifo: int,
+        rank: float,
+        flow: str,
+        metadata: Any = None,
+        cycle: Optional[int] = None,
+        pipeline: int = 0,
+    ) -> bool:
+        """Enqueue from one ingress pipeline.  Returns False when the cycle's
+        ingress port budget is exhausted (strict mode only)."""
+        if not 0 <= pipeline < self.ports.ingress_pipelines:
+            raise HardwareModelError(
+                f"ingress pipeline {pipeline} out of range "
+                f"(0..{self.ports.ingress_pipelines - 1})"
+            )
+        self._advance_cycle(cycle)
+        if cycle is not None and self._enqueues_this_cycle >= self.ports.ingress_pipelines:
+            self.stats.enqueues_refused += 1
+            if self._enqueues_this_cycle == self.ports.ingress_pipelines:
+                self.stats.enqueue_overflow_cycles += 1
+            self._enqueues_this_cycle += 1
+            if self.strict:
+                return False
+        else:
+            self._enqueues_this_cycle += 1
+        accepted = self.block.enqueue(logical_pifo, rank=rank, flow=flow, metadata=metadata)
+        if accepted:
+            self.stats.enqueues_accepted += 1
+        return accepted
+
+    def dequeue(
+        self,
+        logical_pifo: int,
+        cycle: Optional[int] = None,
+        pipeline: int = 0,
+    ) -> Optional[DequeuedElement]:
+        """Dequeue towards one egress pipeline.  Returns None when the PIFO
+        is empty or the cycle's egress port budget is exhausted."""
+        if not 0 <= pipeline < self.ports.egress_pipelines:
+            raise HardwareModelError(
+                f"egress pipeline {pipeline} out of range "
+                f"(0..{self.ports.egress_pipelines - 1})"
+            )
+        self._advance_cycle(cycle)
+        if cycle is not None and self._dequeues_this_cycle >= self.ports.egress_pipelines:
+            self.stats.dequeues_refused += 1
+            if self._dequeues_this_cycle == self.ports.egress_pipelines:
+                self.stats.dequeue_overflow_cycles += 1
+            self._dequeues_this_cycle += 1
+            if self.strict:
+                return None
+        else:
+            self._dequeues_this_cycle += 1
+        element = self.block.dequeue(logical_pifo)
+        if element is not None:
+            self.stats.dequeues_accepted += 1
+        return element
+
+    def peek(self, logical_pifo: int) -> Optional[DequeuedElement]:
+        return self.block.peek(logical_pifo)
+
+    def __len__(self) -> int:
+        return len(self.block)
+
+    def is_empty(self, logical_pifo: Optional[int] = None) -> bool:
+        return self.block.is_empty(logical_pifo)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiPipelineBlock(name={self.name!r}, "
+            f"ingress={self.ports.ingress_pipelines}, "
+            f"egress={self.ports.egress_pipelines}, len={len(self)})"
+        )
+
+
+def required_pipelines(
+    aggregate_capacity_bps: float,
+    min_packet_bytes: int = 64,
+    clock_hz: float = 1e9,
+) -> int:
+    """How many pipelines a switch of the given aggregate capacity needs.
+
+    A single pipeline at ``clock_hz`` forwards one minimum-size packet per
+    cycle; the Section 6.3 example (3.2 Tbit/s Tomahawk-class switch, 64-byte
+    packets) therefore needs about 6 ingress and 6 egress pipelines.
+    """
+    if aggregate_capacity_bps <= 0:
+        raise ValueError("aggregate_capacity_bps must be positive")
+    packets_per_second = aggregate_capacity_bps / (min_packet_bytes * 8)
+    return max(1, math.ceil(packets_per_second / clock_hz))

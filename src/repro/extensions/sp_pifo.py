@@ -1,0 +1,280 @@
+"""SP-PIFO: approximating a PIFO with strict-priority FIFO queues.
+
+SP-PIFO (NSDI 2020) is the most widely deployed descendant of this paper's
+PIFO: instead of a true push-in first-out queue it uses *N* strict-priority
+FIFO queues and, per queue, a dynamically adapted *queue bound*.  An arriving
+element is scanned bottom-up (lowest priority first) and admitted into the
+first queue whose bound is ≤ its rank; dequeues always serve the highest
+priority non-empty queue.
+
+The adaptation rules are the published ones:
+
+* **push-up**: when an element is admitted to queue *i*, that queue's bound
+  is set to the element's rank (bounds track recently admitted ranks);
+* **push-down**: when an element's rank is smaller than the bound of the
+  highest-priority queue (an unavoidable inversion), every queue's bound is
+  decreased by the "cost" of the inversion (bound − rank), making room for
+  small ranks in the future.
+
+The point of carrying this extension inside the reproduction is the ablation
+in ``benchmarks/test_ablation_sp_pifo.py``: it quantifies, on identical rank
+sequences, how many *inversions* (pairs dequeued out of rank order) the
+approximation suffers as a function of the number of queues — zero for the
+exact PIFO this paper builds, decreasing with queue count for SP-PIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.pifo import PIFO
+from ..exceptions import PIFOEmptyError
+
+
+@dataclass
+class SPPIFOStats:
+    """Counters maintained by an SP-PIFO queue."""
+
+    pushes: int = 0
+    pops: int = 0
+    push_ups: int = 0
+    push_downs: int = 0
+    #: Elements admitted into the highest-priority queue because their rank
+    #: undercut every bound (each such admission is a potential inversion).
+    bound_misses: int = 0
+
+
+class SPPIFOQueue:
+    """An SP-PIFO: *N* strict-priority FIFOs approximating one PIFO.
+
+    The interface mirrors :class:`repro.core.pifo.PIFO` (``push(element,
+    rank)`` / ``pop()`` / ``peek()`` / ``__len__``) so the two can be swapped
+    in experiments.
+
+    Parameters
+    ----------
+    num_queues:
+        Number of strict-priority FIFO queues.  One queue degenerates to a
+        plain FIFO; more queues approximate the PIFO better.
+    initial_bounds:
+        Optional starting queue bounds (ascending).  Defaults to all-zero,
+        letting the adaptation discover the rank distribution.
+    """
+
+    def __init__(
+        self,
+        num_queues: int = 8,
+        initial_bounds: Optional[Sequence[float]] = None,
+        name: str = "sp-pifo",
+    ) -> None:
+        if num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if initial_bounds is not None:
+            if len(initial_bounds) != num_queues:
+                raise ValueError("initial_bounds must have one entry per queue")
+            if list(initial_bounds) != sorted(initial_bounds):
+                raise ValueError("initial_bounds must be non-decreasing")
+            self._bounds = [float(b) for b in initial_bounds]
+        else:
+            self._bounds = [0.0] * num_queues
+        self.num_queues = num_queues
+        self.name = name
+        # Queue 0 is the highest priority (served first, holds lowest ranks).
+        self._queues: List[Deque[Tuple[float, Any]]] = [deque() for _ in range(num_queues)]
+        self.stats = SPPIFOStats()
+
+    # -- core operations ----------------------------------------------------
+    def push(self, element: Any, rank: float) -> None:
+        """Admit ``element`` using the SP-PIFO scan and adaptation rules."""
+        rank = float(rank)
+        self.stats.pushes += 1
+        # Scan from the lowest-priority queue towards the highest; admit into
+        # the first queue whose bound the rank meets.
+        for index in range(self.num_queues - 1, -1, -1):
+            if rank >= self._bounds[index]:
+                self._queues[index].append((rank, element))
+                # push-up: the bound tracks the last admitted rank.
+                self._bounds[index] = rank
+                self.stats.push_ups += 1
+                return
+        # The rank undercuts every bound: admit into the highest-priority
+        # queue and push every bound down by the inversion cost.
+        cost = self._bounds[0] - rank
+        self._queues[0].append((rank, element))
+        for index in range(self.num_queues):
+            self._bounds[index] = max(0.0, self._bounds[index] - cost)
+        self.stats.push_downs += 1
+        self.stats.bound_misses += 1
+
+    def pop(self) -> Any:
+        """Dequeue from the highest-priority non-empty queue."""
+        rank_element = self.pop_with_rank()
+        return rank_element[1]
+
+    def pop_with_rank(self) -> Tuple[float, Any]:
+        """Like :meth:`pop` but also return the element's rank."""
+        for queue in self._queues:
+            if queue:
+                self.stats.pops += 1
+                return queue.popleft()
+        raise PIFOEmptyError(f"pop from empty SP-PIFO {self.name!r}")
+
+    def peek(self) -> Any:
+        for queue in self._queues:
+            if queue:
+                return queue[0][1]
+        raise PIFOEmptyError(f"peek on empty SP-PIFO {self.name!r}")
+
+    def peek_rank(self) -> float:
+        for queue in self._queues:
+            if queue:
+                return queue[0][0]
+        raise PIFOEmptyError(f"peek on empty SP-PIFO {self.name!r}")
+
+    # -- introspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    def __bool__(self) -> bool:
+        return any(self._queues)
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self._queues)
+
+    def bounds(self) -> List[float]:
+        """Current queue bounds, highest-priority queue first."""
+        return list(self._bounds)
+
+    def occupancy(self) -> List[int]:
+        """Per-queue element counts, highest-priority queue first."""
+        return [len(queue) for queue in self._queues]
+
+    def clear(self) -> None:
+        for queue in self._queues:
+            queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SPPIFOQueue(name={self.name!r}, queues={self.num_queues}, "
+            f"len={len(self)})"
+        )
+
+
+# ------------------------------------------------------------------------- #
+# Inversion accounting                                                       #
+# ------------------------------------------------------------------------- #
+def count_inversions(ranks: Sequence[float]) -> int:
+    """Number of out-of-order pairs in a dequeue sequence.
+
+    A pair (i, j) with i < j is an inversion when ``ranks[i] > ranks[j]`` —
+    a lower-rank element left *after* a higher-rank one.  An exact PIFO
+    yields zero inversions for any sequence it fully buffers.  Counted with
+    a merge-sort pass, O(n log n).
+    """
+    sequence = list(ranks)
+    if len(sequence) < 2:
+        return 0
+    _, inversions = _sort_and_count(sequence)
+    return inversions
+
+
+def _sort_and_count(sequence: List[float]) -> Tuple[List[float], int]:
+    if len(sequence) <= 1:
+        return sequence, 0
+    middle = len(sequence) // 2
+    left, left_count = _sort_and_count(sequence[:middle])
+    right, right_count = _sort_and_count(sequence[middle:])
+    merged: List[float] = []
+    inversions = left_count + right_count
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+            inversions += len(left) - i
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged, inversions
+
+
+@dataclass
+class InversionReport:
+    """Comparison of an SP-PIFO dequeue order against the exact PIFO."""
+
+    num_queues: int
+    elements: int
+    inversions: int
+    exact_inversions: int
+    #: Fraction of adjacent dequeues that are out of rank order.
+    unpifoness: float
+    #: Mean absolute rank displacement versus the exact dequeue order.
+    mean_rank_error: float
+
+    @property
+    def inversion_rate(self) -> float:
+        """Inversions normalised by the worst case n*(n-1)/2."""
+        worst = self.elements * (self.elements - 1) / 2
+        return self.inversions / worst if worst else 0.0
+
+
+def compare_with_exact_pifo(
+    arrivals: Iterable[Tuple[Any, float]],
+    num_queues: int = 8,
+    drain_every: Optional[int] = None,
+) -> InversionReport:
+    """Feed identical (element, rank) arrivals to an exact PIFO and an
+    SP-PIFO and compare the dequeue orders.
+
+    ``drain_every`` interleaves dequeues with enqueues (one dequeue after
+    every ``drain_every`` enqueues), which is the regime where SP-PIFO's
+    adaptation actually matters; the default enqueues everything first and
+    then drains, the worst case for the approximation.
+    """
+    arrivals = list(arrivals)
+    exact: PIFO = PIFO(name="exact")
+    approx = SPPIFOQueue(num_queues=num_queues)
+
+    exact_order: List[float] = []
+    approx_order: List[float] = []
+
+    for index, (element, rank) in enumerate(arrivals, start=1):
+        exact.push(element, rank)
+        approx.push(element, rank)
+        if drain_every and index % drain_every == 0:
+            if not exact.is_empty:
+                entry = exact.pop_entry()
+                exact_order.append(entry.rank)
+            if not approx.is_empty:
+                approx_order.append(approx.pop_with_rank()[0])
+
+    while not exact.is_empty:
+        exact_order.append(exact.pop_entry().rank)
+    while not approx.is_empty:
+        approx_order.append(approx.pop_with_rank()[0])
+
+    adjacent_out_of_order = sum(
+        1 for a, b in zip(approx_order, approx_order[1:]) if a > b
+    )
+    mean_error = (
+        sum(abs(a - b) for a, b in zip(approx_order, exact_order)) / len(exact_order)
+        if exact_order
+        else 0.0
+    )
+    return InversionReport(
+        num_queues=num_queues,
+        elements=len(arrivals),
+        inversions=count_inversions(approx_order),
+        exact_inversions=count_inversions(exact_order),
+        unpifoness=(
+            adjacent_out_of_order / (len(approx_order) - 1)
+            if len(approx_order) > 1
+            else 0.0
+        ),
+        mean_rank_error=mean_error,
+    )

@@ -1,0 +1,104 @@
+"""Hardware feasibility model: PIFO blocks, mesh, compiler, area/timing.
+
+This package reproduces Sections 4 and 5 of the paper with a behavioural /
+analytic substitution for the Verilog implementation (see DESIGN.md):
+
+* :mod:`repro.hardware.atoms` — Domino-style atom vocabulary and the
+  transaction feasibility analysis of Section 4.1.
+* :mod:`repro.hardware.flow_scheduler`, :mod:`repro.hardware.rank_store`,
+  :mod:`repro.hardware.pifo_block` — the Section 5.2 PIFO block
+  (flow scheduler in flip-flops + rank store in SRAM) with its per-cycle
+  operation constraints.
+* :mod:`repro.hardware.mesh`, :mod:`repro.hardware.compiler` — the PIFO mesh,
+  next-hop lookup tables, the tree-to-mesh compiler of Section 4.3 and a
+  mesh-backed scheduler that can be diffed against the reference engine.
+* :mod:`repro.hardware.area_model` — the analytic reproduction of Tables 1
+  and 2, the Section 5.3 parameter sweep and the Section 5.4 wiring count.
+"""
+
+from .atoms import (
+    ATOM_BUDGET_PER_CHIP,
+    ATOM_TEMPLATES,
+    AtomPipelineAnalyzer,
+    AtomTemplate,
+    PAIRS_ATOM_AREA_UM2,
+    PAPER_TRANSACTIONS,
+    PipelineReport,
+    StateUpdate,
+    TransactionSpec,
+    paper_transaction_specs,
+    require_feasible,
+)
+from .area_model import (
+    FlowSchedulerDesign,
+    MAX_FLOWS_AT_1GHZ,
+    MeshDesign,
+    PAPER_PARAMETER_VARIATIONS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TOTAL_MESH_WIRES,
+    PAPER_WIRES_PER_SET,
+    PIFOBlockDesign,
+    SRAM_MM2_PER_MBIT,
+    SWITCH_CHIP_AREA_MM2,
+    flat_sorted_array_comparisons,
+    parameter_variation_rows,
+    table2_rows,
+)
+from .compiler import (
+    HardwareScheduler,
+    MeshCompiler,
+    MeshProgram,
+    PIFOAssignment,
+    compile_tree,
+)
+from .flow_scheduler import FlowScheduler, FlowSchedulerEntry
+from .mesh import ConflictArbiter, NextHop, PIFOMesh
+from .pifo_block import (
+    DequeuedElement,
+    PIFOBlock,
+    SAME_PIFO_DEQUEUE_INTERVAL,
+)
+from .rank_store import RankStore
+
+__all__ = [
+    "AtomTemplate",
+    "ATOM_TEMPLATES",
+    "ATOM_BUDGET_PER_CHIP",
+    "PAIRS_ATOM_AREA_UM2",
+    "AtomPipelineAnalyzer",
+    "TransactionSpec",
+    "StateUpdate",
+    "PipelineReport",
+    "PAPER_TRANSACTIONS",
+    "paper_transaction_specs",
+    "require_feasible",
+    "FlowScheduler",
+    "FlowSchedulerEntry",
+    "RankStore",
+    "PIFOBlock",
+    "DequeuedElement",
+    "SAME_PIFO_DEQUEUE_INTERVAL",
+    "PIFOMesh",
+    "NextHop",
+    "ConflictArbiter",
+    "MeshCompiler",
+    "MeshProgram",
+    "PIFOAssignment",
+    "compile_tree",
+    "HardwareScheduler",
+    "FlowSchedulerDesign",
+    "PIFOBlockDesign",
+    "MeshDesign",
+    "table2_rows",
+    "parameter_variation_rows",
+    "flat_sorted_array_comparisons",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_PARAMETER_VARIATIONS",
+    "PAPER_WIRES_PER_SET",
+    "PAPER_TOTAL_MESH_WIRES",
+    "SWITCH_CHIP_AREA_MM2",
+    "SRAM_MM2_PER_MBIT",
+    "MAX_FLOWS_AT_1GHZ",
+]

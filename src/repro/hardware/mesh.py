@@ -1,0 +1,207 @@
+"""The PIFO mesh: blocks, next-hop lookup tables, conflict arbitration
+(Sections 4.2 and 4.3, Figure 9).
+
+A mesh is a small set of PIFO blocks connected all-to-all.  After a dequeue,
+a block consults its *next-hop lookup table* to decide what to do with the
+result: transmit the packet, dequeue a logical PIFO in another block (to
+follow a tree reference downward), or enqueue into another block (to release
+a shaped element into its parent).
+
+Section 4.3 notes the conflict that shaping creates: a shaping PIFO may want
+to enqueue into a parent block in the same cycle as an external enqueue.
+Only one can proceed, and the paper resolves the conflict in favour of the
+PIFO fed by a *scheduling* transaction, giving shaping PIFOs best-effort
+service.  :class:`ConflictArbiter` implements exactly that policy for the
+cycle-level experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import CompilationError, HardwareModelError
+from .pifo_block import PIFOBlock
+
+#: Wire widths (bits) for one enqueue/dequeue interface between two blocks
+#: (Section 5.4's accounting).
+ENQUEUE_LOGICAL_PIFO_BITS = 8
+ENQUEUE_RANK_BITS = 16
+ENQUEUE_METADATA_BITS = 32
+ENQUEUE_FLOW_ID_BITS = 10
+DEQUEUE_LOGICAL_PIFO_BITS = 8
+DEQUEUE_ELEMENT_BITS = 32
+
+
+@dataclass(frozen=True)
+class NextHop:
+    """One entry of a block's next-hop lookup table.
+
+    ``operation`` is ``"transmit"``, ``"dequeue"`` or ``"enqueue"``;
+    ``target_block`` names the block the follow-up operation goes to (absent
+    for transmit).
+    """
+
+    operation: str
+    target_block: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("transmit", "dequeue", "enqueue"):
+            raise CompilationError(f"unknown next-hop operation {self.operation!r}")
+        if self.operation != "transmit" and not self.target_block:
+            raise CompilationError(
+                f"next-hop operation {self.operation!r} needs a target block"
+            )
+
+
+class PIFOMesh:
+    """A set of named PIFO blocks plus their next-hop lookup tables."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[str, PIFOBlock] = {}
+        # lookup[block][logical_pifo] -> NextHop
+        self.lookup: Dict[str, Dict[int, NextHop]] = {}
+
+    # -- construction ----------------------------------------------------------
+    def add_block(self, block: PIFOBlock) -> PIFOBlock:
+        if block.name in self.blocks:
+            raise CompilationError(f"duplicate block name {block.name!r}")
+        self.blocks[block.name] = block
+        self.lookup[block.name] = {}
+        return block
+
+    def set_next_hop(self, block_name: str, logical_pifo: int, hop: NextHop) -> None:
+        if block_name not in self.blocks:
+            raise CompilationError(f"unknown block {block_name!r}")
+        if hop.target_block is not None and hop.target_block not in self.blocks:
+            raise CompilationError(f"unknown target block {hop.target_block!r}")
+        self.lookup[block_name][logical_pifo] = hop
+
+    def next_hop(self, block_name: str, logical_pifo: int) -> NextHop:
+        try:
+            return self.lookup[block_name][logical_pifo]
+        except KeyError:
+            raise HardwareModelError(
+                f"no next-hop entry for block {block_name!r} logical PIFO {logical_pifo}"
+            ) from None
+
+    # -- geometry / wiring (Section 5.4) ------------------------------------------
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def wire_sets(self) -> int:
+        """Number of directed block-to-block wire sets in a full mesh."""
+        n = self.block_count()
+        return n * (n - 1)
+
+    @staticmethod
+    def bits_per_wire_set() -> int:
+        """Bits required to express one enqueue plus one dequeue interface."""
+        enqueue_bits = (
+            ENQUEUE_LOGICAL_PIFO_BITS
+            + ENQUEUE_RANK_BITS
+            + ENQUEUE_METADATA_BITS
+            + ENQUEUE_FLOW_ID_BITS
+        )
+        dequeue_bits = DEQUEUE_LOGICAL_PIFO_BITS + DEQUEUE_ELEMENT_BITS
+        return enqueue_bits + dequeue_bits
+
+    def total_mesh_wires(self) -> int:
+        """Total bits of wiring for the full mesh (2120 for 5 blocks)."""
+        return self.wire_sets() * self.bits_per_wire_set()
+
+    # -- aggregate stats -------------------------------------------------------------
+    def total_buffered(self) -> int:
+        return sum(len(block) for block in self.blocks.values())
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        for name, block in self.blocks.items():
+            lines.append(f"{name}: {block.logical_pifo_count} logical PIFOs")
+            for pifo, hop in sorted(self.lookup[name].items()):
+                target = f" -> {hop.target_block}" if hop.target_block else ""
+                lines.append(f"  pifo {pifo}: {hop.operation}{target}")
+        return "\n".join(lines)
+
+
+@dataclass(order=True)
+class _PendingOp:
+    priority: int
+    seq: int
+    kind: str = field(compare=False)  # "scheduling" | "shaping"
+    description: str = field(compare=False, default="")
+
+
+class ConflictArbiter:
+    """Per-cycle, per-block enqueue arbitration (Section 4.3).
+
+    Each block accepts one enqueue per cycle.  When both a scheduling-driven
+    enqueue (an arriving packet) and a shaping-driven enqueue (a release from
+    a shaping PIFO) target the same block in the same cycle, the scheduling
+    enqueue wins and the shaping enqueue is retried on a later cycle —
+    shaping PIFOs get best-effort service.
+    """
+
+    SCHEDULING_PRIORITY = 0
+    SHAPING_PRIORITY = 1
+
+    def __init__(self) -> None:
+        self._pending: Dict[str, List[_PendingOp]] = {}
+        self._seq = 0
+        self.granted_scheduling = 0
+        self.granted_shaping = 0
+        self.deferred_shaping = 0
+        self.deferral_cycles = 0
+
+    def request(self, block: str, kind: str, description: str = "") -> None:
+        """Register an enqueue request for the current cycle."""
+        if kind not in ("scheduling", "shaping"):
+            raise ValueError("kind must be 'scheduling' or 'shaping'")
+        priority = (
+            self.SCHEDULING_PRIORITY if kind == "scheduling" else self.SHAPING_PRIORITY
+        )
+        op = _PendingOp(priority=priority, seq=self._seq, kind=kind, description=description)
+        self._seq += 1
+        self._pending.setdefault(block, []).append(op)
+
+    def arbitrate_cycle(self) -> Dict[str, _PendingOp]:
+        """Grant one enqueue per block; losers roll over to the next cycle.
+
+        Returns the granted operation per block for this cycle.
+        """
+        granted: Dict[str, _PendingOp] = {}
+        for block, ops in list(self._pending.items()):
+            if not ops:
+                del self._pending[block]
+                continue
+            ops.sort()
+            winner = ops.pop(0)
+            granted[block] = winner
+            if winner.kind == "scheduling":
+                self.granted_scheduling += 1
+            else:
+                self.granted_shaping += 1
+            deferred = sum(1 for op in ops if op.kind == "shaping")
+            self.deferred_shaping += deferred
+            self.deferral_cycles += len(ops)
+            if not ops:
+                del self._pending[block]
+        return granted
+
+    def pending_requests(self) -> int:
+        return sum(len(ops) for ops in self._pending.values())
+
+    def run_until_drained(self, max_cycles: int = 1_000_000) -> int:
+        """Arbitrate repeated cycles until every request is granted.
+
+        Returns the number of cycles taken; used by the Section 4.3
+        benchmark to quantify how long shaping enqueues are delayed under an
+        adversarial arrival pattern.
+        """
+        cycles = 0
+        while self.pending_requests() and cycles < max_cycles:
+            self.arbitrate_cycle()
+            cycles += 1
+        if self.pending_requests():
+            raise HardwareModelError("conflict arbitration did not drain")
+        return cycles

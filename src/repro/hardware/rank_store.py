@@ -1,0 +1,93 @@
+"""The rank store: a bank of FIFOs in SRAM (Section 5.2).
+
+Elements beyond each flow's head live in the rank store, one FIFO per
+(logical PIFO, flow) pair, dynamically allocated from a shared pool of 64 K
+entries via a free list — exactly the structure whose area Table 1 prices
+out (data SRAM + next pointers + free list + head/tail/count registers).
+
+The model enforces the shared capacity and exposes the per-component entry
+counts the area model needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from ..exceptions import HardwareModelError
+
+#: Baseline rank-store capacity (Section 5.3): 64 K elements, sized for the
+#: worst case of one cell (60 K packets) per element plus slack.
+DEFAULT_RANK_STORE_CAPACITY = 64 * 1024
+
+FlowKey = Tuple[int, str]  # (logical PIFO ID, flow ID)
+
+
+@dataclass
+class RankStoreStats:
+    appends: int = 0
+    pops: int = 0
+    peak_occupancy: int = 0
+
+
+class RankStore:
+    """Bank of dynamically sized FIFOs sharing one entry pool."""
+
+    def __init__(self, capacity_entries: int = DEFAULT_RANK_STORE_CAPACITY) -> None:
+        if capacity_entries <= 0:
+            raise ValueError("capacity_entries must be positive")
+        self.capacity_entries = capacity_entries
+        self._fifos: Dict[FlowKey, Deque[Tuple[float, Any]]] = {}
+        self._occupancy = 0
+        self.stats = RankStoreStats()
+
+    # -- capacity -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._occupancy
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity_entries - self._occupancy
+
+    @property
+    def is_full(self) -> bool:
+        return self._occupancy >= self.capacity_entries
+
+    # -- FIFO operations --------------------------------------------------------------
+    def append(self, logical_pifo: int, flow: str, rank: float, metadata: Any = None) -> None:
+        """Append an element to the (logical PIFO, flow) FIFO."""
+        if self.is_full:
+            raise HardwareModelError(
+                f"rank store full ({self.capacity_entries} entries)"
+            )
+        self._fifos.setdefault((logical_pifo, flow), deque()).append((rank, metadata))
+        self._occupancy += 1
+        self.stats.appends += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, self._occupancy)
+
+    def pop_head(self, logical_pifo: int, flow: str) -> Optional[Tuple[float, Any]]:
+        """Remove and return the head of a flow's FIFO (None when empty)."""
+        fifo = self._fifos.get((logical_pifo, flow))
+        if not fifo:
+            return None
+        self._occupancy -= 1
+        self.stats.pops += 1
+        entry = fifo.popleft()
+        if not fifo:
+            del self._fifos[(logical_pifo, flow)]
+        return entry
+
+    def flow_depth(self, logical_pifo: int, flow: str) -> int:
+        """Number of stored elements for one flow (excluding its head in the
+        flow scheduler)."""
+        fifo = self._fifos.get((logical_pifo, flow))
+        return len(fifo) if fifo else 0
+
+    def active_flows(self) -> int:
+        """Number of (logical PIFO, flow) FIFOs currently non-empty."""
+        return len(self._fifos)
+
+    def clear(self) -> None:
+        self._fifos.clear()
+        self._occupancy = 0

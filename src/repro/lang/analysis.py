@@ -1,0 +1,373 @@
+"""Domino-style front-end analysis of transaction programs (Section 4.1).
+
+The Domino compiler's job is to decide whether a packet transaction can run
+at line rate: every state variable must be read, modified and written back
+within a single atom, so the compiler classifies each state variable's
+update pattern and picks the smallest atom that can express it.  This module
+reproduces that front end for programs written in :mod:`repro.lang`:
+
+* :func:`analyze_program` walks the AST and computes, for every state
+  variable, the set of reads and writes, whether writes are conditional,
+  whether the update reads the variable itself (read-modify-write) and which
+  *other* state variables it depends on (directly or through locals and
+  packet temporaries).
+* :func:`spec_from_program` converts that analysis into a
+  :class:`repro.hardware.atoms.TransactionSpec`, which the existing
+  :class:`repro.hardware.atoms.AtomPipelineAnalyzer` maps onto the atom
+  vocabulary and the chip's atom budget.
+
+The classifier is deliberately **conservative**: when in doubt it picks a
+more capable (larger) atom than a hand optimisation might, which can only
+overstate the area cost — it never declares an infeasible program feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..hardware.atoms import StateUpdate, TransactionSpec
+from .ast import (
+    Assign,
+    Attribute,
+    BinOp,
+    Boolean,
+    BoolOp,
+    Call,
+    Compare,
+    Expression,
+    If,
+    Membership,
+    Name,
+    Number,
+    Program,
+    Statement,
+    Subscript,
+    UnaryOp,
+)
+from .errors import RuntimeLangError
+from .parser import parse
+
+#: Names that are never state variables regardless of declarations.
+_RESERVED_NAMES = {"p", "now"}
+
+
+@dataclass
+class StateVariableInfo:
+    """What the analysis learnt about one state variable."""
+
+    name: str
+    #: Is the variable read anywhere in the program (directly or via ``in``)?
+    read: bool = False
+    #: Number of assignments targeting the variable.
+    writes: int = 0
+    #: At least one write happens under a conditional.
+    conditional_write: bool = False
+    #: At least one write's value reads the variable itself (read-modify-write).
+    self_referential: bool = False
+    #: The variable appears in the condition guarding one of its own writes.
+    guards_own_write: bool = False
+    #: Other state variables the write values depend on.
+    depends_on: Set[str] = field(default_factory=set)
+    #: Deepest conditional nesting level containing a write (0 = top level).
+    max_write_depth: int = 0
+    #: Every write is of the shape ``x = x + <expr without state>``.
+    purely_additive: bool = True
+    #: Packet fields read while computing the writes.
+    packet_reads: Set[str] = field(default_factory=set)
+
+    def required_capability(self) -> int:
+        """Map the observed update pattern onto the atom capability scale.
+
+        The scale matches :data:`repro.hardware.atoms.ATOM_TEMPLATES`:
+        0 stateless, 1 read/write, 2 add-to-state, 3 predicated RAW,
+        4 if/else RAW, 5 RAW with subtraction predicate, 6 nested
+        conditional, 7 paired-state update.
+        """
+        if self.writes == 0:
+            return 1
+        others = self.depends_on - {self.name}
+        if self.self_referential and others:
+            return 7
+        if self.max_write_depth >= 2:
+            return 6
+        conditional = self.conditional_write or self.guards_own_write
+        if conditional and (self.self_referential or self.guards_own_write or others):
+            return 4
+        if conditional:
+            return 3
+        if self.self_referential and self.purely_additive:
+            return 2
+        if self.self_referential or others:
+            return 4
+        return 1
+
+
+@dataclass
+class ProgramAnalysis:
+    """Full analysis result for one program."""
+
+    state_variables: Dict[str, StateVariableInfo]
+    #: Locals assigned by the program (execution-scoped temporaries).
+    locals_written: Set[str]
+    #: Packet fields written (including ``rank`` / ``send_time``).
+    packet_fields_written: Set[str]
+    #: Packet fields read.
+    packet_fields_read: Set[str]
+    #: Parameters referenced (names resolved neither as state nor locals).
+    params_read: Set[str]
+    #: Number of assignments that do not target state (locals + packet
+    #: fields); a proxy for the stateless ALU work of the transaction.
+    stateless_ops: int
+    #: Does the program assign ``p.rank``?
+    sets_rank: bool
+    #: Does the program assign ``p.send_time``?
+    sets_send_time: bool
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary used by the CLI report."""
+        lines = [
+            f"stateless operations : {self.stateless_ops}",
+            f"sets p.rank          : {self.sets_rank}",
+            f"sets p.send_time     : {self.sets_send_time}",
+            f"parameters           : {', '.join(sorted(self.params_read)) or '-'}",
+            f"packet fields read   : {', '.join(sorted(self.packet_fields_read)) or '-'}",
+        ]
+        for name in sorted(self.state_variables):
+            info = self.state_variables[name]
+            kind = "read-only" if info.writes == 0 else (
+                "read-modify-write" if info.self_referential else "write"
+            )
+            lines.append(
+                f"state {name!r}: {kind}, capability {info.required_capability()}"
+            )
+        return "\n".join(lines)
+
+
+class _Analyzer:
+    """Single-pass abstract interpretation computing data/control deps."""
+
+    def __init__(self, program: Program, state_names: FrozenSet[str]) -> None:
+        self.program = program
+        self.state_names = state_names
+        self.info: Dict[str, StateVariableInfo] = {
+            name: StateVariableInfo(name=name) for name in sorted(state_names)
+        }
+        # Taint maps: which state variables a local / packet temporary
+        # currently depends on.
+        self.local_taint: Dict[str, Set[str]] = {}
+        self.packet_taint: Dict[str, Set[str]] = {}
+        self.locals_written: Set[str] = set()
+        self.packet_fields_written: Set[str] = set()
+        self.packet_fields_read: Set[str] = set()
+        self.params_read: Set[str] = set()
+        self.stateless_ops = 0
+
+    # -- driving --------------------------------------------------------------
+    def run(self) -> ProgramAnalysis:
+        for statement in self.program.statements:
+            self._visit_statement(statement, control_deps=set(), depth=0)
+        return ProgramAnalysis(
+            state_variables=self.info,
+            locals_written=self.locals_written,
+            packet_fields_written=self.packet_fields_written,
+            packet_fields_read=self.packet_fields_read,
+            params_read=self.params_read,
+            stateless_ops=self.stateless_ops,
+            sets_rank="rank" in self.packet_fields_written,
+            sets_send_time="send_time" in self.packet_fields_written,
+        )
+
+    # -- statements -------------------------------------------------------------
+    def _visit_statement(
+        self, statement: Statement, control_deps: Set[str], depth: int
+    ) -> None:
+        if isinstance(statement, Assign):
+            self._visit_assign(statement, control_deps, depth)
+            return
+        if isinstance(statement, If):
+            condition_deps, condition_reads = self._expression_deps(statement.condition)
+            inner_control = control_deps | condition_deps
+            for branch in (statement.body, statement.orelse):
+                for inner in branch:
+                    self._visit_statement(inner, inner_control, depth + 1)
+            return
+
+    def _visit_assign(
+        self, statement: Assign, control_deps: Set[str], depth: int
+    ) -> None:
+        value_deps, value_packet_reads = self._expression_deps(statement.value)
+        target = statement.target
+
+        if isinstance(target, Name) and target.identifier in self.state_names:
+            self._record_state_write(
+                target.identifier, statement, value_deps, value_packet_reads,
+                control_deps, depth,
+            )
+            return
+        if isinstance(target, Subscript) and target.obj in self.state_names:
+            index_deps, index_reads = self._expression_deps(target.index)
+            self._record_state_write(
+                target.obj, statement, value_deps | index_deps,
+                value_packet_reads | index_reads, control_deps, depth,
+            )
+            return
+
+        # Stateless work: local or packet-field assignment.
+        self.stateless_ops += 1
+        if isinstance(target, Attribute):
+            self.packet_fields_written.add(target.attribute)
+            self.packet_taint[target.attribute] = set(value_deps | control_deps)
+            return
+        if isinstance(target, Name):
+            self.locals_written.add(target.identifier)
+            self.local_taint[target.identifier] = set(value_deps | control_deps)
+            return
+        if isinstance(target, Subscript):
+            raise RuntimeLangError(
+                f"{target.obj!r} is subscripted but was not declared as a "
+                "state variable",
+                line=target.line,
+            )
+
+    def _record_state_write(
+        self,
+        name: str,
+        statement: Assign,
+        value_deps: Set[str],
+        packet_reads: Set[str],
+        control_deps: Set[str],
+        depth: int,
+    ) -> None:
+        info = self.info[name]
+        info.writes += 1
+        info.max_write_depth = max(info.max_write_depth, depth)
+        info.packet_reads |= packet_reads
+        if depth > 0:
+            info.conditional_write = True
+        if name in value_deps:
+            info.self_referential = True
+        if name in control_deps:
+            info.guards_own_write = True
+        info.depends_on |= (value_deps | control_deps) - {name}
+        if not self._is_self_addition(name, statement.value):
+            info.purely_additive = False
+
+    def _is_self_addition(self, name: str, value: Expression) -> bool:
+        """Is ``value`` of the shape ``name + <expr not reading other state>``?"""
+        if not isinstance(value, BinOp) or value.operator not in ("+", "-"):
+            return False
+        left_is_self = isinstance(value.left, Name) and value.left.identifier == name
+        right_is_self = isinstance(value.right, Name) and value.right.identifier == name
+        if not (left_is_self or right_is_self):
+            return False
+        other = value.right if left_is_self else value.left
+        other_deps, _ = self._expression_deps(other)
+        return not other_deps
+
+    # -- expressions --------------------------------------------------------------
+    def _expression_deps(self, expr: Expression) -> Tuple[Set[str], Set[str]]:
+        """Return (state variables the expression depends on, packet fields read).
+
+        Dependencies propagate through locals and packet temporaries assigned
+        earlier in the program, which is how Figure 1's ``p.start``
+        temporary carries ``virtual_time``/``last_finish`` into the
+        ``last_finish[f]`` update.
+        """
+        deps: Set[str] = set()
+        packet_reads: Set[str] = set()
+        self._collect(expr, deps, packet_reads)
+        return deps, packet_reads
+
+    def _collect(self, expr: Expression, deps: Set[str], packet_reads: Set[str]) -> None:
+        if isinstance(expr, (Number, Boolean)):
+            return
+        if isinstance(expr, Name):
+            name = expr.identifier
+            if name in _RESERVED_NAMES:
+                return
+            if name in self.state_names:
+                self.info[name].read = True
+                deps.add(name)
+            elif name in self.local_taint:
+                deps.update(self.local_taint[name])
+            else:
+                self.params_read.add(name)
+            return
+        if isinstance(expr, Attribute):
+            if expr.obj == "p":
+                self.packet_fields_read.add(expr.attribute)
+                packet_reads.add(f"p.{expr.attribute}")
+                deps.update(self.packet_taint.get(expr.attribute, set()))
+            else:
+                # flow-attribute read (f.weight): depends on whatever the
+                # local depends on.
+                deps.update(self.local_taint.get(expr.obj, set()))
+            return
+        if isinstance(expr, Subscript):
+            if expr.obj in self.state_names:
+                self.info[expr.obj].read = True
+                deps.add(expr.obj)
+            self._collect(expr.index, deps, packet_reads)
+            return
+        if isinstance(expr, Membership):
+            if expr.table in self.state_names:
+                self.info[expr.table].read = True
+                deps.add(expr.table)
+            self._collect(expr.item, deps, packet_reads)
+            return
+        for child in expr.children():
+            if isinstance(child, Expression):
+                self._collect(child, deps, packet_reads)
+
+
+def analyze_program(
+    program: Program | str,
+    state: Optional[Mapping[str, object]] = None,
+) -> ProgramAnalysis:
+    """Analyse ``program`` given its declared state variables.
+
+    ``program`` may be AST or source text.  ``state`` only needs the *names*
+    (its values are ignored); names not declared as state are treated as
+    locals or parameters, matching the interpreter's resolution rules.
+    """
+    if isinstance(program, str):
+        program = parse(program)
+    state_names = frozenset(state or ())
+    return _Analyzer(program, state_names).run()
+
+
+def spec_from_program(
+    name: str,
+    program: Program | str,
+    state: Optional[Mapping[str, object]] = None,
+    kind: str = "scheduling",
+    notes: str = "",
+) -> TransactionSpec:
+    """Build a hardware :class:`TransactionSpec` from a program.
+
+    The spec can then be fed to
+    :class:`repro.hardware.atoms.AtomPipelineAnalyzer` to obtain the atom
+    pipeline, its depth and its chip area — the same feasibility question
+    Domino answers for the paper.
+    """
+    analysis = analyze_program(program, state=state)
+    updates = []
+    for var_name in sorted(analysis.state_variables):
+        info = analysis.state_variables[var_name]
+        if info.writes == 0 and not info.read:
+            continue
+        updates.append(
+            StateUpdate(
+                variable=var_name,
+                required_capability=info.required_capability(),
+                reads=tuple(sorted(info.packet_reads)),
+            )
+        )
+    return TransactionSpec(
+        name=name,
+        kind=kind,
+        state_updates=tuple(updates),
+        stateless_ops=max(1, analysis.stateless_ops),
+        notes=notes or "derived by repro.lang.analysis",
+    )

@@ -1,0 +1,267 @@
+"""Abstract syntax tree for the transaction language.
+
+Every node is a small frozen dataclass.  The tree is intentionally flat:
+there are two statement forms (assignment and ``if``/``elif``/``else``) and a
+handful of expression forms, which is all the paper's transactions need.
+
+Nodes record the source line they came from so the interpreter and the atom
+analyser can produce error messages that point back at the program text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+
+class Node:
+    """Base class for every AST node."""
+
+    line: int
+
+    def children(self) -> Iterator["Node"]:
+        """Iterate over direct child nodes (used by generic tree walks)."""
+        return iter(())
+
+
+# --------------------------------------------------------------------------- #
+# Expressions                                                                 #
+# --------------------------------------------------------------------------- #
+class Expression(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Number(Expression):
+    """A numeric literal (``int`` or ``float``)."""
+
+    value: Union[int, float]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Boolean(Expression):
+    """A ``true`` / ``false`` literal."""
+
+    value: bool
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Name(Expression):
+    """A bare identifier: a local, a state variable or a parameter."""
+
+    identifier: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Attribute(Expression):
+    """Dotted access such as ``p.length`` or ``f.weight``.
+
+    ``obj`` is the name to the left of the dot (always a plain name in this
+    language) and ``attribute`` the field to the right.
+    """
+
+    obj: str
+    attribute: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Subscript(Expression):
+    """Indexing into a per-flow table, e.g. ``last_finish[f]``."""
+
+    obj: str
+    index: Expression
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        yield self.index
+
+
+@dataclass(frozen=True)
+class Call(Expression):
+    """A builtin call such as ``min(a, b)``, ``max(a, b)`` or ``flow(p)``."""
+
+    function: str
+    args: Tuple[Expression, ...]
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.args)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary minus or ``not``."""
+
+    operator: str
+    operand: Expression
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+@dataclass(frozen=True)
+class BinOp(Expression):
+    """Arithmetic: ``+``, ``-``, ``*``, ``/``, ``%``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True)
+class Compare(Expression):
+    """Comparison: ``<``, ``<=``, ``>``, ``>=``, ``==``, ``!=``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True)
+class BoolOp(Expression):
+    """``and`` / ``or`` over two or more operands (short-circuiting)."""
+
+    operator: str
+    operands: Tuple[Expression, ...]
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.operands)
+
+
+@dataclass(frozen=True)
+class Membership(Expression):
+    """``key in table`` / ``key not in table`` over a per-flow table."""
+
+    item: Expression
+    table: str
+    negated: bool = False
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        yield self.item
+
+
+# --------------------------------------------------------------------------- #
+# Statements                                                                  #
+# --------------------------------------------------------------------------- #
+class Statement(Node):
+    """Base class for statement nodes."""
+
+
+#: Assignment targets are names (locals or state variables), packet fields
+#: (``p.rank = ...``) or per-flow table entries (``last_finish[f] = ...``).
+AssignTarget = Union[Name, Attribute, Subscript]
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``target = value``."""
+
+    target: AssignTarget
+    value: Expression
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+        yield self.value
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """``if`` / ``elif`` / ``else``.
+
+    ``elif`` chains are desugared by the parser into a nested ``If`` in the
+    ``orelse`` branch, so the interpreter only ever sees two-way branches.
+    """
+
+    condition: Expression
+    body: Tuple[Statement, ...]
+    orelse: Tuple[Statement, ...] = ()
+    line: int = 0
+
+    def children(self) -> Iterator[Node]:
+        yield self.condition
+        yield from self.body
+        yield from self.orelse
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    """A whole transaction: an ordered sequence of statements."""
+
+    statements: Tuple[Statement, ...]
+    source: str = ""
+    line: int = 1
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.statements)
+
+    def walk(self) -> Iterator[Node]:
+        """Iterate over every node in the program, depth first."""
+        stack: List[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+
+def iter_assignments(program: Program) -> Iterator[Assign]:
+    """Yield every assignment in the program, including nested ones."""
+    for node in program.walk():
+        if isinstance(node, Assign):
+            yield node
+
+
+def format_node(node: Node) -> str:
+    """Render an expression or statement back to (roughly) source form.
+
+    Used by error messages and by the analysis report; it is not a full
+    pretty-printer and does not try to reproduce the original layout.
+    """
+    if isinstance(node, Number):
+        return repr(node.value)
+    if isinstance(node, Boolean):
+        return "true" if node.value else "false"
+    if isinstance(node, Name):
+        return node.identifier
+    if isinstance(node, Attribute):
+        return f"{node.obj}.{node.attribute}"
+    if isinstance(node, Subscript):
+        return f"{node.obj}[{format_node(node.index)}]"
+    if isinstance(node, Call):
+        args = ", ".join(format_node(arg) for arg in node.args)
+        return f"{node.function}({args})"
+    if isinstance(node, UnaryOp):
+        spacer = " " if node.operator == "not" else ""
+        return f"{node.operator}{spacer}{format_node(node.operand)}"
+    if isinstance(node, BinOp) or isinstance(node, Compare):
+        return f"{format_node(node.left)} {node.operator} {format_node(node.right)}"
+    if isinstance(node, BoolOp):
+        joiner = f" {node.operator} "
+        return joiner.join(format_node(op) for op in node.operands)
+    if isinstance(node, Membership):
+        op = "not in" if node.negated else "in"
+        return f"{format_node(node.item)} {op} {node.table}"
+    if isinstance(node, Assign):
+        return f"{format_node(node.target)} = {format_node(node.value)}"
+    if isinstance(node, If):
+        return f"if {format_node(node.condition)}: ..."
+    if isinstance(node, Program):
+        return f"<program with {len(node.statements)} statements>"
+    return repr(node)  # pragma: no cover - defensive

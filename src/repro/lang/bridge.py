@@ -1,0 +1,237 @@
+"""Run transaction-language programs as scheduling/shaping transactions.
+
+This is the glue between :mod:`repro.lang` and :mod:`repro.core`: a compiled
+program becomes a :class:`~repro.core.transaction.SchedulingTransaction` or
+:class:`~repro.core.transaction.ShapingTransaction` and can be attached to a
+:class:`~repro.core.tree.TreeNode` exactly like the hand-written algorithm
+classes in :mod:`repro.algorithms`.
+
+Two details deserve a note:
+
+* **Dequeue programs.**  Some algorithms update state when a packet leaves
+  the PIFO, not only when it enters — STFQ advances its virtual time to the
+  start tag of the dequeued packet.  The bridge therefore accepts an
+  optional ``dequeue_source``; that program runs with the extra names
+  ``dequeued_rank`` (the PIFO rank of the element being dequeued) available
+  as parameters.
+* **Atom feasibility.**  ``require_line_rate=True`` runs the Domino-style
+  analysis at construction time and refuses programs that do not fit the
+  atom vocabulary — the same contract the paper's compiler enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..core.packet import Packet
+from ..core.pifo import Rank
+from ..core.transaction import (
+    SchedulingTransaction,
+    ShapingTransaction,
+    TransactionContext,
+)
+from ..exceptions import TransactionError
+from ..hardware.atoms import AtomPipelineAnalyzer, PipelineReport, TransactionSpec
+from .analysis import ProgramAnalysis, analyze_program, spec_from_program
+from .ast import Program
+from .errors import RuntimeLangError
+from .interpreter import ExecutionResult, Interpreter, ProgramEnvironment
+from .parser import parse
+
+
+class _CompiledProgramMixin:
+    """Shared plumbing for compiled scheduling and shaping transactions."""
+
+    kind = "scheduling"
+
+    def __init__(
+        self,
+        source: str | Program,
+        state: Optional[Mapping[str, Any]] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        flow_attrs: Optional[Mapping[str, Callable[[Any], Any]]] = None,
+        functions: Optional[Mapping[str, Callable[..., Any]]] = None,
+        dequeue_source: Optional[str | Program] = None,
+        name: str = "compiled",
+        require_line_rate: bool = False,
+    ) -> None:
+        self.program = parse(source) if isinstance(source, str) else source
+        self.dequeue_program = (
+            parse(dequeue_source)
+            if isinstance(dequeue_source, str)
+            else dequeue_source
+        )
+        self._interpreter = Interpreter(self.program)
+        self._dequeue_interpreter = (
+            Interpreter(self.dequeue_program) if self.dequeue_program else None
+        )
+        self._initial_state = dict(state or {})
+        self.params = dict(params or {})
+        self.flow_attrs = dict(flow_attrs or {})
+        self.functions = dict(functions or {})
+        self.program_name = name
+        self.state_variables = tuple(sorted(self._initial_state))
+        self.analysis: ProgramAnalysis = analyze_program(
+            self.program, state=self._initial_state
+        )
+        self.last_result: Optional[ExecutionResult] = None
+        if require_line_rate:
+            report = self.pipeline_report()
+            if not report.feasible:
+                raise TransactionError(
+                    f"program {name!r} cannot run at line rate: {report.reason}"
+                )
+        super().__init__()
+
+    # -- Transaction API -------------------------------------------------------
+    def initial_state(self) -> Dict[str, Any]:
+        # Mutable initial values (per-flow tables) must not be shared between
+        # resets, so containers are copied.
+        initial: Dict[str, Any] = {}
+        for key, value in self._initial_state.items():
+            initial[key] = dict(value) if isinstance(value, dict) else value
+        return initial
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.program_name!r})"
+
+    # -- execution ---------------------------------------------------------------
+    def _run(self, packet: Packet, ctx: TransactionContext) -> ExecutionResult:
+        env = ProgramEnvironment(
+            state=self.state,
+            params=self.params,
+            flow_attrs=self.flow_attrs,
+            functions=self.functions,
+        )
+        result = self._interpreter.execute(packet, ctx, env)
+        # Packet-field writes other than the rank/send-time outputs persist on
+        # the packet, exactly as the paper's programs write back to ``p.x``
+        # (LSTF relies on this to carry the decremented slack to the next hop).
+        for field_name, value in result.packet_writes.items():
+            if field_name not in ("rank", "send_time"):
+                packet.set(field_name, value)
+        self.last_result = result
+        return result
+
+    def on_dequeue(self, element: Any, ctx: TransactionContext) -> None:
+        if self._dequeue_interpreter is None:
+            return
+        params = dict(self.params)
+        rank = ctx.extras.get("rank")
+        params["dequeued_rank"] = 0.0 if rank is None else rank
+        env = ProgramEnvironment(
+            state=self.state,
+            params=params,
+            flow_attrs=self.flow_attrs,
+            functions=self.functions,
+        )
+        packet = element if isinstance(element, Packet) else _pseudo_packet(ctx)
+        self._dequeue_interpreter.execute(packet, ctx, env)
+
+    # -- hardware feasibility ------------------------------------------------------
+    def transaction_spec(self) -> TransactionSpec:
+        """The Domino-style IR of this program (for the atom analyser)."""
+        return spec_from_program(
+            self.program_name,
+            self.program,
+            state=self._initial_state,
+            kind=self.kind,
+        )
+
+    def pipeline_report(
+        self, analyzer: Optional[AtomPipelineAnalyzer] = None
+    ) -> PipelineReport:
+        """Map the program onto an atom pipeline and report feasibility."""
+        analyzer = analyzer or AtomPipelineAnalyzer()
+        return analyzer.analyze(self.transaction_spec())
+
+
+class CompiledSchedulingTransaction(_CompiledProgramMixin, SchedulingTransaction):
+    """A scheduling transaction defined by program text.
+
+    The program must assign ``p.rank``; its value becomes the PIFO rank.
+    """
+
+    kind = "scheduling"
+
+    def compute_rank(self, packet: Packet, ctx: TransactionContext) -> Rank:
+        result = self._run(packet, ctx)
+        if result.rank is None:
+            raise RuntimeLangError(
+                f"scheduling program {self.program_name!r} finished without "
+                "assigning p.rank"
+            )
+        return result.rank
+
+
+class CompiledShapingTransaction(_CompiledProgramMixin, ShapingTransaction):
+    """A shaping transaction defined by program text.
+
+    The program must assign ``p.send_time`` (or ``p.rank``, which Figure 4c
+    sets to the send time); its value becomes the wall-clock release time.
+    """
+
+    kind = "shaping"
+
+    def compute_send_time(self, packet: Packet, ctx: TransactionContext) -> float:
+        result = self._run(packet, ctx)
+        send_time = result.send_time if result.send_time is not None else result.rank
+        if send_time is None:
+            raise RuntimeLangError(
+                f"shaping program {self.program_name!r} finished without "
+                "assigning p.send_time or p.rank"
+            )
+        return send_time
+
+
+def compile_scheduling_program(
+    source: str | Program,
+    state: Optional[Mapping[str, Any]] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    flow_attrs: Optional[Mapping[str, Callable[[Any], Any]]] = None,
+    functions: Optional[Mapping[str, Callable[..., Any]]] = None,
+    dequeue_source: Optional[str | Program] = None,
+    name: str = "compiled-scheduling",
+    require_line_rate: bool = False,
+) -> CompiledSchedulingTransaction:
+    """Compile program text into a ready-to-use scheduling transaction."""
+    return CompiledSchedulingTransaction(
+        source,
+        state=state,
+        params=params,
+        flow_attrs=flow_attrs,
+        functions=functions,
+        dequeue_source=dequeue_source,
+        name=name,
+        require_line_rate=require_line_rate,
+    )
+
+
+def compile_shaping_program(
+    source: str | Program,
+    state: Optional[Mapping[str, Any]] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    flow_attrs: Optional[Mapping[str, Callable[[Any], Any]]] = None,
+    functions: Optional[Mapping[str, Callable[..., Any]]] = None,
+    name: str = "compiled-shaping",
+    require_line_rate: bool = False,
+) -> CompiledShapingTransaction:
+    """Compile program text into a ready-to-use shaping transaction."""
+    return CompiledShapingTransaction(
+        source,
+        state=state,
+        params=params,
+        flow_attrs=flow_attrs,
+        functions=functions,
+        name=name,
+        require_line_rate=require_line_rate,
+    )
+
+
+def _pseudo_packet(ctx: TransactionContext) -> Packet:
+    """Placeholder packet for dequeue programs run on PIFO references."""
+    return Packet(
+        flow=ctx.element_flow or "reference",
+        length=max(1, ctx.element_length),
+        arrival_time=ctx.now,
+    )

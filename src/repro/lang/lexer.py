@@ -1,0 +1,313 @@
+"""Tokenizer for the transaction language.
+
+The language is deliberately small: it needs to express exactly the programs
+that appear in the paper's figures.  Its surface syntax is Python-like —
+statements end at a newline, blocks are introduced by indentation — but the
+lexer is tolerant of the C-flavoured details that appear in the figures
+(``if (cond):`` with or without the parentheses or the colon, ``;`` at the
+end of a line, ``//`` comments).
+
+The lexer produces a flat stream of :class:`Token` objects.  Indentation is
+converted into explicit ``INDENT`` / ``DEDENT`` tokens, exactly like
+Python's own tokenizer, which keeps the parser a plain recursive-descent
+parser with no knowledge of whitespace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .errors import LexerError
+
+
+class TokenType(enum.Enum):
+    """Kinds of token the lexer emits."""
+
+    NUMBER = "NUMBER"
+    NAME = "NAME"
+    STRING = "STRING"
+
+    # operators and punctuation
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    ASSIGN = "="
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+
+    # keywords
+    IF = "if"
+    ELSE = "else"
+    ELIF = "elif"
+    IN = "in"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    TRUE = "true"
+    FALSE = "false"
+
+    # layout
+    NEWLINE = "NEWLINE"
+    INDENT = "INDENT"
+    DEDENT = "DEDENT"
+    EOF = "EOF"
+
+
+#: Keywords recognised by the lexer, case-insensitive so that the paper's
+#: ``If``/``if`` inconsistencies both work.
+KEYWORDS = {
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "elif": TokenType.ELIF,
+    "in": TokenType.IN,
+    "not": TokenType.NOT,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+}
+
+#: Two-character operators, checked before single-character ones.
+TWO_CHAR_OPERATORS = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+}
+
+SINGLE_CHAR_OPERATORS = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "=": TokenType.ASSIGN,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    ":": TokenType.COLON,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` holds the literal text for names and operators and the parsed
+    value for numbers (``int`` or ``float``).
+    """
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``//`` and ``#`` comments, ignoring them inside nothing (the
+    language has no string literals that could contain them)."""
+    for marker in ("//", "#"):
+        index = line.find(marker)
+        if index != -1:
+            line = line[:index]
+    return line
+
+
+def _measure_indent(line: str) -> Tuple[int, str]:
+    """Return (indent width, stripped text).  Tabs count as 4 columns."""
+    width = 0
+    for ch in line:
+        if ch == " ":
+            width += 1
+        elif ch == "\t":
+            width += 4
+        else:
+            break
+    return width, line.lstrip(" \t")
+
+
+class _LineLexer:
+    """Tokenizes a single logical line (no indentation handling)."""
+
+    def __init__(self, text: str, line_no: int, indent_offset: int) -> None:
+        self.text = text
+        self.line_no = line_no
+        self.offset = indent_offset
+        self.pos = 0
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, line=self.line_no, column=self.pos + self.offset + 1)
+
+    def tokens(self) -> Iterator[Token]:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch in " \t":
+                self.pos += 1
+                continue
+            if ch == ";":
+                # A semicolon ends a statement like a newline does.
+                yield self._token(TokenType.NEWLINE, ";")
+                self.pos += 1
+                continue
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._number()
+                continue
+            if ch.isalpha() or ch == "_":
+                yield self._name()
+                continue
+            two = text[self.pos : self.pos + 2]
+            if two in TWO_CHAR_OPERATORS:
+                yield self._token(TWO_CHAR_OPERATORS[two], two)
+                self.pos += 2
+                continue
+            if ch in SINGLE_CHAR_OPERATORS:
+                yield self._token(SINGLE_CHAR_OPERATORS[ch], ch)
+                self.pos += 1
+                continue
+            raise self._error(f"unexpected character {ch!r}")
+
+    def _peek(self, ahead: int) -> str:
+        index = self.pos + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    def _token(self, token_type: TokenType, value: object) -> Token:
+        return Token(token_type, value, self.line_no, self.pos + self.offset + 1)
+
+    def _number(self) -> Token:
+        start = self.pos
+        text = self.text
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif ch == "." and not seen_dot and not seen_exp:
+                # A dot followed by a letter is attribute access on an int
+                # literal, which the language does not allow; stop the number.
+                if self._peek(1).isalpha():
+                    break
+                seen_dot = True
+                self.pos += 1
+            elif ch in "eE" and not seen_exp and self.pos > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    seen_exp = True
+                    self.pos += 2 if nxt in "+-" else 1
+                else:
+                    break
+            else:
+                break
+        literal = text[start : self.pos]
+        try:
+            value: object = float(literal) if (seen_dot or seen_exp) else int(literal)
+        except ValueError:  # pragma: no cover - defensive
+            raise self._error(f"invalid number literal {literal!r}") from None
+        return Token(TokenType.NUMBER, value, self.line_no, start + self.offset + 1)
+
+    def _name(self) -> Token:
+        start = self.pos
+        text = self.text
+        while self.pos < len(text) and (text[self.pos].isalnum() or text[self.pos] == "_"):
+            self.pos += 1
+        word = text[start : self.pos]
+        token_type = KEYWORDS.get(word.lower(), TokenType.NAME)
+        value: object = word
+        if token_type in (TokenType.TRUE, TokenType.FALSE):
+            value = token_type is TokenType.TRUE
+        return Token(token_type, value, self.line_no, start + self.offset + 1)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list of tokens ending with ``EOF``.
+
+    Raises :class:`~repro.lang.errors.LexerError` for characters outside the
+    language or for inconsistent indentation (a dedent that does not return
+    to a previously seen indentation level).
+    """
+    tokens: List[Token] = []
+    indent_stack: List[int] = [0]
+    open_parens = 0
+
+    lines = source.splitlines()
+    for line_index, raw_line in enumerate(lines, start=1):
+        line = _strip_comment(raw_line).rstrip()
+        if not line.strip():
+            continue
+        indent, text = _measure_indent(line)
+
+        if open_parens == 0:
+            indent = _emit_indentation(tokens, indent_stack, indent, line_index)
+        line_tokens = list(_LineLexer(text, line_index, indent_offset=len(raw_line) - len(text)).tokens())
+        for token in line_tokens:
+            if token.type is TokenType.LPAREN or token.type is TokenType.LBRACKET:
+                open_parens += 1
+            elif token.type is TokenType.RPAREN or token.type is TokenType.RBRACKET:
+                open_parens = max(0, open_parens - 1)
+            tokens.append(token)
+        if open_parens == 0 and line_tokens:
+            last = line_tokens[-1]
+            if last.type is not TokenType.NEWLINE:
+                tokens.append(Token(TokenType.NEWLINE, "\n", line_index, len(raw_line) + 1))
+
+    last_line = len(lines) + 1
+    while len(indent_stack) > 1:
+        indent_stack.pop()
+        tokens.append(Token(TokenType.DEDENT, "", last_line, 1))
+    tokens.append(Token(TokenType.EOF, "", last_line, 1))
+    return tokens
+
+
+def _emit_indentation(
+    tokens: List[Token],
+    indent_stack: List[int],
+    indent: int,
+    line_no: int,
+) -> int:
+    """Push INDENT/DEDENT tokens to match ``indent`` and return it."""
+    current = indent_stack[-1]
+    if indent > current:
+        indent_stack.append(indent)
+        tokens.append(Token(TokenType.INDENT, indent, line_no, 1))
+    elif indent < current:
+        while indent_stack and indent_stack[-1] > indent:
+            indent_stack.pop()
+            tokens.append(Token(TokenType.DEDENT, indent, line_no, 1))
+        if not indent_stack or indent_stack[-1] != indent:
+            raise LexerError(
+                f"unindent to column {indent} does not match any outer "
+                "indentation level",
+                line=line_no,
+                column=1,
+            )
+    return indent
+
+
+def token_types(source: str) -> List[TokenType]:
+    """Convenience helper used by tests: the token-type sequence of a
+    program, without values or positions."""
+    return [token.type for token in tokenize(source)]

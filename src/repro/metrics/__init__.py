@@ -1,0 +1,57 @@
+"""Measurement utilities: fairness, throughput, latency, flow completion."""
+
+from .fairness import (
+    expected_weighted_shares,
+    jain_index,
+    max_share_error,
+    normalized_shares,
+    relative_share_error,
+    weighted_jain_index,
+)
+from .fct import (
+    FCTSummary,
+    FlowCompletion,
+    fct_summary,
+    flow_completions,
+    normalized_fct,
+)
+from .latency import (
+    DelaySummary,
+    delay_summary,
+    delays_by_flow,
+    percentile,
+    queueing_delays,
+    total_delays,
+)
+from .throughput import (
+    RateSample,
+    bytes_by_flow,
+    max_windowed_rate_bps,
+    mean_rate_bps,
+    windowed_rates,
+)
+
+__all__ = [
+    "jain_index",
+    "weighted_jain_index",
+    "normalized_shares",
+    "expected_weighted_shares",
+    "max_share_error",
+    "relative_share_error",
+    "RateSample",
+    "windowed_rates",
+    "max_windowed_rate_bps",
+    "mean_rate_bps",
+    "bytes_by_flow",
+    "percentile",
+    "DelaySummary",
+    "delay_summary",
+    "delays_by_flow",
+    "queueing_delays",
+    "total_delays",
+    "FlowCompletion",
+    "FCTSummary",
+    "flow_completions",
+    "fct_summary",
+    "normalized_fct",
+]

@@ -1,0 +1,87 @@
+"""Fairness metrics for evaluating bandwidth allocation.
+
+Used by the WFQ/HPFQ experiments to check that measured per-flow shares
+match the weighted max-min allocation the scheduling hierarchy promises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 means perfectly equal allocation.
+
+    ``J = (sum x)^2 / (n * sum x^2)`` and lies in ``(0, 1]`` for non-negative
+    allocations with at least one positive value.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("jain_index needs at least one value")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def weighted_jain_index(allocations: Mapping[str, float], weights: Mapping[str, float]) -> float:
+    """Jain index of allocations normalised by their weights.
+
+    A weighted-fair allocation gives every flow the same ``allocation /
+    weight`` ratio, so the weighted Jain index of a perfect allocation is 1.
+    """
+    ratios = []
+    for flow, allocation in allocations.items():
+        weight = weights.get(flow, 1.0)
+        if weight <= 0:
+            raise ValueError(f"weight of {flow!r} must be positive")
+        ratios.append(allocation / weight)
+    return jain_index(ratios)
+
+
+def normalized_shares(allocations: Mapping[str, float]) -> Dict[str, float]:
+    """Normalise allocations so they sum to 1 (empty input returns empty)."""
+    total = sum(allocations.values())
+    if total == 0:
+        return {flow: 0.0 for flow in allocations}
+    return {flow: value / total for flow, value in allocations.items()}
+
+
+def expected_weighted_shares(weights: Mapping[str, float]) -> Dict[str, float]:
+    """Ideal share of each flow when all flows are continuously backlogged."""
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return {flow: weight / total for flow, weight in weights.items()}
+
+
+def max_share_error(
+    measured: Mapping[str, float], expected: Mapping[str, float]
+) -> float:
+    """Largest absolute difference between measured and expected shares.
+
+    Both mappings are normalised first, so callers can pass raw byte counts
+    for ``measured``.
+    """
+    measured_norm = normalized_shares(dict(measured))
+    expected_norm = normalized_shares(dict(expected))
+    flows = set(measured_norm) | set(expected_norm)
+    return max(
+        abs(measured_norm.get(flow, 0.0) - expected_norm.get(flow, 0.0))
+        for flow in flows
+    )
+
+
+def relative_share_error(
+    measured: Mapping[str, float], expected: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-flow relative error of measured vs expected shares."""
+    measured_norm = normalized_shares(dict(measured))
+    expected_norm = normalized_shares(dict(expected))
+    errors: Dict[str, float] = {}
+    for flow, expected_share in expected_norm.items():
+        if expected_share == 0:
+            continue
+        errors[flow] = abs(measured_norm.get(flow, 0.0) - expected_share) / expected_share
+    return errors

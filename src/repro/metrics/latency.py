@@ -1,0 +1,82 @@
+"""Delay statistics: means, percentiles, and tail summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.packet import Packet
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile (``fraction`` in [0, 1])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass
+class DelaySummary:
+    """Summary statistics of a delay sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "DelaySummary":
+        if not values:
+            raise ValueError("cannot summarise an empty delay sample")
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+            p99=percentile(values, 0.99),
+        )
+
+
+def queueing_delays(packets: Iterable[Packet]) -> List[float]:
+    """Scheduler queueing delays (enqueue to dequeue) of the given packets."""
+    return [p.queueing_delay for p in packets if p.queueing_delay is not None]
+
+
+def total_delays(packets: Iterable[Packet]) -> List[float]:
+    """Arrival-to-departure delays of the given packets."""
+    return [p.total_delay for p in packets if p.total_delay is not None]
+
+
+def delay_summary(packets: Iterable[Packet], flow: Optional[str] = None) -> DelaySummary:
+    """Summarise total delays, optionally restricted to one flow."""
+    selected = [p for p in packets if flow is None or p.flow == flow]
+    return DelaySummary.from_values(total_delays(selected))
+
+
+def delays_by_flow(packets: Iterable[Packet]) -> Dict[str, DelaySummary]:
+    """Per-flow delay summaries."""
+    grouped: Dict[str, List[Packet]] = {}
+    for packet in packets:
+        grouped.setdefault(packet.flow, []).append(packet)
+    return {
+        flow: DelaySummary.from_values(total_delays(flow_packets))
+        for flow, flow_packets in grouped.items()
+        if total_delays(flow_packets)
+    }

@@ -1,0 +1,42 @@
+"""Experiment runners, table renderers and report generation.
+
+This package turns the library into the artefact a reviewer would actually
+run: every quantitative table/figure of the paper has a *runner* that
+executes the experiment on the simulation substrate (or the analytic
+hardware model) and returns structured rows, and the renderers turn those
+rows into the aligned text tables used by the CLI, EXPERIMENTS.md and the
+benchmark harness.
+
+Three layers:
+
+* :mod:`repro.reporting.tables` — plain text table/key-value rendering.
+* :mod:`repro.reporting.experiments` — one runner per experiment, returning
+  :class:`~repro.reporting.experiments.ExperimentResult`.
+* :mod:`repro.reporting.report` — run a set of experiments and produce the
+  full paper-vs-measured report.
+
+The command line front end lives in :mod:`repro.cli` (``python -m repro``).
+"""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from .report import generate_report
+from .tables import format_value, render_comparison, render_kv, render_table
+
+__all__ = [
+    "render_table",
+    "render_kv",
+    "render_comparison",
+    "format_value",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "list_experiments",
+    "get_experiment",
+    "run_experiment",
+    "generate_report",
+]

@@ -1,0 +1,66 @@
+"""Full paper-vs-measured report generation.
+
+:func:`generate_report` runs a set of experiments (all of them by default)
+and renders one text document: a header, then for each experiment its title,
+paper reference, result table and notes.  The CLI's ``report`` command and
+the integration test that regenerates EXPERIMENTS.md's measured columns both
+call this function.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .. import __version__
+from .experiments import ExperimentResult, list_experiments, run_experiment
+from .tables import render_table
+
+_HEADER = """\
+Reproduction report — "Programmable Packet Scheduling at Line Rate" (SIGCOMM 2016)
+Library version: {version}
+Experiments: {count}
+"""
+
+
+def generate_report(
+    experiment_ids: Optional[Iterable[str]] = None,
+    quick: bool = False,
+) -> str:
+    """Run experiments and return the combined text report.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Identifiers to run (default: every registered experiment, in
+        registry order).
+    quick:
+        Use shorter simulation durations; the tables keep their shape but
+        individual numbers are noisier.
+    """
+    if experiment_ids is None:
+        experiment_ids = [spec.experiment_id for spec in list_experiments()]
+    experiment_ids = list(experiment_ids)
+
+    results: List[ExperimentResult] = [
+        run_experiment(experiment_id, quick=quick) for experiment_id in experiment_ids
+    ]
+
+    sections = [_HEADER.format(version=__version__, count=len(results))]
+    for result in results:
+        sections.append(_render_section(result))
+    return "\n".join(sections)
+
+
+def _render_section(result: ExperimentResult) -> str:
+    lines = [
+        "-" * 78,
+        f"[{result.experiment_id}] {result.title}",
+        f"Paper reference: {result.paper_reference}",
+        "",
+        render_table(result.rows),
+    ]
+    if result.notes:
+        lines.append("")
+        lines.append(f"Notes: {result.notes}")
+    lines.append("")
+    return "\n".join(lines)

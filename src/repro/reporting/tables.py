@@ -1,0 +1,114 @@
+"""Plain-text table rendering for experiment results.
+
+The renderers are deliberately dependency-free (no rich/tabulate): output
+must be stable enough to diff in EXPERIMENTS.md and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: Any, float_digits: int = 4) -> str:
+    """Render one cell.
+
+    Floats use a compact significant-digit format, booleans render as
+    ``yes``/``no`` (the paper's Table 2 style), ``None`` renders as ``-``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    title: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render a list of row mappings as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used (rows may omit trailing columns, rendered as ``-``).
+    """
+    rows = list(rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+
+    if columns is None:
+        columns = list(rows[0].keys())
+        for row in rows[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    rendered_rows = [
+        {column: format_value(row.get(column), float_digits) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered_rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines.append(header)
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append("  ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def render_kv(
+    mapping: Mapping[str, Any],
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if not mapping:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    width = max(len(str(key)) for key in mapping)
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)} : {format_value(value, float_digits)}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Sequence[Mapping[str, Any]],
+    measured_key: str,
+    paper_key: str,
+    title: Optional[str] = None,
+    tolerance: float = 0.15,
+) -> str:
+    """Render a paper-vs-measured table with a per-row agreement marker.
+
+    A row "agrees" when the measured value is within ``tolerance`` (relative)
+    of the paper value; rows without a paper value are marked ``n/a``.
+    """
+    annotated = []
+    for row in rows:
+        row = dict(row)
+        paper = row.get(paper_key)
+        measured = row.get(measured_key)
+        if paper in (None, 0) or not isinstance(paper, (int, float)):
+            row["agrees"] = "n/a"
+        elif isinstance(measured, (int, float)):
+            row["agrees"] = "yes" if abs(measured - paper) <= tolerance * abs(paper) else "NO"
+        else:
+            row["agrees"] = "n/a"
+        annotated.append(row)
+    return render_table(annotated, title=title)

@@ -1,0 +1,65 @@
+"""Event primitives for the discrete-event simulator.
+
+The simulator processes :class:`Event` objects in non-decreasing time order;
+events scheduled for the same instant run in the order they were scheduled
+(a monotonically increasing sequence number breaks ties), which keeps runs
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering compares ``(time, seq)`` only; the callback itself is excluded
+    from comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of events ordered by (time, scheduling order)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        event = Event(time=time, seq=next(self._seq), callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

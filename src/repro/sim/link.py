@@ -1,0 +1,140 @@
+"""Output ports: a scheduler draining into a link of fixed capacity.
+
+:class:`OutputPort` couples any scheduler object exposing the
+``enqueue(packet, now)`` / ``dequeue(now)`` interface (the reference
+:class:`~repro.core.scheduler.ProgrammableScheduler`, a hardware-model
+scheduler, or one of the classic baselines) to a transmission link running
+at a configurable line rate, inside a :class:`~repro.sim.simulator.Simulator`.
+
+Work conservation and shaping both fall out naturally:
+
+* whenever the link goes idle the port asks the scheduler for the next
+  packet;
+* if the scheduler has buffered packets but none eligible (a shaping
+  transaction is holding them back), the port schedules a wake-up at the
+  scheduler's next release time instead of spinning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.packet import Packet
+from .simulator import Simulator
+from .sink import PacketSink
+
+
+class OutputPort:
+    """A single output port: scheduler + transmitter at ``rate_bps``.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving this port.
+    scheduler:
+        Scheduler draining into the link.  Must provide ``enqueue(packet,
+        now)`` returning bool, ``dequeue(now)`` returning a packet or
+        ``None`` and ``__len__``; ``next_shaping_release()`` is optional and
+        used for non-work-conserving schedulers.
+    rate_bps:
+        Line rate in bits per second (10 Gbit/s per port in the paper's
+        target switch).
+    sink:
+        Destination for transmitted packets; a fresh :class:`PacketSink` is
+        created when omitted.
+    on_departure:
+        Optional callback invoked with each packet after transmission; used
+        to chain hops (for example the LSTF multi-switch experiment).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler,
+        rate_bps: float,
+        name: str = "port",
+        sink: Optional[PacketSink] = None,
+        on_departure: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.rate_bps = rate_bps
+        self.name = name
+        self.sink = sink if sink is not None else PacketSink(name=f"{name}.sink")
+        self.on_departure = on_departure
+        self.busy = False
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0
+        self.dropped_packets = 0
+        self._wakeup = None
+
+    # -- ingress ---------------------------------------------------------------
+    def receive(self, packet: Packet) -> bool:
+        """Hand a packet to the scheduler and kick the transmitter."""
+        packet.arrival_time = self.sim.now
+        accepted = self.scheduler.enqueue(packet, now=self.sim.now)
+        if not accepted:
+            self.dropped_packets += 1
+            return False
+        self._try_transmit()
+        return True
+
+    # -- egress ------------------------------------------------------------------
+    def _try_transmit(self) -> None:
+        if self.busy:
+            return
+        packet = self.scheduler.dequeue(now=self.sim.now)
+        if packet is None:
+            self._arm_wakeup()
+            return
+        self.busy = True
+        duration = packet.length_bits / self.rate_bps
+        self.sim.schedule(duration, lambda p=packet: self._complete(p),
+                          name=f"{self.name}.tx")
+
+    def _complete(self, packet: Packet) -> None:
+        packet.departure_time = self.sim.now
+        self.busy = False
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.length
+        self.sink.record(packet)
+        if self.on_departure is not None:
+            self.on_departure(packet)
+        self._try_transmit()
+
+    def _arm_wakeup(self) -> None:
+        """Schedule a retry at the scheduler's next shaping release."""
+        next_release = None
+        if hasattr(self.scheduler, "next_shaping_release"):
+            next_release = self.scheduler.next_shaping_release()
+        if next_release is None or next_release <= self.sim.now:
+            return
+        if self._wakeup is not None and not self._wakeup.cancelled:
+            self._wakeup.cancel()
+        self._wakeup = self.sim.schedule_at(
+            next_release, self._on_wakeup, name=f"{self.name}.wakeup"
+        )
+
+    def _on_wakeup(self) -> None:
+        self._wakeup = None
+        self._try_transmit()
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed time the link spent transmitting."""
+        if self.sim.now <= 0:
+            return 0.0
+        return (self.transmitted_bytes * 8.0 / self.rate_bps) / self.sim.now
+
+    def backlog_packets(self) -> int:
+        """Packets currently buffered in the scheduler."""
+        return len(self.scheduler)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OutputPort(name={self.name!r}, rate={self.rate_bps / 1e9:.3g} Gbit/s, "
+            f"tx={self.transmitted_packets})"
+        )

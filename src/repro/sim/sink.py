@@ -1,0 +1,104 @@
+"""Packet sinks: record departures and expose per-flow statistics."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..core.packet import Packet
+
+
+class PacketSink:
+    """Collects packets leaving an output port.
+
+    The sink keeps every departed packet (the experiments are small enough
+    that this is cheap) plus per-flow byte and packet counters, so both
+    aggregate rates and per-packet delay distributions can be computed after
+    a run.
+    """
+
+    def __init__(self, name: str = "sink") -> None:
+        self.name = name
+        self.packets: List[Packet] = []
+        self.bytes_by_flow: Dict[str, int] = defaultdict(int)
+        self.packets_by_flow: Dict[str, int] = defaultdict(int)
+        self.first_departure: Optional[float] = None
+        self.last_departure: Optional[float] = None
+
+    def record(self, packet: Packet) -> None:
+        """Record a departed packet (its ``departure_time`` must be set)."""
+        self.packets.append(packet)
+        self.bytes_by_flow[packet.flow] += packet.length
+        self.packets_by_flow[packet.flow] += 1
+        if packet.departure_time is not None:
+            if self.first_departure is None:
+                self.first_departure = packet.departure_time
+            self.last_departure = packet.departure_time
+
+    # -- aggregate queries ----------------------------------------------------
+    def total_packets(self) -> int:
+        return len(self.packets)
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_flow.values())
+
+    def flows(self) -> List[str]:
+        return sorted(self.bytes_by_flow)
+
+    def throughput_bps(self, flow: Optional[str] = None,
+                       start: float = 0.0, end: Optional[float] = None) -> float:
+        """Average throughput over [start, end] in bits per second.
+
+        ``end`` defaults to the last departure seen.  Packets are attributed
+        to the window by their departure time.
+        """
+        if end is None:
+            end = self.last_departure or 0.0
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        total_bits = 0
+        for packet in self.packets:
+            if packet.departure_time is None:
+                continue
+            if flow is not None and packet.flow != flow:
+                continue
+            if start <= packet.departure_time <= end:
+                total_bits += packet.length_bits
+        return total_bits / duration
+
+    def share_by_flow(self, start: float = 0.0, end: Optional[float] = None) -> Dict[str, float]:
+        """Fraction of delivered bytes per flow over a window."""
+        if end is None:
+            end = self.last_departure or 0.0
+        totals: Dict[str, int] = defaultdict(int)
+        for packet in self.packets:
+            if packet.departure_time is None:
+                continue
+            if start <= packet.departure_time <= end:
+                totals[packet.flow] += packet.length
+        grand_total = sum(totals.values())
+        if grand_total == 0:
+            return {}
+        return {flow: count / grand_total for flow, count in sorted(totals.items())}
+
+    def delays(self, flow: Optional[str] = None) -> List[float]:
+        """Arrival-to-departure delays of recorded packets."""
+        values = []
+        for packet in self.packets:
+            if flow is not None and packet.flow != flow:
+                continue
+            delay = packet.total_delay
+            if delay is not None:
+                values.append(delay)
+        return values
+
+    def departure_order(self) -> List[str]:
+        """Flow labels in departure order (useful for ordering assertions)."""
+        return [packet.flow for packet in self.packets]
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PacketSink(name={self.name!r}, packets={len(self.packets)})"

@@ -1,0 +1,97 @@
+"""Traffic sources: feed arrival streams into an output port.
+
+A source pulls ``(time, packet)`` pairs from an iterator (typically built by
+:mod:`repro.traffic.generators`) and schedules each arrival in the
+simulator.  Arrivals are scheduled lazily — one event in flight per source —
+so even very long workloads do not pre-materialise the whole event list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Tuple
+
+from ..core.packet import Packet
+from ..exceptions import TrafficError
+from .simulator import Simulator
+
+
+class PacketSource:
+    """Replays an arrival stream into a destination port.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    destination:
+        Any object with a ``receive(packet)`` method (usually an
+        :class:`~repro.sim.link.OutputPort`).
+    arrivals:
+        Iterable of ``(time, packet)`` pairs in non-decreasing time order.
+    name:
+        Label for debugging.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        destination,
+        arrivals: Iterable[Tuple[float, Packet]],
+        name: str = "source",
+    ) -> None:
+        self.sim = sim
+        self.destination = destination
+        self.name = name
+        self._iterator: Iterator[Tuple[float, Packet]] = iter(arrivals)
+        self.generated_packets = 0
+        self._last_time = -1.0
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        try:
+            time, packet = next(self._iterator)
+        except StopIteration:
+            return
+        if time < self._last_time - 1e-12:
+            raise TrafficError(
+                f"source {self.name!r} produced arrivals out of order "
+                f"({time} after {self._last_time})"
+            )
+        self._last_time = time
+        self.sim.schedule_at(time, lambda t=time, p=packet: self._emit(p),
+                             name=f"{self.name}.arrival")
+
+    def _emit(self, packet: Packet) -> None:
+        self.generated_packets += 1
+        self.destination.receive(packet)
+        self._schedule_next()
+
+
+def chain_hops(
+    sim: Simulator,
+    upstream_port,
+    downstream_port,
+    transform: Optional[Callable[[Packet], Packet]] = None,
+    propagation_delay: float = 0.0,
+) -> None:
+    """Connect two ports so packets leaving the first enter the second.
+
+    ``transform`` may modify or replace the packet between hops (the LSTF
+    experiment uses it to stamp the previous hop's wait time); a propagation
+    delay can model the wire between switches.
+    """
+
+    def _forward(packet: Packet) -> None:
+        forwarded = transform(packet) if transform is not None else packet
+        if propagation_delay > 0:
+            sim.schedule(propagation_delay, lambda p=forwarded: downstream_port.receive(p))
+        else:
+            downstream_port.receive(forwarded)
+
+    previous = upstream_port.on_departure
+
+    def _combined(packet: Packet) -> None:
+        if previous is not None:
+            previous(packet)
+        _forward(packet)
+
+    upstream_port.on_departure = _combined

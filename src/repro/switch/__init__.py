@@ -1,0 +1,40 @@
+"""Shared-memory switch substrate: buffer, admission control, PFC, switch."""
+
+from .buffer import (
+    BufferOccupancy,
+    DEFAULT_BUFFER_BYTES,
+    DEFAULT_CELL_BYTES,
+    SharedBuffer,
+)
+from .pfc import PFCController, PFCFilteredScheduler
+from .red import REDPolicy
+from .switch import (
+    DEFAULT_PORT_COUNT,
+    DEFAULT_PORT_RATE_BPS,
+    SharedMemorySwitch,
+    SwitchStats,
+)
+from .thresholds import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    DynamicThresholdPolicy,
+    StaticThresholdPolicy,
+)
+
+__all__ = [
+    "SharedBuffer",
+    "BufferOccupancy",
+    "DEFAULT_BUFFER_BYTES",
+    "DEFAULT_CELL_BYTES",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "StaticThresholdPolicy",
+    "DynamicThresholdPolicy",
+    "REDPolicy",
+    "PFCController",
+    "PFCFilteredScheduler",
+    "SharedMemorySwitch",
+    "SwitchStats",
+    "DEFAULT_PORT_COUNT",
+    "DEFAULT_PORT_RATE_BPS",
+]

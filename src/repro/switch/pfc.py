@@ -1,0 +1,102 @@
+"""Priority Flow Control (PFC) integration (Section 6.2).
+
+PFC lets a downstream switch pause specific flows (or priority classes) on
+its upstream neighbour.  The paper integrates PFC into the PIFO design by
+*masking* paused flows in the flow scheduler during dequeue and unmasking
+them on resume — paused packets stay buffered, they simply become invisible
+to the scheduler.
+
+:class:`PFCController` tracks the pause state and
+:class:`PFCFilteredScheduler` wraps any scheduler, applying the mask at
+dequeue time.  The wrapper holds back (and later re-offers) head elements
+belonging to paused flows, which behaviourally matches the hardware masking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.packet import Packet
+
+
+class PFCController:
+    """Tracks which flows (or priority classes) are currently paused."""
+
+    def __init__(self) -> None:
+        self._paused_flows: Set[str] = set()
+        self._paused_priorities: Set[int] = set()
+        self.pause_messages = 0
+        self.resume_messages = 0
+
+    # -- control-plane messages ---------------------------------------------------
+    def pause_flow(self, flow: str) -> None:
+        self._paused_flows.add(flow)
+        self.pause_messages += 1
+
+    def resume_flow(self, flow: str) -> None:
+        self._paused_flows.discard(flow)
+        self.resume_messages += 1
+
+    def pause_priority(self, priority: int) -> None:
+        self._paused_priorities.add(priority)
+        self.pause_messages += 1
+
+    def resume_priority(self, priority: int) -> None:
+        self._paused_priorities.discard(priority)
+        self.resume_messages += 1
+
+    # -- queries ---------------------------------------------------------------------
+    def is_paused(self, packet: Packet) -> bool:
+        return (
+            packet.flow in self._paused_flows
+            or packet.priority in self._paused_priorities
+        )
+
+    def paused_flows(self) -> Set[str]:
+        return set(self._paused_flows)
+
+
+class PFCFilteredScheduler:
+    """Wrap a scheduler so paused flows are never handed to the link.
+
+    Dequeued packets belonging to paused flows are parked in a side list and
+    re-offered (in their original dequeue order) once their flow resumes —
+    the software analogue of masking entries in the flow scheduler.
+    """
+
+    def __init__(self, scheduler, controller: Optional[PFCController] = None) -> None:
+        self.scheduler = scheduler
+        self.controller = controller if controller is not None else PFCController()
+        self._parked: List[Packet] = []
+
+    # -- scheduler interface ------------------------------------------------------
+    def enqueue(self, packet: Packet, now: float = 0.0) -> bool:
+        return self.scheduler.enqueue(packet, now=now)
+
+    def dequeue(self, now: float = 0.0) -> Optional[Packet]:
+        # First serve any previously parked packet whose flow has resumed.
+        for index, packet in enumerate(self._parked):
+            if not self.controller.is_paused(packet):
+                return self._parked.pop(index)
+        # Otherwise pull from the underlying scheduler, parking paused heads.
+        while True:
+            packet = self.scheduler.dequeue(now=now)
+            if packet is None:
+                return None
+            if self.controller.is_paused(packet):
+                self._parked.append(packet)
+                continue
+            return packet
+
+    def next_shaping_release(self) -> Optional[float]:
+        if hasattr(self.scheduler, "next_shaping_release"):
+            return self.scheduler.next_shaping_release()
+        return None
+
+    def __len__(self) -> int:
+        return len(self.scheduler) + len(self._parked)
+
+    @property
+    def parked_packets(self) -> int:
+        """Packets currently held back by PFC."""
+        return len(self._parked)

@@ -1,0 +1,87 @@
+"""Random Early Detection (RED) active queue management.
+
+Section 6.1 cites RED as the representative dynamic buffer-management
+scheme.  The implementation follows Floyd & Jacobson: an exponentially
+weighted moving average of the queue occupancy, a linear drop-probability
+ramp between a minimum and maximum threshold, and forced drops above the
+maximum threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.packet import Packet
+from .buffer import SharedBuffer
+from .thresholds import AdmissionPolicy
+
+
+class REDPolicy(AdmissionPolicy):
+    """RED admission policy over shared-buffer occupancy (in cells).
+
+    Parameters
+    ----------
+    min_threshold_cells / max_threshold_cells:
+        The averaged occupancy below which no packet is dropped and above
+        which every packet is dropped.
+    max_drop_probability:
+        Drop probability as the average reaches ``max_threshold_cells``.
+    weight:
+        EWMA weight for the average queue size (Floyd & Jacobson suggest
+        0.002 for per-packet updates).
+    seed:
+        Seed for the random drop decisions (deterministic experiments).
+    """
+
+    def __init__(
+        self,
+        min_threshold_cells: int,
+        max_threshold_cells: int,
+        max_drop_probability: float = 0.1,
+        weight: float = 0.002,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < min_threshold_cells < max_threshold_cells:
+            raise ValueError("need 0 < min_threshold < max_threshold")
+        if not 0 < max_drop_probability <= 1:
+            raise ValueError("max_drop_probability must be in (0, 1]")
+        if not 0 < weight <= 1:
+            raise ValueError("weight must be in (0, 1]")
+        self.min_threshold_cells = min_threshold_cells
+        self.max_threshold_cells = max_threshold_cells
+        self.max_drop_probability = max_drop_probability
+        self.weight = weight
+        self.average_cells = 0.0
+        self.random_drops = 0
+        self.forced_drops = 0
+        self._rng = random.Random(seed)
+
+    def _update_average(self, occupancy_cells: int) -> None:
+        self.average_cells = (
+            (1 - self.weight) * self.average_cells + self.weight * occupancy_cells
+        )
+
+    def drop_probability(self) -> float:
+        """Current drop probability given the averaged occupancy."""
+        if self.average_cells < self.min_threshold_cells:
+            return 0.0
+        if self.average_cells >= self.max_threshold_cells:
+            return 1.0
+        span = self.max_threshold_cells - self.min_threshold_cells
+        return (
+            (self.average_cells - self.min_threshold_cells) / span
+        ) * self.max_drop_probability
+
+    def admit(self, buffer: SharedBuffer, packet: Packet, port: str = "") -> bool:
+        if not buffer.can_admit(packet):
+            return False
+        self._update_average(buffer.used_cells)
+        probability = self.drop_probability()
+        if probability >= 1.0:
+            self.forced_drops += 1
+            return False
+        if probability > 0.0 and self._rng.random() < probability:
+            self.random_drops += 1
+            return False
+        return True

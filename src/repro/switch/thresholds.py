@@ -1,0 +1,104 @@
+"""Buffer admission policies: static and dynamic thresholds.
+
+Section 6.1 notes that buffer management is orthogonal to scheduling and is
+implemented with occupancy counters checked against *static* or *dynamic*
+thresholds before a packet is enqueued into the scheduler.  Two policies are
+provided:
+
+* :class:`StaticThresholdPolicy` — a fixed per-flow (and optionally
+  per-port) cell limit.
+* :class:`DynamicThresholdPolicy` — the Choudhury–Hahne dynamic threshold:
+  a flow may hold at most ``alpha x (free cells)``, so limits shrink as the
+  buffer fills and grow when it is idle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.packet import Packet
+from .buffer import SharedBuffer
+
+
+class AdmissionPolicy:
+    """Interface: decide whether a packet may enter the buffer."""
+
+    def admit(self, buffer: SharedBuffer, packet: Packet, port: str = "") -> bool:
+        raise NotImplementedError
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """Admit whenever the buffer physically has room."""
+
+    def admit(self, buffer: SharedBuffer, packet: Packet, port: str = "") -> bool:
+        return buffer.can_admit(packet)
+
+
+class StaticThresholdPolicy(AdmissionPolicy):
+    """Fixed per-flow and per-port cell limits.
+
+    Parameters
+    ----------
+    flow_limit_cells:
+        Maximum cells any single flow may occupy (``None`` disables).
+    port_limit_cells:
+        Maximum cells any single output port may occupy (``None`` disables).
+    """
+
+    def __init__(
+        self,
+        flow_limit_cells: Optional[int] = None,
+        port_limit_cells: Optional[int] = None,
+    ) -> None:
+        if flow_limit_cells is not None and flow_limit_cells <= 0:
+            raise ValueError("flow_limit_cells must be positive or None")
+        if port_limit_cells is not None and port_limit_cells <= 0:
+            raise ValueError("port_limit_cells must be positive or None")
+        self.flow_limit_cells = flow_limit_cells
+        self.port_limit_cells = port_limit_cells
+
+    def admit(self, buffer: SharedBuffer, packet: Packet, port: str = "") -> bool:
+        cells = buffer.cells_for(packet)
+        if not buffer.can_admit(packet):
+            return False
+        if (
+            self.flow_limit_cells is not None
+            and buffer.flow_cells(packet.flow) + cells > self.flow_limit_cells
+        ):
+            return False
+        if (
+            port
+            and self.port_limit_cells is not None
+            and buffer.port_cells(port) + cells > self.port_limit_cells
+        ):
+            return False
+        return True
+
+
+class DynamicThresholdPolicy(AdmissionPolicy):
+    """Choudhury–Hahne dynamic thresholds.
+
+    A flow (or port, depending on ``key``) may occupy at most
+    ``alpha * free_cells``.  With ``alpha = 1`` a single congested flow can
+    take at most half the buffer; smaller alphas reserve more headroom for
+    newly active flows.
+    """
+
+    def __init__(self, alpha: float = 1.0, key: str = "flow") -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if key not in ("flow", "port"):
+            raise ValueError("key must be 'flow' or 'port'")
+        self.alpha = alpha
+        self.key = key
+
+    def admit(self, buffer: SharedBuffer, packet: Packet, port: str = "") -> bool:
+        cells = buffer.cells_for(packet)
+        if not buffer.can_admit(packet):
+            return False
+        threshold = self.alpha * buffer.free_cells
+        if self.key == "flow":
+            occupancy = buffer.flow_cells(packet.flow)
+        else:
+            occupancy = buffer.port_cells(port)
+        return occupancy + cells <= threshold

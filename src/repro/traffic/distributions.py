@@ -1,0 +1,140 @@
+"""Random-variate helpers and empirical flow-size distributions.
+
+The paper's behavioural examples need only simple overload scenarios, but
+the fine-grained-priority experiments (SJF/SRPT minimising flow completion
+time, Section 3.4) are most meaningful on the heavy-tailed flow-size
+distributions that motivated those algorithms.  We ship the two empirical
+CDFs that the datacenter-transport literature (pFabric and its successors)
+standardised on — a web-search workload and a data-mining workload — plus
+Pareto and exponential samplers.
+
+All samplers take an explicit :class:`random.Random` instance so experiments
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple
+
+#: Empirical CDF of flow sizes (bytes, cumulative probability) modelled on
+#: the web-search workload used throughout the datacenter scheduling
+#: literature: mostly short query traffic with a tail of multi-megabyte
+#: responses.
+WEB_SEARCH_CDF: Tuple[Tuple[float, float], ...] = (
+    (6_000, 0.15),
+    (13_000, 0.30),
+    (19_000, 0.40),
+    (33_000, 0.53),
+    (53_000, 0.60),
+    (133_000, 0.70),
+    (667_000, 0.80),
+    (1_333_000, 0.90),
+    (3_333_000, 0.97),
+    (15_000_000, 1.00),
+)
+
+#: Empirical CDF modelled on the data-mining workload: the vast majority of
+#: flows are tiny, while a handful of huge flows carry most of the bytes.
+DATA_MINING_CDF: Tuple[Tuple[float, float], ...] = (
+    (100, 0.50),
+    (300, 0.60),
+    (1_000, 0.70),
+    (2_000, 0.75),
+    (10_000, 0.80),
+    (100_000, 0.85),
+    (1_000_000, 0.90),
+    (10_000_000, 0.95),
+    (100_000_000, 0.98),
+    (1_000_000_000, 1.00),
+)
+
+
+class EmpiricalCDF:
+    """Inverse-transform sampler over a piecewise-linear empirical CDF."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if not points:
+            raise ValueError("CDF needs at least one point")
+        values = [float(v) for v, _ in points]
+        probs = [float(p) for _, p in points]
+        if any(b <= a for a, b in zip(probs, probs[1:])):
+            raise ValueError("CDF probabilities must be strictly increasing")
+        if abs(probs[-1] - 1.0) > 1e-9:
+            raise ValueError("CDF must end at probability 1.0")
+        self.values = values
+        self.probs = probs
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value via inverse-transform sampling."""
+        u = rng.random()
+        index = bisect.bisect_left(self.probs, u)
+        index = min(index, len(self.values) - 1)
+        prev_value = self.values[index - 1] if index > 0 else 0.0
+        prev_prob = self.probs[index - 1] if index > 0 else 0.0
+        span = self.probs[index] - prev_prob
+        if span <= 0:
+            return self.values[index]
+        fraction = (u - prev_prob) / span
+        return prev_value + fraction * (self.values[index] - prev_value)
+
+    def mean(self) -> float:
+        """Mean of the piecewise-linear distribution (trapezoidal)."""
+        total = 0.0
+        prev_value, prev_prob = 0.0, 0.0
+        for value, prob in zip(self.values, self.probs):
+            total += (prob - prev_prob) * (value + prev_value) / 2.0
+            prev_value, prev_prob = value, prob
+        return total
+
+
+def web_search_flow_sizes() -> EmpiricalCDF:
+    """The web-search flow-size distribution."""
+    return EmpiricalCDF(WEB_SEARCH_CDF)
+
+
+def data_mining_flow_sizes() -> EmpiricalCDF:
+    """The data-mining flow-size distribution."""
+    return EmpiricalCDF(DATA_MINING_CDF)
+
+
+def exponential(rng: random.Random, mean: float) -> float:
+    """Exponential variate with the given mean (> 0)."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    return rng.expovariate(1.0 / mean)
+
+
+def pareto(rng: random.Random, shape: float, scale: float) -> float:
+    """Pareto variate with the given shape (alpha) and scale (minimum)."""
+    if shape <= 0 or scale <= 0:
+        raise ValueError("shape and scale must be positive")
+    u = rng.random()
+    # Guard against u == 0 which would produce infinity.
+    u = max(u, 1e-12)
+    return scale / math.pow(u, 1.0 / shape)
+
+
+def bounded_pareto(rng: random.Random, shape: float, low: float, high: float) -> float:
+    """Pareto variate truncated to [low, high] by inverse transform."""
+    if not 0 < low < high:
+        raise ValueError("need 0 < low < high")
+    u = rng.random()
+    low_pow = math.pow(low, shape)
+    high_pow = math.pow(high, shape)
+    value = math.pow(-(u * high_pow - u * low_pow - high_pow) / (high_pow * low_pow), -1.0 / shape)
+    return min(max(value, low), high)
+
+
+def deterministic(value: float) -> float:
+    """Identity helper so generator code can treat all size models uniformly."""
+    return value
+
+
+def sample_many(sampler, rng: random.Random, count: int) -> List[float]:
+    """Draw ``count`` samples from an :class:`EmpiricalCDF` or callable."""
+    if isinstance(sampler, EmpiricalCDF):
+        return [sampler.sample(rng) for _ in range(count)]
+    return [sampler(rng) for _ in range(count)]

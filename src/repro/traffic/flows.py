@@ -1,0 +1,65 @@
+"""Flow descriptors used by the workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class FlowSpec:
+    """Static description of a flow for workload generation.
+
+    Attributes
+    ----------
+    name:
+        Flow identifier, copied into every generated packet.
+    rate_bps:
+        Offered load of the flow in bits per second (interpretation depends
+        on the generator: mean rate for Poisson, exact rate for CBR, on-state
+        rate for on/off sources).
+    packet_size:
+        Packet size in bytes.
+    packet_class:
+        Optional class label for tree predicates.
+    priority:
+        Optional strict-priority level.
+    weight:
+        Scheduling weight (informational; schedulers configure their own
+        weights, but keeping it here makes experiment scripts declarative).
+    start_time / end_time:
+        Interval during which the flow generates traffic.
+    fields:
+        Extra metadata copied into every packet (slack, deadline, ...).
+    """
+
+    name: str
+    rate_bps: float
+    packet_size: int = 1500
+    packet_class: Optional[str] = None
+    priority: int = 0
+    weight: float = 1.0
+    start_time: float = 0.0
+    end_time: Optional[float] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rate_bps < 0:
+            raise ValueError("rate_bps must be non-negative")
+        if self.packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        if self.end_time is not None and self.end_time < self.start_time:
+            raise ValueError("end_time must not precede start_time")
+
+    @property
+    def packets_per_second(self) -> float:
+        """Mean packet rate implied by ``rate_bps`` and ``packet_size``."""
+        if self.rate_bps == 0:
+            return 0.0
+        return self.rate_bps / (self.packet_size * 8.0)
+
+    def active_at(self, time: float) -> bool:
+        """Whether the flow offers traffic at the given time."""
+        if time < self.start_time:
+            return False
+        return self.end_time is None or time <= self.end_time

@@ -1,0 +1,114 @@
+"""Tests for Class-Based Queueing and the RCSD family (Section 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    CBQClass,
+    build_cbq_tree,
+    build_hierarchical_round_robin_tree,
+    build_jitter_edd_tree,
+    stamp_jitter_slack,
+)
+from repro.core import Packet, ProgrammableScheduler
+
+
+class TestCBQ:
+    def make_tree(self):
+        return build_cbq_tree(
+            [
+                CBQClass(name="interactive", priority=0, flows={"ssh": 1.0, "voip": 1.0}),
+                CBQClass(name="bulk", priority=1, flows={"backup": 1.0, "sync": 3.0}),
+            ]
+        )
+
+    def test_structure(self):
+        tree = self.make_tree()
+        assert tree.depth() == 2
+        assert {leaf.name for leaf in tree.leaves()} == {"interactive", "bulk"}
+
+    def test_inter_class_strict_priority(self):
+        scheduler = ProgrammableScheduler(self.make_tree())
+        for _ in range(3):
+            scheduler.enqueue(Packet(flow="backup", length=1000))
+            scheduler.enqueue(Packet(flow="ssh", length=1000))
+        order = [p.flow for p in scheduler.drain()]
+        assert order[:3] == ["ssh"] * 3
+        assert order[3:] == ["backup"] * 3
+
+    def test_intra_class_fair_queueing(self):
+        scheduler = ProgrammableScheduler(self.make_tree())
+        for _ in range(8):
+            scheduler.enqueue(Packet(flow="backup", length=1000))
+            scheduler.enqueue(Packet(flow="sync", length=1000))
+        window = [p.flow for p in scheduler.drain()][:8]
+        # Weights backup:sync = 1:3.
+        assert window.count("sync") == 6
+        assert window.count("backup") == 2
+
+    def test_unknown_flow_stops_at_root(self):
+        tree = self.make_tree()
+        path = tree.match_path(Packet(flow="mystery", length=100))
+        assert [n.name for n in path] == [tree.root.name]
+
+
+class TestJitterEDD:
+    def test_regulator_holds_packet_for_jitter_slack(self):
+        scheduler = ProgrammableScheduler(build_jitter_edd_tree({"A": 0.01}))
+        packet = Packet(flow="A", length=1000,
+                        fields={"jitter_slack": 0.005, "delay_bound": 0.01})
+        scheduler.enqueue(packet, now=0.0)
+        assert scheduler.dequeue(now=0.0) is None
+        assert scheduler.dequeue(now=0.004) is None
+        assert scheduler.dequeue(now=0.005) is packet
+
+    def test_packet_without_slack_eligible_immediately(self):
+        scheduler = ProgrammableScheduler(build_jitter_edd_tree({"A": 0.01}))
+        packet = Packet(flow="A", length=1000, fields={"delay_bound": 0.01})
+        scheduler.enqueue(packet, now=0.0)
+        assert scheduler.dequeue(now=0.0) is packet
+
+    def test_edf_among_eligible_packets(self):
+        scheduler = ProgrammableScheduler(build_jitter_edd_tree({}))
+        tight = Packet(flow="t", length=100, fields={"delay_bound": 0.001})
+        loose = Packet(flow="l", length=100, fields={"delay_bound": 0.1})
+        scheduler.enqueue(loose, now=0.0)
+        scheduler.enqueue(tight, now=0.0)
+        assert scheduler.dequeue(now=0.0) is tight
+
+    def test_stamp_jitter_slack_helper(self):
+        packet = Packet(flow="A", length=100)
+        stamp_jitter_slack(packet, deadline=1.0, actual_departure=0.85)
+        assert packet.get("jitter_slack") == pytest.approx(0.15)
+        stamp_jitter_slack(packet, deadline=1.0, actual_departure=1.5)
+        assert packet.get("jitter_slack") == 0.0
+
+
+class TestHierarchicalRoundRobin:
+    def test_shorter_frame_class_gets_lower_delay(self):
+        tree = build_hierarchical_round_robin_tree(
+            class_flows={"fast": {"f": 1.0}, "slow": {"s": 1.0}},
+            frame_lengths_s={"fast": 0.001, "slow": 0.010},
+        )
+        scheduler = ProgrammableScheduler(tree)
+        scheduler.enqueue(Packet(flow="f", length=100), now=0.0005)
+        scheduler.enqueue(Packet(flow="s", length=100), now=0.0005)
+        # The fast class's frame ends at 1 ms, the slow class's at 10 ms.
+        out = scheduler.drain_timed(until=0.02)
+        assert [p.flow for p in out] == ["f", "s"]
+        assert out[0].dequeue_time == pytest.approx(0.001)
+        assert out[1].dequeue_time == pytest.approx(0.010)
+
+    def test_per_class_framing_is_independent(self):
+        tree = build_hierarchical_round_robin_tree(
+            class_flows={"a": {"x": 1.0}, "b": {"y": 1.0}},
+            frame_lengths_s={"a": 0.002, "b": 0.003},
+        )
+        scheduler = ProgrammableScheduler(tree)
+        scheduler.enqueue(Packet(flow="x", length=100), now=0.0045)
+        scheduler.enqueue(Packet(flow="y", length=100), now=0.0045)
+        out = scheduler.drain_timed(until=0.01)
+        release_times = {p.flow: p.dequeue_time for p in out}
+        assert release_times["x"] == pytest.approx(0.006)
+        assert release_times["y"] == pytest.approx(0.006)

@@ -1,0 +1,99 @@
+"""Tests for FIFO, arrival-sequence and strict-priority transactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    ArrivalSequenceTransaction,
+    ClassPriorityTransaction,
+    FIFOTransaction,
+    StrictPriorityTransaction,
+)
+from repro.core import Packet, ProgrammableScheduler, TransactionContext, single_node_tree
+
+
+class TestFIFO:
+    def test_rank_is_arrival_time(self):
+        txn = FIFOTransaction()
+        assert txn(Packet(flow="A", length=10), TransactionContext(now=3.5)) == 3.5
+
+    def test_fifo_order_across_flows(self):
+        scheduler = ProgrammableScheduler(single_node_tree(FIFOTransaction()))
+        packets = [Packet(flow=f, length=100) for f in "ABCBA"]
+        for i, packet in enumerate(packets):
+            scheduler.enqueue(packet, now=float(i))
+        assert scheduler.drain() == packets
+
+    def test_same_instant_preserves_enqueue_order(self):
+        scheduler = ProgrammableScheduler(single_node_tree(FIFOTransaction()))
+        packets = [Packet(flow="A", length=100) for _ in range(5)]
+        for packet in packets:
+            scheduler.enqueue(packet, now=0.0)
+        assert scheduler.drain() == packets
+
+
+class TestArrivalSequence:
+    def test_counter_increments(self):
+        txn = ArrivalSequenceTransaction()
+        ranks = [txn(Packet(flow="A", length=1), TransactionContext()) for _ in range(3)]
+        assert ranks == [0, 1, 2]
+
+    def test_reset_restarts_counter(self):
+        txn = ArrivalSequenceTransaction()
+        txn(Packet(flow="A", length=1), TransactionContext())
+        txn.reset()
+        assert txn(Packet(flow="A", length=1), TransactionContext()) == 0
+
+
+class TestStrictPriority:
+    def test_rank_is_priority_field(self):
+        txn = StrictPriorityTransaction()
+        assert txn(Packet(flow="A", length=10, priority=3), TransactionContext()) == 3
+
+    def test_lower_priority_value_dequeues_first(self):
+        scheduler = ProgrammableScheduler(single_node_tree(StrictPriorityTransaction()))
+        low = Packet(flow="bulk", length=100, priority=7)
+        high = Packet(flow="control", length=100, priority=0)
+        scheduler.enqueue(low)
+        scheduler.enqueue(high)
+        assert scheduler.dequeue() is high
+        assert scheduler.dequeue() is low
+
+    def test_fifo_within_priority_level(self):
+        scheduler = ProgrammableScheduler(single_node_tree(StrictPriorityTransaction()))
+        packets = [Packet(flow=f"p{i}", length=100, priority=1) for i in range(4)]
+        for packet in packets:
+            scheduler.enqueue(packet)
+        assert scheduler.drain() == packets
+
+    def test_starvation_of_low_priority(self):
+        """Strict priority serves all high-priority traffic first - the very
+        behaviour motivating the minimum-rate guarantee tree."""
+        scheduler = ProgrammableScheduler(single_node_tree(StrictPriorityTransaction()))
+        for _ in range(5):
+            scheduler.enqueue(Packet(flow="low", length=100, priority=1))
+            scheduler.enqueue(Packet(flow="high", length=100, priority=0))
+        order = [p.flow for p in scheduler.drain()]
+        assert order[:5] == ["high"] * 5
+        assert order[5:] == ["low"] * 5
+
+
+class TestClassPriority:
+    def test_lookup_by_element_flow(self):
+        txn = ClassPriorityTransaction({"gold": 0, "silver": 1})
+        rank = txn(
+            Packet(flow="x", length=10),
+            TransactionContext(element_flow="silver"),
+        )
+        assert rank == 1
+
+    def test_default_priority_used_for_unknown_class(self):
+        txn = ClassPriorityTransaction({"gold": 0}, default_priority=9)
+        rank = txn(Packet(flow="x", length=10), TransactionContext(element_flow="bronze"))
+        assert rank == 9
+
+    def test_unknown_class_without_default_raises(self):
+        txn = ClassPriorityTransaction({"gold": 0})
+        with pytest.raises(KeyError):
+            txn(Packet(flow="x", length=10), TransactionContext(element_flow="bronze"))

@@ -1,0 +1,153 @@
+"""Tests for HPFQ and the generic hierarchy builder (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    HierarchySpec,
+    ShapingSpec,
+    build_deep_hierarchy,
+    build_fig3_tree,
+    build_hierarchy,
+    build_wfq_tree,
+    fig3_spec,
+    hierarchy_flows,
+)
+from repro.core import Packet, ProgrammableScheduler
+from repro.exceptions import TreeConfigurationError
+
+
+class TestHierarchyBuilder:
+    def test_fig3_structure(self):
+        tree = build_fig3_tree()
+        assert tree.depth() == 2
+        assert {leaf.name for leaf in tree.leaves()} == {"Left", "Right"}
+        assert tree.root.scheduling.weights == {"Left": 1.0, "Right": 9.0}
+        assert tree.node("Left").scheduling.weights == {"A": 3.0, "B": 7.0}
+
+    def test_packets_routed_by_flow(self):
+        tree = build_fig3_tree()
+        assert tree.leaf_for(Packet(flow="A", length=10)).name == "Left"
+        assert tree.leaf_for(Packet(flow="D", length=10)).name == "Right"
+
+    def test_spec_rejects_both_flows_and_children(self):
+        bad = HierarchySpec(
+            name="X",
+            flows={"A": 1.0},
+            children=(HierarchySpec(name="Y", flows={"B": 1.0}),),
+        )
+        with pytest.raises(TreeConfigurationError):
+            build_hierarchy(bad)
+
+    def test_root_shaping_rejected(self):
+        bad = HierarchySpec(
+            name="Root",
+            flows={"A": 1.0},
+            shaping=ShapingSpec(rate_bps=1e6),
+        )
+        with pytest.raises(TreeConfigurationError):
+            build_hierarchy(bad)
+
+    def test_all_flows_collected_recursively(self):
+        assert sorted(fig3_spec().all_flows()) == ["A", "B", "C", "D"]
+
+    def test_hierarchy_flows_helper(self):
+        mapping = hierarchy_flows(build_fig3_tree())
+        assert mapping == {"Left": ["A", "B"], "Right": ["C", "D"]}
+
+    def test_deep_hierarchy_has_requested_levels(self):
+        tree = build_deep_hierarchy(levels=5, fanout=2, flows_per_leaf=2)
+        assert tree.depth() == 5
+        assert len(tree.leaves()) == 2 ** 4
+        # Every leaf's flows are routable.
+        some_flow = next(iter(tree.leaves()[0].scheduling.weights))
+        assert tree.leaf_for(Packet(flow=some_flow, length=10)).is_leaf
+
+    def test_deep_hierarchy_validation(self):
+        with pytest.raises(ValueError):
+            build_deep_hierarchy(levels=0)
+        with pytest.raises(ValueError):
+            build_deep_hierarchy(levels=2, fanout=0)
+
+
+class TestHPFQOrdering:
+    def test_right_class_dominates_by_nine_to_one(self):
+        scheduler = ProgrammableScheduler(build_fig3_tree())
+        for _ in range(20):
+            for flow in "ABCD":
+                scheduler.enqueue(Packet(flow=flow, length=1000))
+        order = scheduler.drain()
+        first_20 = order[:20]
+        left = sum(1 for p in first_20 if p.flow in "AB")
+        right = sum(1 for p in first_20 if p.flow in "CD")
+        assert left == 2
+        assert right == 18
+
+    def test_within_right_class_c_to_d_is_4_to_6(self):
+        scheduler = ProgrammableScheduler(build_fig3_tree())
+        for _ in range(30):
+            scheduler.enqueue(Packet(flow="C", length=1000))
+            scheduler.enqueue(Packet(flow="D", length=1000))
+        order = [p.flow for p in scheduler.drain()]
+        window = order[:20]
+        assert window.count("D") == pytest.approx(12, abs=1)
+        assert window.count("C") == pytest.approx(8, abs=1)
+
+    def test_hierarchy_isolation_left_share_independent_of_right_load(self):
+        """Left's 10% share should not depend on how many Right flows are
+        active - the class-level isolation HPFQ provides."""
+        def left_fraction(right_flows):
+            spec = HierarchySpec(
+                name="Root",
+                children=(
+                    HierarchySpec(name="Left", weight=1.0, flows={"A": 1.0}),
+                    HierarchySpec(
+                        name="Right",
+                        weight=9.0,
+                        flows={f"R{i}": 1.0 for i in range(right_flows)},
+                    ),
+                ),
+            )
+            scheduler = ProgrammableScheduler(build_hierarchy(spec))
+            for _ in range(40):
+                scheduler.enqueue(Packet(flow="A", length=1000))
+                for i in range(right_flows):
+                    scheduler.enqueue(Packet(flow=f"R{i}", length=1000))
+            window = scheduler.drain()[:40]
+            return sum(1 for p in window if p.flow == "A") / len(window)
+
+        assert left_fraction(1) == pytest.approx(0.1, abs=0.03)
+        assert left_fraction(4) == pytest.approx(0.1, abs=0.03)
+
+    def test_single_node_wfq_tree(self):
+        scheduler = ProgrammableScheduler(build_wfq_tree({"A": 1.0, "B": 2.0}))
+        for _ in range(9):
+            scheduler.enqueue(Packet(flow="A", length=1000))
+            scheduler.enqueue(Packet(flow="B", length=1000))
+        window = [p.flow for p in scheduler.drain()][:9]
+        assert window.count("B") == 6
+        assert window.count("A") == 3
+
+    def test_arrivals_in_one_class_do_not_reorder_the_other_class(self):
+        """Class isolation: a burst of Right-class arrivals changes how often
+        Right is scheduled, but never the internal order of Left's buffered
+        packets (and vice versa)."""
+        scheduler = ProgrammableScheduler(build_fig3_tree())
+        left_packets = [
+            Packet(flow=flow, length=1000, fields={"tag": f"l{i}"})
+            for i, flow in enumerate(["A", "B", "A", "B"])
+        ]
+        for packet in left_packets:
+            scheduler.enqueue(packet)
+        # Now a large burst of Right-class traffic arrives.
+        for _ in range(20):
+            scheduler.enqueue(Packet(flow="C", length=1000))
+            scheduler.enqueue(Packet(flow="D", length=1000))
+        drained = scheduler.drain()
+        # Every Left packet is eventually served and the within-flow order of
+        # the packets buffered *before* the burst is untouched.
+        a_order = [p.get("tag") for p in drained if p.flow == "A"]
+        b_order = [p.get("tag") for p in drained if p.flow == "B"]
+        assert a_order == ["l0", "l2"]
+        assert b_order == ["l1", "l3"]

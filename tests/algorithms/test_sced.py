@@ -1,0 +1,86 @@
+"""Tests for Service-Curve Earliest Deadline First (Section 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import LatencyRateCurve, SCEDTransaction, admissible
+from repro.core import Packet, ProgrammableScheduler, TransactionContext, single_node_tree
+from repro.exceptions import TransactionError
+
+
+def ctx(flow, length, now=0.0):
+    return TransactionContext(now=now, element_flow=flow, element_length=length)
+
+
+class TestLatencyRateCurve:
+    def test_service_function(self):
+        curve = LatencyRateCurve(rate_bps=8e6, latency_s=0.001)
+        assert curve.service(0.0005) == 0.0
+        assert curve.service(0.002) == pytest.approx(8e6 * 0.001)
+
+    def test_transmission_time(self):
+        curve = LatencyRateCurve(rate_bps=8e6)
+        assert curve.transmission_time(1000) == pytest.approx(0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRateCurve(rate_bps=0)
+        with pytest.raises(ValueError):
+            LatencyRateCurve(rate_bps=1e6, latency_s=-1)
+
+
+class TestSCEDTransaction:
+    def test_first_packet_deadline_includes_latency(self):
+        txn = SCEDTransaction({"A": LatencyRateCurve(rate_bps=8e6, latency_s=0.002)})
+        deadline = txn(Packet(flow="A", length=1000), ctx("A", 1000, now=1.0))
+        assert deadline == pytest.approx(1.0 + 0.002 + 0.001)
+
+    def test_busy_period_deadlines_advance_by_service_time(self):
+        txn = SCEDTransaction({"A": LatencyRateCurve(rate_bps=8e6)})
+        d1 = txn(Packet(flow="A", length=1000), ctx("A", 1000, now=0.0))
+        d2 = txn(Packet(flow="A", length=1000), ctx("A", 1000, now=0.0))
+        assert d2 - d1 == pytest.approx(0.001)
+
+    def test_new_busy_period_resets_reference_to_now(self):
+        txn = SCEDTransaction({"A": LatencyRateCurve(rate_bps=8e6)})
+        txn(Packet(flow="A", length=1000), ctx("A", 1000, now=0.0))
+        deadline = txn(Packet(flow="A", length=1000), ctx("A", 1000, now=5.0))
+        assert deadline == pytest.approx(5.001)
+
+    def test_unreserved_flow_raises_without_default(self):
+        txn = SCEDTransaction({"A": LatencyRateCurve(rate_bps=8e6)})
+        with pytest.raises(TransactionError):
+            txn(Packet(flow="B", length=1000), ctx("B", 1000))
+
+    def test_default_curve_used_for_unreserved_flow(self):
+        txn = SCEDTransaction({}, default_curve=LatencyRateCurve(rate_bps=1e6))
+        deadline = txn(Packet(flow="B", length=1000), ctx("B", 1000, now=0.0))
+        assert deadline == pytest.approx(0.008)
+
+    def test_flow_with_larger_reservation_gets_earlier_deadlines(self):
+        txn = SCEDTransaction(
+            {
+                "fast": LatencyRateCurve(rate_bps=80e6),
+                "slow": LatencyRateCurve(rate_bps=8e6),
+            }
+        )
+        scheduler = ProgrammableScheduler(single_node_tree(txn))
+        # Interleave arrivals; the fast flow's deadlines advance 10x slower,
+        # so it should receive roughly 10x the service in the drain order.
+        for _ in range(11):
+            scheduler.enqueue(Packet(flow="fast", length=1000), now=0.0)
+            scheduler.enqueue(Packet(flow="slow", length=1000), now=0.0)
+        window = [p.flow for p in scheduler.drain(now=0.0)][:11]
+        assert window.count("fast") == 10
+        assert window.count("slow") == 1
+
+
+class TestAdmissibility:
+    def test_admissible_within_capacity(self):
+        curves = {"A": LatencyRateCurve(6e9), "B": LatencyRateCurve(3e9)}
+        assert admissible(curves, link_rate_bps=10e9)
+
+    def test_inadmissible_when_oversubscribed(self):
+        curves = {"A": LatencyRateCurve(6e9), "B": LatencyRateCurve(5e9)}
+        assert not admissible(curves, link_rate_bps=10e9)

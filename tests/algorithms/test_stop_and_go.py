@@ -1,0 +1,107 @@
+"""Tests for Stop-and-Go queueing (Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FIFOTransaction, StopAndGoShapingTransaction, worst_case_delay_bound
+from repro.core import (
+    MatchAll,
+    Packet,
+    ProgrammableScheduler,
+    ScheduleTree,
+    TransactionContext,
+    TreeNode,
+)
+
+
+def build_stop_and_go_tree(frame_length):
+    root = TreeNode(name="Root", scheduling=FIFOTransaction())
+    shaped = TreeNode(
+        name="Framed",
+        predicate=MatchAll(),
+        scheduling=FIFOTransaction(),
+        shaping=StopAndGoShapingTransaction(frame_length=frame_length),
+    )
+    root.add_child(shaped)
+    return ScheduleTree(root)
+
+
+class TestStopAndGoTransaction:
+    def test_release_at_end_of_current_frame(self):
+        txn = StopAndGoShapingTransaction(frame_length=0.010)
+        send = txn(Packet(flow="A", length=100), TransactionContext(now=0.003))
+        assert send == pytest.approx(0.010)
+
+    def test_all_packets_in_one_frame_share_release_time(self):
+        txn = StopAndGoShapingTransaction(frame_length=0.010)
+        sends = [
+            txn(Packet(flow="A", length=100), TransactionContext(now=t))
+            for t in (0.001, 0.004, 0.009)
+        ]
+        assert all(send == pytest.approx(0.010) for send in sends)
+
+    def test_packet_in_next_frame_released_a_frame_later(self):
+        txn = StopAndGoShapingTransaction(frame_length=0.010)
+        txn(Packet(flow="A", length=100), TransactionContext(now=0.001))
+        send = txn(Packet(flow="A", length=100), TransactionContext(now=0.0125))
+        assert send == pytest.approx(0.020)
+
+    def test_idle_gap_of_many_frames_handled(self):
+        txn = StopAndGoShapingTransaction(frame_length=0.010)
+        send = txn(Packet(flow="A", length=100), TransactionContext(now=0.057))
+        assert send == pytest.approx(0.060)
+
+    def test_invalid_frame_length(self):
+        with pytest.raises(ValueError):
+            StopAndGoShapingTransaction(frame_length=0.0)
+
+    def test_delay_bound_helper(self):
+        assert worst_case_delay_bound(0.01) == pytest.approx(0.02)
+        assert worst_case_delay_bound(0.01, hops=3) == pytest.approx(0.06)
+        with pytest.raises(ValueError):
+            worst_case_delay_bound(-1.0)
+        with pytest.raises(ValueError):
+            worst_case_delay_bound(0.01, hops=0)
+
+
+class TestStopAndGoBehaviour:
+    def test_no_packet_leaves_before_its_frame_ends(self):
+        scheduler = ProgrammableScheduler(build_stop_and_go_tree(frame_length=0.010))
+        scheduler.enqueue(Packet(flow="A", length=100), now=0.002)
+        scheduler.enqueue(Packet(flow="A", length=100), now=0.008)
+        assert scheduler.dequeue(now=0.009) is None
+        assert scheduler.dequeue(now=0.010) is not None
+        assert scheduler.dequeue(now=0.010) is not None
+
+    def test_frame_smooths_bursts(self):
+        """A burst arriving within one frame leaves together at the frame
+        boundary; packets of the next frame leave a frame later."""
+        scheduler = ProgrammableScheduler(build_stop_and_go_tree(frame_length=0.010))
+        for t in (0.001, 0.002, 0.003):
+            scheduler.enqueue(Packet(flow="burst", length=100), now=t)
+        scheduler.enqueue(Packet(flow="late", length=100), now=0.011)
+        first_frame = scheduler.drain(now=0.0101)
+        assert [p.flow for p in first_frame] == ["burst"] * 3
+        assert scheduler.dequeue(now=0.015) is None
+        second_frame = scheduler.drain(now=0.020)
+        assert [p.flow for p in second_frame] == ["late"]
+
+    def test_fifo_order_within_a_frame(self):
+        scheduler = ProgrammableScheduler(build_stop_and_go_tree(frame_length=0.010))
+        packets = [Packet(flow=f"p{i}", length=100) for i in range(4)]
+        for i, packet in enumerate(packets):
+            scheduler.enqueue(packet, now=0.001 * (i + 1))
+        assert scheduler.drain(now=0.010) == packets
+
+    def test_delay_never_exceeds_two_frames(self):
+        scheduler = ProgrammableScheduler(build_stop_and_go_tree(frame_length=0.010))
+        arrivals = [0.0005 * i for i in range(30)]
+        for t in arrivals:
+            scheduler.enqueue(Packet(flow="A", length=100), now=t)
+        packets = scheduler.drain_timed(until=0.1)
+        assert len(packets) == 30
+        bound = worst_case_delay_bound(0.010)
+        for packet in packets:
+            delay = packet.dequeue_time - packet.arrival_time
+            assert delay <= bound + 1e-9

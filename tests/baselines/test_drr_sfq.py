@@ -1,0 +1,105 @@
+"""Tests for the DRR and SFQ baseline schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DeficitRoundRobin, StochasticFairnessQueueing
+from repro.core import Packet
+
+
+class TestDRR:
+    def test_empty_dequeue(self):
+        assert DeficitRoundRobin().dequeue() is None
+
+    def test_single_flow_fifo(self):
+        drr = DeficitRoundRobin()
+        packets = [Packet(flow="A", length=500) for _ in range(4)]
+        for packet in packets:
+            drr.enqueue(packet)
+        assert [drr.dequeue() for _ in range(4)] == packets
+
+    def test_equal_weights_equal_byte_shares(self):
+        drr = DeficitRoundRobin(quantum_bytes=1500)
+        for _ in range(30):
+            drr.enqueue(Packet(flow="A", length=500))
+        for _ in range(10):
+            drr.enqueue(Packet(flow="B", length=1500))
+        out = [drr.dequeue() for _ in range(20)]
+        bytes_a = sum(p.length for p in out if p.flow == "A")
+        bytes_b = sum(p.length for p in out if p.flow == "B")
+        assert abs(bytes_a - bytes_b) <= 1500
+
+    def test_weighted_shares(self):
+        drr = DeficitRoundRobin(weights={"A": 1.0, "B": 3.0}, quantum_bytes=1500)
+        for _ in range(40):
+            drr.enqueue(Packet(flow="A", length=1500))
+            drr.enqueue(Packet(flow="B", length=1500))
+        out = [drr.dequeue() for _ in range(24)]
+        count_b = sum(1 for p in out if p.flow == "B")
+        assert count_b == pytest.approx(18, abs=2)
+
+    def test_capacity_drops(self):
+        drr = DeficitRoundRobin(capacity_packets=2)
+        assert drr.enqueue(Packet(flow="A", length=100))
+        assert drr.enqueue(Packet(flow="A", length=100))
+        assert not drr.enqueue(Packet(flow="A", length=100))
+        assert drr.drops == 1
+
+    def test_flow_going_idle_loses_deficit(self):
+        drr = DeficitRoundRobin(quantum_bytes=1500)
+        drr.enqueue(Packet(flow="A", length=100))
+        assert drr.dequeue().flow == "A"
+        # A's leftover deficit must not let it dominate when it returns.
+        drr.enqueue(Packet(flow="A", length=1500))
+        drr.enqueue(Packet(flow="B", length=1500))
+        out = [drr.dequeue(), drr.dequeue()]
+        assert {p.flow for p in out} == {"A", "B"}
+
+    def test_len_tracks_buffered(self):
+        drr = DeficitRoundRobin()
+        drr.enqueue(Packet(flow="A", length=100))
+        drr.enqueue(Packet(flow="B", length=100))
+        assert len(drr) == 2
+        drr.dequeue()
+        assert len(drr) == 1
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(quantum_bytes=0)
+
+
+class TestSFQ:
+    def test_round_robin_across_buckets(self):
+        sfq = StochasticFairnessQueueing(bucket_count=16)
+        for _ in range(3):
+            sfq.enqueue(Packet(flow="A", length=100))
+            sfq.enqueue(Packet(flow="B", length=100))
+        out = [sfq.dequeue() for _ in range(6)]
+        # With no collisions, flows alternate.
+        flows = [p.flow for p in out]
+        assert flows.count("A") == flows.count("B") == 3
+        assert flows[0] != flows[1]
+
+    def test_bucket_hash_deterministic(self):
+        sfq = StochasticFairnessQueueing(bucket_count=8, hash_seed=3)
+        assert sfq.bucket_of("flow-x") == sfq.bucket_of("flow-x")
+
+    def test_collisions_share_a_bucket(self):
+        sfq = StochasticFairnessQueueing(bucket_count=1)
+        sfq.enqueue(Packet(flow="A", length=100))
+        sfq.enqueue(Packet(flow="B", length=100))
+        # Same bucket -> FIFO between the two flows.
+        assert sfq.dequeue().flow == "A"
+        assert sfq.dequeue().flow == "B"
+
+    def test_capacity(self):
+        sfq = StochasticFairnessQueueing(capacity_packets=1)
+        assert sfq.enqueue(Packet(flow="A", length=100))
+        assert not sfq.enqueue(Packet(flow="B", length=100))
+        assert sfq.drops == 1
+
+    def test_empty(self):
+        sfq = StochasticFairnessQueueing()
+        assert sfq.dequeue() is None
+        assert sfq.is_empty

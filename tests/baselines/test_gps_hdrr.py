@@ -1,0 +1,97 @@
+"""Tests for the GPS fluid reference and hierarchical DRR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GPSFluidSimulator, HierarchicalDRR
+from repro.core import Packet
+
+
+def burst(flow, count, length=1000, start=0.0):
+    return [(start, Packet(flow=flow, length=length)) for _ in range(count)]
+
+
+class TestGPSFluid:
+    def test_single_flow_served_at_link_rate(self):
+        gps = GPSFluidSimulator(link_rate_bps=8e6)
+        result = gps.run(burst("A", 4, length=1000))
+        assert result.served_bytes["A"] == pytest.approx(4000)
+        assert result.end_time == pytest.approx(0.004)
+
+    def test_equal_weights_split_capacity(self):
+        gps = GPSFluidSimulator(link_rate_bps=8e6)
+        arrivals = burst("A", 4) + burst("B", 4)
+        result = gps.run(arrivals, horizon=0.002)
+        assert result.served_bytes["A"] == pytest.approx(1000, rel=0.01)
+        assert result.served_bytes["B"] == pytest.approx(1000, rel=0.01)
+
+    def test_weighted_split(self):
+        gps = GPSFluidSimulator(link_rate_bps=8e6, weights={"A": 1.0, "B": 3.0})
+        arrivals = burst("A", 8) + burst("B", 8)
+        result = gps.run(arrivals, horizon=0.004)
+        assert result.share_of("B") == pytest.approx(0.75, abs=0.02)
+
+    def test_idle_flow_capacity_redistributed(self):
+        gps = GPSFluidSimulator(link_rate_bps=8e6)
+        # B finishes early; A then gets the whole link.
+        arrivals = burst("A", 8) + burst("B", 1)
+        result = gps.run(arrivals)
+        assert result.served_bytes["A"] == pytest.approx(8000)
+        assert result.served_bytes["B"] == pytest.approx(1000)
+
+    def test_finish_times_monotone_within_flow(self):
+        gps = GPSFluidSimulator(link_rate_bps=8e6)
+        arrivals = burst("A", 5) + burst("B", 5)
+        result = gps.run(arrivals)
+        a_finishes = result.finish_times[:5]
+        assert a_finishes == sorted(a_finishes)
+        assert all(t != float("inf") for t in result.finish_times)
+
+    def test_staggered_arrivals(self):
+        gps = GPSFluidSimulator(link_rate_bps=8e6)
+        arrivals = [(0.0, Packet(flow="A", length=1000)),
+                    (0.0005, Packet(flow="B", length=1000))]
+        result = gps.run(arrivals)
+        # A alone for 0.5 ms (500 B), then both share.
+        assert result.finish_times[0] < result.finish_times[1]
+
+
+class TestHierarchicalDRR:
+    def make(self):
+        return HierarchicalDRR(
+            class_weights={"Left": 1.0, "Right": 9.0},
+            class_flows={"Left": {"A": 3.0, "B": 7.0}, "Right": {"C": 4.0, "D": 6.0}},
+            quantum_bytes=1000,
+        )
+
+    def test_unknown_flow_dropped(self):
+        hdrr = self.make()
+        assert not hdrr.enqueue(Packet(flow="Z", length=100))
+        assert hdrr.drops == 1
+
+    def test_class_level_shares_approximate_weights(self):
+        hdrr = self.make()
+        for _ in range(200):
+            for flow in "ABCD":
+                hdrr.enqueue(Packet(flow=flow, length=1000))
+        out = [hdrr.dequeue() for _ in range(200)]
+        right = sum(1 for p in out if p.flow in "CD")
+        assert right / 200 == pytest.approx(0.9, abs=0.05)
+
+    def test_flow_level_shares_within_class(self):
+        hdrr = self.make()
+        for _ in range(200):
+            hdrr.enqueue(Packet(flow="C", length=1000))
+            hdrr.enqueue(Packet(flow="D", length=1000))
+        out = [hdrr.dequeue() for _ in range(100)]
+        d_share = sum(1 for p in out if p.flow == "D") / 100
+        assert d_share == pytest.approx(0.6, abs=0.08)
+
+    def test_len_and_empty(self):
+        hdrr = self.make()
+        assert hdrr.is_empty
+        hdrr.enqueue(Packet(flow="A", length=100))
+        assert len(hdrr) == 1
+        assert hdrr.dequeue().flow == "A"
+        assert hdrr.dequeue() is None

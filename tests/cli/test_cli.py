@@ -1,0 +1,91 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for argv in (["list"], ["run", "table1"], ["report"], ["programs"],
+                     ["show", "stfq"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(["run", "fig1", "--quick", "--json"])
+        assert args.experiment == "fig1"
+        assert args.quick is True
+        assert args.json is True
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_no_command_prints_help_and_fails(self, capsys):
+        assert main([]) == 1
+        assert "usage:" in capsys.readouterr().out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig3" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "2048" in out
+        assert "4096" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "sec5.4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "sec5.4"
+        assert payload["rows"]
+
+    def test_run_behavioural_experiment_quick(self, capsys):
+        assert main(["run", "fig1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "measured_share" in out
+
+    def test_report_subset(self, capsys):
+        assert main(["report", "table1", "sec5.4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[table1]" in out
+        assert "[sec5.4]" in out
+
+    def test_report_unknown_experiment(self, capsys):
+        assert main(["report", "bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_programs_command(self, capsys):
+        assert main(["programs"]) == 0
+        out = capsys.readouterr().out
+        assert "stfq" in out
+        assert "token_bucket" in out
+
+    def test_show_command(self, capsys):
+        assert main(["show", "token_bucket"]) == 0
+        out = capsys.readouterr().out
+        assert "p.send_time" in out
+        assert "Atom pipeline" in out
+        assert "feasible at line rate : yes" in out
+
+    def test_show_unknown_program(self, capsys):
+        assert main(["show", "bogus"]) == 2
+        assert "unknown program" in capsys.readouterr().err

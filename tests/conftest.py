@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Packet, ProgrammableScheduler
+from repro.sim import OutputPort, PacketSource, Simulator
+from repro.traffic import FlowSpec, cbr_arrivals, merge_arrivals
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests that need randomness."""
+    return random.Random(12345)
+
+
+def make_packet(flow="f", length=1000, **fields):
+    """Shorthand packet constructor used across the suite."""
+    return Packet(flow=flow, length=length, fields=dict(fields))
+
+
+def run_backlogged_experiment(
+    tree,
+    flow_rates_bps,
+    link_rate_bps,
+    duration_s,
+    packet_size=1500,
+    warmup_s=0.0,
+):
+    """Drive a scheduling tree with CBR overload and return (port, sink).
+
+    Every flow offers ``flow_rates_bps[flow]`` of CBR traffic into a single
+    output port running at ``link_rate_bps``; the returned sink holds all
+    departures, which callers summarise into shares/rates.
+    """
+    sim = Simulator()
+    scheduler = ProgrammableScheduler(tree)
+    port = OutputPort(sim, scheduler, rate_bps=link_rate_bps, name="port0")
+    streams = []
+    for flow, rate in flow_rates_bps.items():
+        spec = FlowSpec(name=flow, rate_bps=rate, packet_size=packet_size)
+        streams.append(cbr_arrivals(spec, duration=duration_s))
+    PacketSource(sim, port, merge_arrivals(*streams))
+    sim.run(until=duration_s)
+    return port, port.sink
+
+
+# Re-export helpers for plain-function import in test modules.
+__all__ = ["make_packet", "run_backlogged_experiment"]

@@ -1,0 +1,77 @@
+"""Tests for the Packet model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Packet, make_packets
+
+
+class TestPacket:
+    def test_basic_construction(self):
+        packet = Packet(flow="A", length=1500)
+        assert packet.flow == "A"
+        assert packet.length == 1500
+        assert packet.length_bits == 12000
+
+    def test_positive_length_required(self):
+        with pytest.raises(ValueError):
+            Packet(flow="A", length=0)
+
+    def test_fields_get_set(self):
+        packet = Packet(flow="A", length=100)
+        assert packet.get("slack") is None
+        assert packet.get("slack", 1.5) == 1.5
+        packet.set("slack", 0.25)
+        assert packet.get("slack") == 0.25
+
+    def test_packet_ids_are_unique_and_increasing(self):
+        first = Packet(flow="A", length=100)
+        second = Packet(flow="A", length=100)
+        assert second.packet_id > first.packet_id
+
+    def test_queueing_delay_requires_both_stamps(self):
+        packet = Packet(flow="A", length=100)
+        assert packet.queueing_delay is None
+        packet.enqueue_time = 1.0
+        assert packet.queueing_delay is None
+        packet.dequeue_time = 1.5
+        assert packet.queueing_delay == pytest.approx(0.5)
+
+    def test_total_delay(self):
+        packet = Packet(flow="A", length=100, arrival_time=2.0)
+        assert packet.total_delay is None
+        packet.departure_time = 2.75
+        assert packet.total_delay == pytest.approx(0.75)
+
+    def test_copy_is_independent(self):
+        packet = Packet(flow="A", length=100, fields={"deadline": 3.0})
+        clone = packet.copy()
+        clone.set("deadline", 9.0)
+        assert packet.get("deadline") == 3.0
+        assert clone.flow == packet.flow
+
+    def test_class_and_priority_defaults(self):
+        packet = Packet(flow="A", length=64)
+        assert packet.packet_class is None
+        assert packet.priority == 0
+
+
+class TestMakePackets:
+    def test_count_and_spacing(self):
+        packets = make_packets("A", count=3, length=500, start_time=1.0, spacing=0.5)
+        assert len(packets) == 3
+        assert [p.arrival_time for p in packets] == [1.0, 1.5, 2.0]
+        assert all(p.length == 500 for p in packets)
+
+    def test_extra_fields_copied_per_packet(self):
+        packets = make_packets("A", count=2, deadline=5.0)
+        packets[0].set("deadline", 1.0)
+        assert packets[1].get("deadline") == 5.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_packets("A", count=-1)
+
+    def test_zero_count(self):
+        assert make_packets("A", count=0) == []

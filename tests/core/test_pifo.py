@@ -1,0 +1,212 @@
+"""Unit and property-based tests for the PIFO data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PIFO, CalendarPIFO
+from repro.exceptions import PIFOEmptyError, PIFOFullError
+
+
+class TestPIFOBasics:
+    def test_push_pop_single(self):
+        pifo = PIFO()
+        pifo.push("a", 5)
+        assert pifo.pop() == "a"
+        assert pifo.is_empty
+
+    def test_lower_rank_dequeues_first(self):
+        pifo = PIFO()
+        pifo.push("low", 1)
+        pifo.push("high", 10)
+        pifo.push("mid", 5)
+        assert [pifo.pop() for _ in range(3)] == ["low", "mid", "high"]
+
+    def test_push_into_arbitrary_position(self):
+        pifo = PIFO()
+        pifo.push("b", 2)
+        pifo.push("d", 4)
+        pifo.push("c", 3)  # lands between b and d
+        pifo.push("a", 1)  # lands at the head
+        assert list(pifo) == ["a", "b", "c", "d"]
+
+    def test_fifo_tie_break(self):
+        pifo = PIFO()
+        for label in ["first", "second", "third"]:
+            pifo.push(label, 7)
+        assert [pifo.pop() for _ in range(3)] == ["first", "second", "third"]
+
+    def test_tie_break_interleaved_with_other_ranks(self):
+        pifo = PIFO()
+        pifo.push("x1", 2)
+        pifo.push("a", 1)
+        pifo.push("x2", 2)
+        assert [pifo.pop() for _ in range(3)] == ["a", "x1", "x2"]
+
+    def test_peek_does_not_remove(self):
+        pifo = PIFO()
+        pifo.push("a", 1)
+        assert pifo.peek() == "a"
+        assert pifo.peek_rank() == 1
+        assert len(pifo) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(PIFOEmptyError):
+            PIFO().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(PIFOEmptyError):
+            PIFO().peek()
+
+    def test_capacity_enforced(self):
+        pifo = PIFO(capacity=2)
+        pifo.push("a", 1)
+        pifo.push("b", 2)
+        with pytest.raises(PIFOFullError):
+            pifo.push("c", 3)
+        assert pifo.drops == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PIFO(capacity=0)
+
+    def test_len_and_bool(self):
+        pifo = PIFO()
+        assert not pifo
+        pifo.push("a", 1)
+        assert pifo
+        assert len(pifo) == 1
+
+    def test_clear(self):
+        pifo = PIFO()
+        pifo.push("a", 1)
+        pifo.clear()
+        assert pifo.is_empty
+
+    def test_ranks_snapshot(self):
+        pifo = PIFO()
+        pifo.push("a", 3)
+        pifo.push("b", 1)
+        assert pifo.ranks() == [1, 3]
+
+    def test_remove_predicate(self):
+        pifo = PIFO()
+        for i in range(6):
+            pifo.push(i, i)
+        removed = pifo.remove(lambda x: x % 2 == 0)
+        assert removed == [0, 2, 4]
+        assert list(pifo) == [1, 3, 5]
+
+    def test_pop_entry_returns_rank(self):
+        pifo = PIFO()
+        pifo.push("a", 42)
+        entry = pifo.pop_entry()
+        assert entry.element == "a"
+        assert entry.rank == 42
+
+    def test_counters(self):
+        pifo = PIFO()
+        pifo.push("a", 1)
+        pifo.push("b", 2)
+        pifo.pop()
+        assert pifo.pushes == 2
+        assert pifo.pops == 1
+
+
+class TestCalendarPIFO:
+    def test_same_interface(self):
+        pifo = CalendarPIFO()
+        pifo.push("a", 2)
+        pifo.push("b", 1)
+        assert pifo.peek() == "b"
+        assert pifo.pop() == "b"
+        assert pifo.pop() == "a"
+
+    def test_capacity(self):
+        pifo = CalendarPIFO(capacity=1)
+        pifo.push("a", 1)
+        with pytest.raises(PIFOFullError):
+            pifo.push("b", 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(PIFOEmptyError):
+            CalendarPIFO().pop()
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests                                                         #
+# --------------------------------------------------------------------------- #
+
+ranks_lists = st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=200)
+
+
+@given(ranks_lists)
+@settings(max_examples=200)
+def test_property_dequeue_order_is_sorted_by_rank(ranks):
+    """Dequeue order is non-decreasing in rank, whatever the push order."""
+    pifo = PIFO()
+    for index, rank in enumerate(ranks):
+        pifo.push(index, rank)
+    out_ranks = []
+    while pifo:
+        entry = pifo.pop_entry()
+        out_ranks.append(entry.rank)
+    assert out_ranks == sorted(out_ranks)
+
+
+@given(ranks_lists)
+@settings(max_examples=200)
+def test_property_equal_ranks_preserve_push_order(ranks):
+    """Among equal ranks, elements dequeue in push order (stability)."""
+    pifo = PIFO()
+    for index, rank in enumerate(ranks):
+        pifo.push(index, rank)
+    popped = []
+    while pifo:
+        popped.append(pifo.pop_entry())
+    by_rank = {}
+    for entry in popped:
+        by_rank.setdefault(entry.rank, []).append(entry.element)
+    for rank, elements in by_rank.items():
+        assert elements == sorted(elements)
+
+
+@given(ranks_lists)
+@settings(max_examples=200)
+def test_property_calendar_pifo_equivalent_to_reference(ranks):
+    """The heap-backed PIFO dequeues in exactly the same order."""
+    reference = PIFO()
+    calendar = CalendarPIFO()
+    for index, rank in enumerate(ranks):
+        reference.push(index, rank)
+        calendar.push(index, rank)
+    ref_order = [reference.pop() for _ in range(len(ranks))]
+    cal_order = [calendar.pop() for _ in range(len(ranks))]
+    assert ref_order == cal_order
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["push", "pop"]), st.integers(0, 100)),
+        max_size=300,
+    )
+)
+@settings(max_examples=100)
+def test_property_mixed_push_pop_never_violates_order(operations):
+    """Interleaved pushes and pops: every pop returns the current minimum."""
+    pifo = PIFO()
+    contents = []
+    counter = 0
+    for op, rank in operations:
+        if op == "push":
+            pifo.push(counter, rank)
+            contents.append((rank, counter))
+            counter += 1
+        elif contents:
+            entry = pifo.pop_entry()
+            expected_rank = min(r for r, _ in contents)
+            assert entry.rank == expected_rank
+            contents.remove((entry.rank, entry.element))
+    assert len(pifo) == len(contents)

@@ -1,0 +1,89 @@
+"""Tests for packet predicates."""
+
+from __future__ import annotations
+
+from repro.core import (
+    And,
+    ClassEquals,
+    ClassIn,
+    FieldEquals,
+    FlowEquals,
+    FlowIn,
+    MatchAll,
+    MatchNone,
+    Not,
+    Or,
+    Packet,
+    PriorityEquals,
+)
+
+
+def packet(**kwargs):
+    defaults = dict(flow="A", length=100)
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+class TestSimplePredicates:
+    def test_match_all(self):
+        assert MatchAll()(packet())
+
+    def test_match_none(self):
+        assert not MatchNone()(packet())
+
+    def test_class_equals(self):
+        assert ClassEquals("Left")(packet(packet_class="Left"))
+        assert not ClassEquals("Left")(packet(packet_class="Right"))
+        assert not ClassEquals("Left")(packet())
+
+    def test_class_in(self):
+        predicate = ClassIn(["Left", "Right"])
+        assert predicate(packet(packet_class="Right"))
+        assert not predicate(packet(packet_class="Middle"))
+
+    def test_flow_equals(self):
+        assert FlowEquals("A")(packet(flow="A"))
+        assert not FlowEquals("A")(packet(flow="B"))
+
+    def test_flow_in(self):
+        predicate = FlowIn(["A", "B"])
+        assert predicate(packet(flow="B"))
+        assert not predicate(packet(flow="C"))
+
+    def test_priority_equals(self):
+        assert PriorityEquals(2)(packet(priority=2))
+        assert not PriorityEquals(2)(packet(priority=1))
+
+    def test_field_equals(self):
+        predicate = FieldEquals("tenant", "t1")
+        assert predicate(packet(fields={"tenant": "t1"}))
+        assert not predicate(packet(fields={"tenant": "t2"}))
+        assert not predicate(packet())
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = And(FlowEquals("A"), PriorityEquals(0))
+        assert predicate(packet(flow="A", priority=0))
+        assert not predicate(packet(flow="A", priority=1))
+
+    def test_or(self):
+        predicate = Or(FlowEquals("A"), FlowEquals("B"))
+        assert predicate(packet(flow="B"))
+        assert not predicate(packet(flow="C"))
+
+    def test_not(self):
+        predicate = Not(FlowEquals("A"))
+        assert predicate(packet(flow="B"))
+        assert not predicate(packet(flow="A"))
+
+    def test_nested_composition(self):
+        predicate = And(Not(ClassEquals("control")), Or(FlowIn(["A"]), PriorityEquals(7)))
+        assert predicate(packet(flow="A"))
+        assert predicate(packet(flow="Z", priority=7))
+        assert not predicate(packet(flow="Z"))
+        assert not predicate(packet(flow="A", packet_class="control"))
+
+    def test_reprs_are_informative(self):
+        assert "Left" in repr(ClassEquals("Left"))
+        assert "And" in repr(And(MatchAll()))

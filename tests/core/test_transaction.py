@@ -1,0 +1,91 @@
+"""Tests for scheduling/shaping transaction base classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LambdaSchedulingTransaction,
+    LambdaShapingTransaction,
+    Packet,
+    TransactionContext,
+)
+from repro.exceptions import TransactionError
+
+
+class TestLambdaSchedulingTransaction:
+    def test_computes_rank(self):
+        txn = LambdaSchedulingTransaction(lambda p, ctx, state: p.length)
+        rank = txn(Packet(flow="A", length=700), TransactionContext())
+        assert rank == 700
+
+    def test_counts_executions(self):
+        txn = LambdaSchedulingTransaction(lambda p, ctx, state: 0)
+        for _ in range(3):
+            txn(Packet(flow="A", length=1), TransactionContext())
+        assert txn.executions == 3
+
+    def test_state_initialisation_and_reset(self):
+        txn = LambdaSchedulingTransaction(
+            lambda p, ctx, state: state.__setitem__("count", state["count"] + 1)
+            or state["count"],
+            initial_state={"count": 0},
+        )
+        ctx = TransactionContext()
+        assert txn(Packet(flow="A", length=1), ctx) == 1
+        assert txn(Packet(flow="A", length=1), ctx) == 2
+        txn.reset()
+        assert txn(Packet(flow="A", length=1), ctx) == 1
+
+    def test_none_rank_raises(self):
+        txn = LambdaSchedulingTransaction(lambda p, ctx, state: None)
+        with pytest.raises(TransactionError):
+            txn(Packet(flow="A", length=1), TransactionContext())
+
+    def test_snapshot_restore(self):
+        txn = LambdaSchedulingTransaction(
+            lambda p, ctx, state: 0, initial_state={"virtual_time": 5.0}
+        )
+        snapshot = txn.snapshot()
+        txn.state["virtual_time"] = 99.0
+        txn.restore(snapshot)
+        assert txn.state["virtual_time"] == 5.0
+
+    def test_dequeue_hook(self):
+        seen = []
+        txn = LambdaSchedulingTransaction(
+            lambda p, ctx, state: 0,
+            dequeue_fn=lambda element, ctx, state: seen.append(ctx.extras.get("rank")),
+        )
+        txn.on_dequeue("element", TransactionContext(extras={"rank": 3}))
+        assert seen == [3]
+
+
+class TestLambdaShapingTransaction:
+    def test_computes_send_time(self):
+        txn = LambdaShapingTransaction(lambda p, ctx, state: ctx.now + 0.5)
+        send = txn(Packet(flow="A", length=1), TransactionContext(now=1.0))
+        assert send == pytest.approx(1.5)
+
+    def test_past_send_time_clamped_to_now(self):
+        txn = LambdaShapingTransaction(lambda p, ctx, state: ctx.now - 10.0)
+        send = txn(Packet(flow="A", length=1), TransactionContext(now=4.0))
+        assert send == pytest.approx(4.0)
+
+    def test_none_send_time_raises(self):
+        txn = LambdaShapingTransaction(lambda p, ctx, state: None)
+        with pytest.raises(TransactionError):
+            txn(Packet(flow="A", length=1), TransactionContext())
+
+
+class TestTransactionContext:
+    def test_defaults(self):
+        ctx = TransactionContext()
+        assert ctx.now == 0.0
+        assert ctx.extras == {}
+
+    def test_extras_independent_between_instances(self):
+        a = TransactionContext()
+        b = TransactionContext()
+        a.extras["x"] = 1
+        assert "x" not in b.extras

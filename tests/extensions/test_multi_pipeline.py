@@ -1,0 +1,151 @@
+"""Tests for the Section 6.3 multi-pipeline PIFO block extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HardwareModelError
+from repro.extensions import (
+    MultiPipelineBlock,
+    PipelinePortConfig,
+    required_pipelines,
+)
+
+
+class TestPipelinePortConfig:
+    def test_defaults_to_single_pipeline(self):
+        config = PipelinePortConfig()
+        assert config.ingress_pipelines == 1
+        assert config.egress_pipelines == 1
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            PipelinePortConfig(ingress_pipelines=0)
+        with pytest.raises(ValueError):
+            PipelinePortConfig(egress_pipelines=-1)
+
+
+class TestRequiredPipelines:
+    def test_single_pipeline_switch(self):
+        # 64 x 10 Gbit/s = 640 Gbit/s -> 1.25 Gpackets/s at 64 B -> 2 pipelines
+        # is already needed above exactly 1 Gpacket/s; the paper rounds this
+        # to "a billion packets/s", i.e. one pipeline.
+        assert required_pipelines(512e9) == 1
+
+    def test_tomahawk_class_switch_needs_about_six(self):
+        # 3.2 Tbit/s at 64-byte packets is 6.25 billion packets/s.
+        assert required_pipelines(3.2e12) == 7
+        assert required_pipelines(3.0e12) == 6
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            required_pipelines(0)
+
+
+class TestMultiPipelineBlockOrdering:
+    def test_behaves_like_a_pifo_without_cycles(self):
+        block = MultiPipelineBlock()
+        for rank, flow in [(5.0, "a"), (1.0, "b"), (3.0, "c")]:
+            assert block.enqueue(0, rank=rank, flow=flow, metadata=flow)
+        order = [block.dequeue(0).flow for _ in range(3)]
+        assert order == ["b", "c", "a"]
+
+    def test_peek_matches_dequeue(self):
+        block = MultiPipelineBlock()
+        block.enqueue(0, rank=2.0, flow="x", metadata="x")
+        block.enqueue(0, rank=1.0, flow="y", metadata="y")
+        assert block.peek(0).flow == "y"
+        assert block.dequeue(0).flow == "y"
+
+    def test_len_and_is_empty(self):
+        block = MultiPipelineBlock()
+        assert block.is_empty()
+        block.enqueue(0, rank=1.0, flow="a")
+        assert len(block) == 1
+        block.dequeue(0)
+        assert block.is_empty()
+
+    def test_pipeline_index_validation(self):
+        block = MultiPipelineBlock(ports=PipelinePortConfig(2, 2))
+        with pytest.raises(HardwareModelError):
+            block.enqueue(0, rank=1.0, flow="a", pipeline=2)
+        with pytest.raises(HardwareModelError):
+            block.dequeue(0, pipeline=5)
+
+    def test_cycle_numbers_must_not_go_backwards(self):
+        block = MultiPipelineBlock()
+        block.enqueue(0, rank=1.0, flow="a", cycle=10)
+        with pytest.raises(HardwareModelError):
+            block.enqueue(0, rank=2.0, flow="b", cycle=5)
+
+
+class TestPortBudget:
+    def test_single_pipeline_refuses_second_enqueue_in_a_cycle(self):
+        block = MultiPipelineBlock(ports=PipelinePortConfig(1, 1), strict=True)
+        assert block.enqueue(0, rank=1.0, flow="a", cycle=1)
+        assert not block.enqueue(0, rank=2.0, flow="b", cycle=1)
+        assert block.stats.enqueues_refused == 1
+        # The next cycle frees the port again.
+        assert block.enqueue(0, rank=2.0, flow="b", cycle=2)
+
+    def test_wider_ingress_accepts_parallel_enqueues(self):
+        block = MultiPipelineBlock(ports=PipelinePortConfig(4, 1), strict=True)
+        results = [
+            block.enqueue(0, rank=float(i), flow=f"f{i}", cycle=1, pipeline=i)
+            for i in range(4)
+        ]
+        assert all(results)
+        assert block.stats.enqueues_refused == 0
+
+    def test_egress_budget_limits_dequeues_per_cycle(self):
+        block = MultiPipelineBlock(ports=PipelinePortConfig(4, 2), strict=True)
+        for i in range(4):
+            block.enqueue(0, rank=float(i), flow=f"f{i}", cycle=1, pipeline=i)
+        served = [block.dequeue(0, cycle=2, pipeline=min(i, 1)) for i in range(4)]
+        assert sum(1 for s in served if s is not None) == 2
+        assert block.stats.dequeues_refused == 2
+        # Next cycle the remaining two drain.
+        remaining = [block.dequeue(0, cycle=3, pipeline=i % 2) for i in range(2)]
+        assert all(r is not None for r in remaining)
+
+    def test_permissive_mode_counts_but_does_not_refuse(self):
+        block = MultiPipelineBlock(ports=PipelinePortConfig(1, 1), strict=False)
+        assert block.enqueue(0, rank=1.0, flow="a", cycle=1)
+        assert block.enqueue(0, rank=2.0, flow="b", cycle=1)
+        assert block.stats.enqueues_refused == 1
+        assert len(block) == 2
+
+    def test_loss_fractions(self):
+        block = MultiPipelineBlock(ports=PipelinePortConfig(2, 1), strict=True)
+        for cycle in range(1, 11):
+            for i in range(4):  # 4 offered enqueues per cycle, budget 2
+                block.enqueue(0, rank=float(cycle * 10 + i), flow=f"f{i}",
+                              cycle=cycle, pipeline=i % 2)
+        assert block.stats.enqueues_accepted == 20
+        assert block.stats.enqueues_refused == 20
+        assert block.stats.enqueue_loss_fraction == pytest.approx(0.5)
+        assert block.stats.enqueue_overflow_cycles == 10
+
+    def test_functional_mode_without_cycles_never_refuses(self):
+        block = MultiPipelineBlock(ports=PipelinePortConfig(1, 1), strict=True)
+        for i in range(10):
+            assert block.enqueue(0, rank=float(i), flow=f"f{i}")
+        assert block.stats.enqueues_refused == 0
+        assert len(block) == 10
+
+    def test_ordering_preserved_across_wide_ports(self):
+        """Packets admitted through different ingress pipelines still dequeue
+        in global rank order."""
+        block = MultiPipelineBlock(ports=PipelinePortConfig(4, 4), strict=True)
+        ranks = [9.0, 2.0, 7.0, 4.0, 1.0, 8.0, 3.0, 6.0]
+        for i, rank in enumerate(ranks):
+            block.enqueue(0, rank=rank, flow=f"f{i}", metadata=rank,
+                          cycle=1 + i // 4, pipeline=i % 4)
+        out = []
+        cycle = 10
+        while not block.is_empty():
+            element = block.dequeue(0, cycle=cycle, pipeline=len(out) % 4)
+            if element is not None:
+                out.append(element.rank)
+            cycle += 1
+        assert out == sorted(ranks)

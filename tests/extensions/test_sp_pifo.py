@@ -1,0 +1,199 @@
+"""Tests for the SP-PIFO approximation extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PIFO
+from repro.exceptions import PIFOEmptyError
+from repro.extensions import (
+    SPPIFOQueue,
+    compare_with_exact_pifo,
+    count_inversions,
+)
+
+
+class TestCountInversions:
+    def test_sorted_sequence_has_no_inversions(self):
+        assert count_inversions([1, 2, 3, 4, 5]) == 0
+
+    def test_reverse_sorted_sequence_is_worst_case(self):
+        n = 6
+        assert count_inversions(list(range(n, 0, -1))) == n * (n - 1) // 2
+
+    def test_single_swap(self):
+        assert count_inversions([1, 3, 2, 4]) == 1
+
+    def test_duplicates_are_not_inversions(self):
+        assert count_inversions([2, 2, 2, 2]) == 0
+
+    def test_empty_and_singleton(self):
+        assert count_inversions([]) == 0
+        assert count_inversions([7]) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=80))
+    def test_matches_quadratic_reference(self, ranks):
+        reference = sum(
+            1
+            for i in range(len(ranks))
+            for j in range(i + 1, len(ranks))
+            if ranks[i] > ranks[j]
+        )
+        assert count_inversions(ranks) == reference
+
+
+class TestSPPIFOQueue:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SPPIFOQueue(num_queues=0)
+        with pytest.raises(ValueError):
+            SPPIFOQueue(num_queues=3, initial_bounds=[0.0, 1.0])
+        with pytest.raises(ValueError):
+            SPPIFOQueue(num_queues=3, initial_bounds=[2.0, 1.0, 0.0])
+
+    def test_pop_empty_raises(self):
+        queue = SPPIFOQueue(num_queues=4)
+        with pytest.raises(PIFOEmptyError):
+            queue.pop()
+        with pytest.raises(PIFOEmptyError):
+            queue.peek()
+
+    def test_len_and_clear(self):
+        queue = SPPIFOQueue(num_queues=4)
+        for rank in (5, 1, 9):
+            queue.push(f"e{rank}", rank)
+        assert len(queue) == 3
+        assert bool(queue)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.is_empty
+
+    def test_single_queue_degenerates_to_fifo(self):
+        queue = SPPIFOQueue(num_queues=1)
+        for index, rank in enumerate([5, 1, 9, 3]):
+            queue.push(index, rank)
+        assert [queue.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_distinct_ranks_with_many_queues_sort_exactly(self):
+        """With at least as many queues as distinct ranks and arrivals seen
+        in any order, the strict-priority scan separates the ranks."""
+        queue = SPPIFOQueue(num_queues=8)
+        ranks = [3, 1, 2, 0]
+        for rank in ranks:
+            queue.push(f"r{rank}", rank)
+        popped = [queue.pop_with_rank()[0] for _ in range(len(ranks))]
+        assert count_inversions(popped) <= count_inversions(list(ranks))
+
+    def test_push_up_tracks_admitted_rank(self):
+        queue = SPPIFOQueue(num_queues=2)
+        queue.push("a", 5.0)
+        assert queue.bounds()[-1] == 5.0 or queue.bounds()[0] == 5.0
+
+    def test_push_down_on_bound_miss(self):
+        queue = SPPIFOQueue(num_queues=2, initial_bounds=[10.0, 20.0])
+        queue.push("small", 1.0)
+        assert queue.stats.push_downs == 1
+        # Every bound decreased by the inversion cost (10 - 1 = 9).
+        assert queue.bounds() == [1.0, 11.0]
+
+    def test_dequeue_serves_highest_priority_queue_first(self):
+        queue = SPPIFOQueue(num_queues=3, initial_bounds=[0.0, 10.0, 20.0])
+        queue.push("low", 25.0)    # lands in queue 2
+        queue.push("high", 5.0)    # lands in queue 0
+        assert queue.pop() == "high"
+        assert queue.pop() == "low"
+
+    def test_occupancy_reports_per_queue_counts(self):
+        queue = SPPIFOQueue(num_queues=3, initial_bounds=[0.0, 10.0, 20.0])
+        queue.push("a", 5.0)
+        queue.push("b", 15.0)
+        queue.push("c", 25.0)
+        assert sum(queue.occupancy()) == 3
+        assert len(queue.occupancy()) == 3
+
+    def test_stats_counters(self):
+        queue = SPPIFOQueue(num_queues=4)
+        for rank in (3, 1, 4, 1, 5):
+            queue.push("x", rank)
+        while not queue.is_empty:
+            queue.pop()
+        assert queue.stats.pushes == 5
+        assert queue.stats.pops == 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False),
+                    min_size=1, max_size=120))
+    def test_property_conserves_elements(self, ranks):
+        queue = SPPIFOQueue(num_queues=8)
+        for index, rank in enumerate(ranks):
+            queue.push(index, rank)
+        popped = set()
+        while not queue.is_empty:
+            popped.add(queue.pop())
+        assert popped == set(range(len(ranks)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False),
+                    min_size=2, max_size=100),
+           st.integers(min_value=1, max_value=16))
+    def test_property_non_decreasing_arrivals_dequeue_in_order(self, ranks, queues):
+        """When ranks arrive in non-decreasing order every element is
+        admitted to the lowest-priority queue (its bound always trails the
+        largest admitted rank), so the dequeue order is exactly the arrival
+        order — zero inversions."""
+        ranks = sorted(ranks)
+        queue = SPPIFOQueue(num_queues=queues)
+        for index, rank in enumerate(ranks):
+            queue.push(index, rank)
+        popped = []
+        while not queue.is_empty:
+            popped.append(queue.pop_with_rank()[0])
+        assert popped == ranks
+        assert count_inversions(popped) == 0
+
+
+class TestCompareWithExactPIFO:
+    def test_exact_pifo_has_zero_inversions(self):
+        rng = random.Random(7)
+        arrivals = [(i, rng.uniform(0, 100)) for i in range(300)]
+        report = compare_with_exact_pifo(arrivals, num_queues=8)
+        assert report.exact_inversions == 0
+        assert report.elements == 300
+
+    def test_more_queues_reduce_inversions(self):
+        rng = random.Random(11)
+        arrivals = [(i, rng.uniform(0, 100)) for i in range(500)]
+        few = compare_with_exact_pifo(arrivals, num_queues=2, drain_every=2)
+        many = compare_with_exact_pifo(arrivals, num_queues=32, drain_every=2)
+        assert many.inversions <= few.inversions
+
+    def test_inversion_rate_normalisation(self):
+        rng = random.Random(3)
+        arrivals = [(i, rng.uniform(0, 100)) for i in range(100)]
+        report = compare_with_exact_pifo(arrivals, num_queues=4)
+        assert 0.0 <= report.inversion_rate <= 1.0
+        assert 0.0 <= report.unpifoness <= 1.0
+
+    def test_interleaved_draining(self):
+        rng = random.Random(5)
+        arrivals = [(i, rng.uniform(0, 100)) for i in range(200)]
+        report = compare_with_exact_pifo(arrivals, num_queues=8, drain_every=3)
+        assert report.elements == 200
+        assert report.mean_rank_error >= 0.0
+
+    def test_exact_pifo_reference_is_actually_sorted(self):
+        """Sanity-check the reference: a PIFO drained after all enqueues
+        yields non-decreasing ranks."""
+        rng = random.Random(13)
+        pifo = PIFO()
+        for i in range(200):
+            pifo.push(i, rng.uniform(0, 50))
+        ranks = []
+        while not pifo.is_empty:
+            ranks.append(pifo.pop_entry().rank)
+        assert ranks == sorted(ranks)

@@ -1,0 +1,135 @@
+"""Tests for the atom feasibility analysis and the area/timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CompilationError
+from repro.hardware import (
+    ATOM_BUDGET_PER_CHIP,
+    AtomPipelineAnalyzer,
+    FlowSchedulerDesign,
+    MAX_FLOWS_AT_1GHZ,
+    MeshDesign,
+    PAPER_PARAMETER_VARIATIONS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TOTAL_MESH_WIRES,
+    PAPER_TRANSACTIONS,
+    PAPER_WIRES_PER_SET,
+    PIFOBlockDesign,
+    StateUpdate,
+    TransactionSpec,
+    flat_sorted_array_comparisons,
+    paper_transaction_specs,
+    parameter_variation_rows,
+    require_feasible,
+    table2_rows,
+)
+
+
+class TestAtomAnalysis:
+    def test_every_paper_transaction_is_feasible(self):
+        analyzer = AtomPipelineAnalyzer()
+        for spec in paper_transaction_specs():
+            report = analyzer.analyze(spec)
+            assert report.feasible, f"{spec.name} should fit the atom vocabulary"
+            assert report.total_atoms >= 1
+
+    def test_stateless_transactions_use_only_stateless_atoms(self):
+        analyzer = AtomPipelineAnalyzer()
+        report = analyzer.analyze(PAPER_TRANSACTIONS["fifo"])
+        assert set(report.atoms_used) == {"Stateless"}
+
+    def test_stfq_requires_the_pairs_atom(self):
+        analyzer = AtomPipelineAnalyzer()
+        report = analyzer.analyze(PAPER_TRANSACTIONS["stfq"])
+        assert report.atoms_used.get("Pairs", 0) >= 1
+
+    def test_all_paper_transactions_fit_the_chip_budget(self):
+        analyzer = AtomPipelineAnalyzer()
+        assert analyzer.fits_budget(paper_transaction_specs(), ATOM_BUDGET_PER_CHIP)
+
+    def test_infeasible_capability_reported_not_raised(self):
+        analyzer = AtomPipelineAnalyzer()
+        impossible = TransactionSpec(
+            name="impossible",
+            kind="scheduling",
+            state_updates=(StateUpdate("x", required_capability=99),),
+        )
+        report = analyzer.analyze(impossible)
+        assert not report.feasible
+        assert "capability" in report.reason
+
+    def test_require_feasible_raises_for_infeasible(self):
+        impossible = TransactionSpec(
+            name="impossible",
+            kind="scheduling",
+            state_updates=(StateUpdate("x", required_capability=99),),
+        )
+        with pytest.raises(CompilationError):
+            require_feasible(impossible)
+
+    def test_area_accumulates_over_transactions(self):
+        analyzer = AtomPipelineAnalyzer()
+        total = analyzer.total_area_mm2(paper_transaction_specs())
+        assert 0 < total < 1.8  # well under the 300-atom budget of 1.8 mm^2
+
+
+class TestFlowSchedulerDesign:
+    def test_baseline_area_matches_paper(self):
+        assert FlowSchedulerDesign().area_mm2() == pytest.approx(0.224, rel=0.03)
+
+    @pytest.mark.parametrize("flows,area,timing", list(PAPER_TABLE2))
+    def test_table2_rows_within_tolerance(self, flows, area, timing):
+        design = FlowSchedulerDesign(num_flows=flows)
+        assert design.area_mm2() == pytest.approx(area, rel=0.06)
+        assert design.meets_timing_at_1ghz() == timing
+
+    @pytest.mark.parametrize("name,paper_area", sorted(PAPER_PARAMETER_VARIATIONS.items()))
+    def test_section53_parameter_variations(self, name, paper_area):
+        rows = {row["variation"]: row for row in parameter_variation_rows()}
+        assert rows[name]["model_area_mm2"] == pytest.approx(paper_area, rel=0.03)
+
+    def test_timing_cliff_at_2048_flows(self):
+        assert FlowSchedulerDesign(num_flows=MAX_FLOWS_AT_1GHZ).meets_timing_at_1ghz()
+        assert not FlowSchedulerDesign(num_flows=MAX_FLOWS_AT_1GHZ * 2).meets_timing_at_1ghz()
+
+    def test_table2_rows_helper_reports_paper_values(self):
+        rows = table2_rows()
+        assert len(rows) == 5
+        assert rows[0]["paper_area_mm2"] == 0.053
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSchedulerDesign(num_flows=0)
+
+
+class TestBlockAndMeshDesign:
+    def test_table1_block_breakdown(self):
+        breakdown = PIFOBlockDesign().breakdown()
+        assert breakdown["rank_store"] == pytest.approx(PAPER_TABLE1["rank_store"], rel=0.02)
+        assert breakdown["next_pointers"] == pytest.approx(PAPER_TABLE1["next_pointers"], rel=0.02)
+        assert breakdown["free_list"] == pytest.approx(PAPER_TABLE1["free_list"], rel=0.02)
+        assert breakdown["one_block"] == pytest.approx(PAPER_TABLE1["one_block"], rel=0.02)
+
+    def test_five_block_mesh_overhead_below_four_percent(self):
+        mesh = MeshDesign()
+        assert mesh.total_area_mm2() == pytest.approx(7.35, rel=0.02)
+        assert mesh.overhead_percent() == pytest.approx(PAPER_TABLE1["overhead_percent"], rel=0.02)
+        assert mesh.overhead_percent() < 4.0
+
+    def test_atoms_area_matches_paper(self):
+        assert MeshDesign().atoms_area_mm2() == pytest.approx(1.8)
+
+    def test_wiring_counts_match_section_54(self):
+        mesh = MeshDesign()
+        assert mesh.bits_per_wire_set() == PAPER_WIRES_PER_SET
+        assert mesh.wire_sets() == 20
+        assert mesh.total_mesh_wires() == PAPER_TOTAL_MESH_WIRES
+
+    def test_flat_sorted_array_needs_60k_comparators(self):
+        """The ablation behind the flow-scheduler/rank-store split: a naive
+        flat PIFO would need one comparator per buffered packet."""
+        assert flat_sorted_array_comparisons(60_000) == 60_000
+        assert flat_sorted_array_comparisons(60_000) > FlowSchedulerDesign().num_flows

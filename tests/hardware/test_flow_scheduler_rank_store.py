@@ -1,0 +1,113 @@
+"""Tests for the flow scheduler and rank store hardware models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HardwareModelError
+from repro.hardware import FlowScheduler, RankStore
+
+
+class TestFlowScheduler:
+    def test_push_pop_sorted_by_rank(self):
+        scheduler = FlowScheduler(capacity_flows=8)
+        scheduler.push(5.0, logical_pifo=0, flow="a")
+        scheduler.push(1.0, logical_pifo=0, flow="b")
+        scheduler.push(3.0, logical_pifo=0, flow="c")
+        assert [scheduler.pop(0).flow for _ in range(3)] == ["b", "c", "a"]
+
+    def test_tie_break_by_push_order(self):
+        scheduler = FlowScheduler(capacity_flows=8)
+        scheduler.push(1.0, 0, "first")
+        scheduler.push(1.0, 0, "second")
+        assert scheduler.pop(0).flow == "first"
+
+    def test_pop_selects_by_logical_pifo(self):
+        scheduler = FlowScheduler(capacity_flows=8)
+        scheduler.push(1.0, logical_pifo=7, flow="a")
+        scheduler.push(2.0, logical_pifo=3, flow="b")
+        entry = scheduler.pop(3)
+        assert entry.flow == "b"
+        assert scheduler.pop(3) is None
+        assert scheduler.pop(7).flow == "a"
+
+    def test_capacity_limit(self):
+        scheduler = FlowScheduler(capacity_flows=2)
+        scheduler.push(1.0, 0, "a")
+        scheduler.push(2.0, 0, "b")
+        with pytest.raises(HardwareModelError):
+            scheduler.push(3.0, 0, "c")
+
+    def test_pfc_masking_hides_flow_from_pops(self):
+        scheduler = FlowScheduler(capacity_flows=8)
+        scheduler.push(1.0, 0, "paused")
+        scheduler.push(2.0, 0, "active")
+        scheduler.mask_flow("paused")
+        assert scheduler.pop(0).flow == "active"
+        assert scheduler.pop(0) is None
+        scheduler.unmask_flow("paused")
+        assert scheduler.pop(0).flow == "paused"
+
+    def test_comparison_work_scales_with_occupancy(self):
+        scheduler = FlowScheduler(capacity_flows=64)
+        for i in range(10):
+            scheduler.push(float(i), 0, f"f{i}")
+        assert scheduler.stats.comparisons >= 10
+        assert scheduler.stats.pushes == 10
+
+    def test_occupancy_by_pifo(self):
+        scheduler = FlowScheduler(capacity_flows=8)
+        scheduler.push(1.0, 0, "a")
+        scheduler.push(1.0, 1, "b")
+        scheduler.push(1.0, 1, "c")
+        assert scheduler.occupancy_by_pifo() == {0: 1, 1: 2}
+
+    def test_contains_flow(self):
+        scheduler = FlowScheduler(capacity_flows=8)
+        scheduler.push(1.0, 0, "a")
+        assert scheduler.contains_flow(0, "a")
+        assert not scheduler.contains_flow(1, "a")
+        assert not scheduler.contains_flow(0, "b")
+
+
+class TestRankStore:
+    def test_per_flow_fifo_order(self):
+        store = RankStore(capacity_entries=16)
+        store.append(0, "f", 1.0, "first")
+        store.append(0, "f", 2.0, "second")
+        assert store.pop_head(0, "f") == (1.0, "first")
+        assert store.pop_head(0, "f") == (2.0, "second")
+        assert store.pop_head(0, "f") is None
+
+    def test_flows_are_independent(self):
+        store = RankStore(capacity_entries=16)
+        store.append(0, "a", 1.0, "pa")
+        store.append(0, "b", 2.0, "pb")
+        assert store.pop_head(0, "b") == (2.0, "pb")
+        assert store.flow_depth(0, "a") == 1
+
+    def test_logical_pifos_are_independent(self):
+        store = RankStore(capacity_entries=16)
+        store.append(0, "f", 1.0, None)
+        store.append(5, "f", 2.0, None)
+        assert store.flow_depth(0, "f") == 1
+        assert store.flow_depth(5, "f") == 1
+
+    def test_shared_capacity(self):
+        store = RankStore(capacity_entries=2)
+        store.append(0, "a", 1.0, None)
+        store.append(0, "b", 1.0, None)
+        with pytest.raises(HardwareModelError):
+            store.append(0, "c", 1.0, None)
+        assert store.free_entries == 0
+
+    def test_occupancy_and_stats(self):
+        store = RankStore(capacity_entries=8)
+        store.append(0, "a", 1.0, None)
+        store.append(0, "a", 2.0, None)
+        store.pop_head(0, "a")
+        assert len(store) == 1
+        assert store.stats.appends == 2
+        assert store.stats.pops == 1
+        assert store.stats.peak_occupancy == 2
+        assert store.active_flows() == 1

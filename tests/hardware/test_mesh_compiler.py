@@ -1,0 +1,140 @@
+"""Tests for the PIFO mesh, conflict arbitration and the tree compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import build_deep_hierarchy, build_fig3_tree, build_fig4_tree
+from repro.exceptions import CompilationError
+from repro.hardware import (
+    ConflictArbiter,
+    MeshCompiler,
+    NextHop,
+    PIFOBlock,
+    PIFOMesh,
+    compile_tree,
+)
+
+
+class TestPIFOMesh:
+    def test_add_blocks_and_next_hops(self):
+        mesh = PIFOMesh()
+        mesh.add_block(PIFOBlock(name="a"))
+        mesh.add_block(PIFOBlock(name="b"))
+        mesh.set_next_hop("a", 0, NextHop(operation="dequeue", target_block="b"))
+        hop = mesh.next_hop("a", 0)
+        assert hop.operation == "dequeue"
+        assert hop.target_block == "b"
+
+    def test_duplicate_block_rejected(self):
+        mesh = PIFOMesh()
+        mesh.add_block(PIFOBlock(name="a"))
+        with pytest.raises(CompilationError):
+            mesh.add_block(PIFOBlock(name="a"))
+
+    def test_next_hop_to_unknown_block_rejected(self):
+        mesh = PIFOMesh()
+        mesh.add_block(PIFOBlock(name="a"))
+        with pytest.raises(CompilationError):
+            mesh.set_next_hop("a", 0, NextHop(operation="enqueue", target_block="ghost"))
+
+    def test_invalid_next_hop_operation(self):
+        with pytest.raises(CompilationError):
+            NextHop(operation="reorder")
+        with pytest.raises(CompilationError):
+            NextHop(operation="dequeue")  # needs a target
+
+    def test_wiring_formula(self):
+        mesh = PIFOMesh()
+        for name in "abcde":
+            mesh.add_block(PIFOBlock(name=name))
+        assert mesh.wire_sets() == 20
+        assert mesh.total_mesh_wires() == 20 * 106
+
+
+class TestConflictArbiter:
+    def test_scheduling_beats_shaping_in_same_cycle(self):
+        arbiter = ConflictArbiter()
+        arbiter.request("root", "shaping", "TBF release")
+        arbiter.request("root", "scheduling", "packet arrival")
+        granted = arbiter.arbitrate_cycle()
+        assert granted["root"].kind == "scheduling"
+        assert arbiter.deferred_shaping == 1
+        # The shaping enqueue goes through on the next cycle.
+        granted = arbiter.arbitrate_cycle()
+        assert granted["root"].kind == "shaping"
+
+    def test_independent_blocks_do_not_conflict(self):
+        arbiter = ConflictArbiter()
+        arbiter.request("b1", "scheduling")
+        arbiter.request("b2", "shaping")
+        granted = arbiter.arbitrate_cycle()
+        assert set(granted) == {"b1", "b2"}
+        assert arbiter.deferred_shaping == 0
+
+    def test_sustained_conflicts_delay_shaping_by_many_cycles(self):
+        arbiter = ConflictArbiter()
+        # One shaping release contends with a scheduling enqueue every cycle.
+        arbiter.request("root", "shaping")
+        for _ in range(5):
+            arbiter.request("root", "scheduling")
+        cycles = arbiter.run_until_drained()
+        assert cycles == 6
+        assert arbiter.granted_shaping == 1
+        assert arbiter.granted_scheduling == 5
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            ConflictArbiter().request("b", "other")
+
+
+class TestCompiler:
+    def test_hpfq_compiles_to_two_blocks(self):
+        """Figure 10: HPFQ needs one block per tree level and no shaping
+        blocks."""
+        program = compile_tree(build_fig3_tree())
+        assert program.block_count() == 2
+        assert set(program.mesh.blocks) == {"sched_L0", "sched_L1"}
+        root_slot = program.scheduling_assignment["Root"]
+        hop = program.mesh.next_hop(root_slot.block, root_slot.logical_pifo)
+        assert hop.operation == "dequeue"
+        assert hop.target_block == "sched_L1"
+        for leaf in ("Left", "Right"):
+            slot = program.scheduling_assignment[leaf]
+            assert program.mesh.next_hop(slot.block, slot.logical_pifo).operation == "transmit"
+
+    def test_hierarchies_with_shaping_adds_a_block(self):
+        """Figure 11: the shaping PIFO for TBF_Right lives in its own block
+        whose next hop is an enqueue into the root's block."""
+        program = compile_tree(build_fig4_tree())
+        assert program.block_count() == 3
+        assert "shape_L1" in program.mesh.blocks
+        shaping_slot = program.shaping_assignment["Right"]
+        hop = program.mesh.next_hop(shaping_slot.block, shaping_slot.logical_pifo)
+        assert hop.operation == "enqueue"
+        assert hop.target_block == "sched_L0"
+
+    def test_five_level_hierarchy_fits_five_scheduling_blocks(self):
+        program = compile_tree(build_deep_hierarchy(levels=5, fanout=2, flows_per_leaf=1))
+        assert program.levels == 5
+        assert program.block_count() == 5
+
+    def test_block_budget_enforced(self):
+        compiler = MeshCompiler(max_blocks=2)
+        with pytest.raises(CompilationError):
+            compiler.compile(build_fig4_tree())
+
+    def test_logical_pifo_capacity_enforced(self):
+        compiler = MeshCompiler(logical_pifos_per_block=4)
+        tree = build_deep_hierarchy(levels=2, fanout=8, flows_per_leaf=1)
+        with pytest.raises(CompilationError):
+            compiler.compile(tree)
+
+    def test_assignments_are_unique_slots(self):
+        program = compile_tree(build_fig4_tree())
+        slots = [(a.block, a.logical_pifo) for a in program.assignments()]
+        assert len(slots) == len(set(slots))
+
+    def test_describe_mentions_blocks(self):
+        program = compile_tree(build_fig3_tree())
+        assert "sched_L0" in program.describe()

@@ -1,0 +1,141 @@
+"""Tests for the PIFO block (flow scheduler + rank store, Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HardwareModelError
+from repro.hardware import PIFOBlock, SAME_PIFO_DEQUEUE_INTERVAL
+
+
+class TestFunctionalBehaviour:
+    def test_enqueue_dequeue_round_trip(self):
+        block = PIFOBlock()
+        block.enqueue(0, rank=5.0, flow="f", metadata="pkt")
+        element = block.dequeue(0)
+        assert element.metadata == "pkt"
+        assert element.rank == 5.0
+
+    def test_dequeue_empty_pifo_returns_none(self):
+        assert PIFOBlock().dequeue(0) is None
+
+    def test_pifo_order_across_flows(self):
+        block = PIFOBlock()
+        block.enqueue(0, rank=3.0, flow="a", metadata="a1")
+        block.enqueue(0, rank=1.0, flow="b", metadata="b1")
+        block.enqueue(0, rank=2.0, flow="c", metadata="c1")
+        order = [block.dequeue(0).metadata for _ in range(3)]
+        assert order == ["b1", "c1", "a1"]
+
+    def test_second_element_of_flow_goes_to_rank_store(self):
+        block = PIFOBlock()
+        block.enqueue(0, rank=1.0, flow="f", metadata="p1")
+        block.enqueue(0, rank=2.0, flow="f", metadata="p2")
+        assert len(block.flow_scheduler) == 1
+        assert len(block.rank_store) == 1
+        assert block.stats.rank_store_hits == 1
+
+    def test_reinsert_pathway_after_dequeue(self):
+        block = PIFOBlock()
+        block.enqueue(0, rank=1.0, flow="f", metadata="p1")
+        block.enqueue(0, rank=2.0, flow="f", metadata="p2")
+        assert block.dequeue(0).metadata == "p1"
+        # p2 must have been promoted from the rank store to the scheduler.
+        assert len(block.flow_scheduler) == 1
+        assert len(block.rank_store) == 0
+        assert block.stats.reinserts == 1
+        assert block.dequeue(0).metadata == "p2"
+
+    def test_monotone_ranks_within_flow_preserve_pifo_order(self):
+        """With non-decreasing ranks per flow (the Section 5.2 assumption),
+        the block dequeues in global rank order."""
+        block = PIFOBlock()
+        pushes = [("a", 1.0), ("b", 2.0), ("a", 3.0), ("b", 4.0), ("a", 5.0)]
+        for index, (flow, rank) in enumerate(pushes):
+            block.enqueue(0, rank=rank, flow=flow, metadata=index)
+        ranks = [block.dequeue(0).rank for _ in range(len(pushes))]
+        assert ranks == sorted(ranks)
+
+    def test_logical_pifos_are_isolated(self):
+        block = PIFOBlock()
+        block.enqueue(0, rank=10.0, flow="a", metadata="pifo0")
+        block.enqueue(1, rank=1.0, flow="a", metadata="pifo1")
+        assert block.dequeue(0).metadata == "pifo0"
+
+    def test_peek_does_not_remove(self):
+        block = PIFOBlock()
+        block.enqueue(0, rank=1.0, flow="f", metadata="p")
+        assert block.peek(0).metadata == "p"
+        assert len(block) == 1
+
+    def test_pifo_occupancy(self):
+        block = PIFOBlock()
+        for i in range(3):
+            block.enqueue(0, rank=float(i), flow="f", metadata=i)
+        block.enqueue(1, rank=0.0, flow="g", metadata="x")
+        assert block.pifo_occupancy(0) == 3
+        assert block.pifo_occupancy(1) == 1
+
+    def test_invalid_logical_pifo_rejected(self):
+        block = PIFOBlock(logical_pifo_count=4)
+        with pytest.raises(HardwareModelError):
+            block.enqueue(4, rank=0.0, flow="f")
+        with pytest.raises(HardwareModelError):
+            block.dequeue(-1)
+
+    def test_pfc_mask_passthrough(self):
+        block = PIFOBlock()
+        block.enqueue(0, rank=1.0, flow="paused", metadata="p")
+        block.enqueue(0, rank=2.0, flow="ok", metadata="q")
+        block.mask_flow("paused")
+        assert block.dequeue(0).metadata == "q"
+        block.unmask_flow("paused")
+        assert block.dequeue(0).metadata == "p"
+
+
+class TestCycleConstraints:
+    def test_one_enqueue_per_cycle_in_strict_mode(self):
+        block = PIFOBlock(strict_timing=True)
+        assert block.enqueue(0, rank=1.0, flow="a", cycle=10)
+        assert not block.enqueue(0, rank=2.0, flow="b", cycle=10)
+        assert block.stats.enqueue_conflicts == 1
+        assert block.enqueue(0, rank=2.0, flow="b", cycle=11)
+
+    def test_same_pifo_dequeue_interval_enforced(self):
+        block = PIFOBlock(strict_timing=True)
+        for i in range(4):
+            block.enqueue(0, rank=float(i), flow=f"f{i}", cycle=i)
+        assert block.dequeue(0, cycle=100) is not None
+        assert block.dequeue(0, cycle=101) is None
+        assert block.stats.same_pifo_violations == 1
+        assert block.dequeue(0, cycle=100 + SAME_PIFO_DEQUEUE_INTERVAL) is not None
+
+    def test_distinct_pifos_can_dequeue_in_consecutive_cycles(self):
+        block = PIFOBlock(strict_timing=True)
+        block.enqueue(0, rank=1.0, flow="a", cycle=0)
+        block.enqueue(1, rank=1.0, flow="b", cycle=1)
+        assert block.dequeue(0, cycle=10) is not None
+        # A different logical PIFO one cycle later is allowed... but the
+        # block-level one-dequeue-per-cycle limit still applies at cycle 10.
+        assert block.dequeue(1, cycle=11) is not None
+
+    def test_functional_mode_records_but_allows_conflicts(self):
+        block = PIFOBlock(strict_timing=False)
+        block.enqueue(0, rank=1.0, flow="a", cycle=5)
+        assert block.enqueue(0, rank=2.0, flow="b", cycle=5)
+        assert block.stats.enqueue_conflicts == 1
+
+    def test_throughput_one_enqueue_one_dequeue_per_cycle(self):
+        """Sustained full-rate operation: one enqueue and one dequeue every
+        cycle to distinct logical PIFOs never violates strict timing."""
+        block = PIFOBlock(strict_timing=True, logical_pifo_count=8)
+        refused = 0
+        for cycle in range(100):
+            pifo = cycle % 8
+            if not block.enqueue(pifo, rank=float(cycle), flow=f"f{pifo}",
+                                 metadata=cycle, cycle=cycle):
+                refused += 1
+            if cycle >= 8:
+                if block.dequeue((cycle - 8) % 8, cycle=cycle) is None:
+                    refused += 1
+        assert refused == 0

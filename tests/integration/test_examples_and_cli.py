@@ -1,0 +1,83 @@
+"""Smoke tests: every example script and the CLI run end to end.
+
+Examples are documentation that executes; if they crash, the README's
+promises are broken.  Each script is run in a subprocess with the repository
+sources on ``PYTHONPATH`` and must exit 0 and print the landmarks its
+docstring promises.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: Every example script and one string its output must contain.
+EXAMPLE_LANDMARKS = {
+    "quickstart.py": "departure order",
+    "datacenter_hierarchical_sharing.py": None,
+    "tenant_rate_limiting.py": None,
+    "custom_srpt_scheduler.py": None,
+    "hardware_feasibility_report.py": None,
+    "transaction_language_tour.py": "deadline-aware-wfq",
+    "sp_pifo_approximation.py": "exact PIFO",
+}
+
+
+def _run(args, timeout=180):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        args,
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExampleScripts:
+    def test_every_example_is_covered_by_this_test(self):
+        on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == set(EXAMPLE_LANDMARKS), (
+            "examples/ and EXAMPLE_LANDMARKS disagree; update the test when "
+            "adding or removing an example"
+        )
+
+    @pytest.mark.parametrize("script", sorted(EXAMPLE_LANDMARKS))
+    def test_example_runs_cleanly(self, script):
+        result = _run([sys.executable, str(EXAMPLES_DIR / script)])
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip(), f"{script} printed nothing"
+        landmark = EXAMPLE_LANDMARKS[script]
+        if landmark is not None:
+            assert landmark in result.stdout, (
+                f"{script} output is missing {landmark!r}"
+            )
+
+
+class TestCLISubprocess:
+    def test_module_entry_point_list(self):
+        result = _run([sys.executable, "-m", "repro", "list"])
+        assert result.returncode == 0, result.stderr
+        assert "table1" in result.stdout
+
+    def test_module_entry_point_quick_report(self):
+        result = _run(
+            [sys.executable, "-m", "repro", "report", "table1", "sec5.4", "--quick"]
+        )
+        assert result.returncode == 0, result.stderr
+        assert "[table1]" in result.stdout
+        assert "overhead_percent" in result.stdout
+
+    def test_module_entry_point_show_program(self):
+        result = _run([sys.executable, "-m", "repro", "show", "min_rate"])
+        assert result.returncode == 0, result.stderr
+        assert "p.over_min" in result.stdout

@@ -1,0 +1,289 @@
+"""Unit tests for the transaction-language interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Packet, TransactionContext
+from repro.lang import (
+    Interpreter,
+    ProgramEnvironment,
+    RuntimeLangError,
+    parse,
+)
+
+
+def run(source, packet=None, now=0.0, state=None, params=None, flow_attrs=None,
+        functions=None, element_flow=None, element_length=None):
+    """Execute a program and return (result, environment)."""
+    packet = packet or Packet(flow="f1", length=1000)
+    ctx = TransactionContext(
+        now=now,
+        node="test",
+        element_flow=element_flow if element_flow is not None else packet.flow,
+        element_length=element_length if element_length is not None else packet.length,
+    )
+    env = ProgramEnvironment(
+        state=dict(state or {}),
+        params=dict(params or {}),
+        flow_attrs=dict(flow_attrs or {}),
+        functions=dict(functions or {}),
+    )
+    result = Interpreter(parse(source)).execute(packet, ctx, env)
+    return result, env
+
+
+class TestArithmetic:
+    def test_rank_from_literal(self):
+        result, _ = run("p.rank = 7")
+        assert result.rank == 7
+
+    def test_arithmetic_operations(self):
+        result, _ = run("p.rank = (2 + 3) * 4 - 6 / 3")
+        assert result.rank == 18.0
+
+    def test_modulo(self):
+        result, _ = run("p.rank = 17 % 5")
+        assert result.rank == 2
+
+    def test_unary_minus(self):
+        result, _ = run("p.rank = -3 + 10")
+        assert result.rank == 7
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("p.rank = 1 / 0")
+        assert "division by zero" in str(excinfo.value)
+
+    def test_min_max_builtins(self):
+        result, _ = run("p.rank = min(10, 3) + max(4, 7)")
+        assert result.rank == 10
+
+    def test_abs_floor_ceil_builtins(self):
+        result, _ = run("a = abs(-2)\nb = floor(1.9)\nc = ceil(1.1)\np.rank = a + b + c")
+        assert result.rank == 5
+
+
+class TestNameResolution:
+    def test_now_reads_wall_clock(self):
+        result, _ = run("p.rank = now", now=42.5)
+        assert result.rank == 42.5
+
+    def test_params_are_readable(self):
+        result, _ = run("p.rank = r * 2", params={"r": 21})
+        assert result.rank == 42
+
+    def test_params_are_not_writable(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("r = 5\np.rank = r", params={"r": 1})
+        assert "parameter" in str(excinfo.value)
+
+    def test_state_read_and_write(self):
+        result, env = run("counter = counter + 1\np.rank = counter",
+                          state={"counter": 10})
+        assert result.rank == 11
+        assert env.state["counter"] == 11
+
+    def test_locals_shadow_nothing_and_do_not_persist(self):
+        result, env = run("tmp = 5\np.rank = tmp", state={"x": 1})
+        assert result.rank == 5
+        assert "tmp" not in env.state
+        assert result.locals["tmp"] == 5
+
+    def test_undefined_name_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("p.rank = mystery")
+        assert "undefined name" in str(excinfo.value)
+
+    def test_state_wins_over_params_with_same_name(self):
+        result, env = run("x = x + 1\np.rank = x",
+                          state={"x": 100}, params={"x": 5})
+        assert result.rank == 101
+        assert env.state["x"] == 101
+
+
+class TestPacketFields:
+    def test_builtin_length_field(self):
+        packet = Packet(flow="f1", length=1500)
+        result, _ = run("p.rank = p.length", packet=packet)
+        assert result.rank == 1500
+
+    def test_size_is_an_alias_for_length(self):
+        packet = Packet(flow="f1", length=900)
+        result, _ = run("p.rank = p.size", packet=packet)
+        assert result.rank == 900
+
+    def test_element_length_overrides_packet_length(self):
+        packet = Packet(flow="f1", length=1500)
+        result, _ = run("p.rank = p.length", packet=packet, element_length=64)
+        assert result.rank == 64
+
+    def test_custom_field_from_fields_mapping(self):
+        packet = Packet(flow="f1", length=100, fields={"deadline": 3.5})
+        result, _ = run("p.rank = p.deadline", packet=packet)
+        assert result.rank == 3.5
+
+    def test_priority_field(self):
+        packet = Packet(flow="f1", length=100, priority=4)
+        result, _ = run("p.rank = p.priority", packet=packet)
+        assert result.rank == 4
+
+    def test_missing_field_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("p.rank = p.no_such_field")
+        assert "no field" in str(excinfo.value)
+
+    def test_written_field_is_readable_later(self):
+        result, _ = run("p.start = 5\np.rank = p.start + 1")
+        assert result.rank == 6
+        assert result.packet_writes["start"] == 5
+
+    def test_send_time_output(self):
+        result, _ = run("p.send_time = now + 2", now=1.0)
+        assert result.send_time == 3.0
+        assert result.rank is None
+
+    def test_flow_builtin_function(self):
+        result, _ = run("f = flow(p)\np.rank = 1", element_flow="left-child")
+        assert result.locals["f"] == "left-child"
+
+
+class TestTablesAndMembership:
+    def test_membership_false_then_insert(self):
+        source = (
+            "f = flow(p)\n"
+            "if f in table\n"
+            "    p.rank = table[f]\n"
+            "else\n"
+            "    p.rank = 0\n"
+            "table[f] = 99\n"
+        )
+        result, env = run(source, state={"table": {}})
+        assert result.rank == 0
+        assert env.state["table"] == {"f1": 99}
+
+    def test_membership_true_reads_entry(self):
+        source = "f = flow(p)\nif f in table\n    p.rank = table[f]\nelse\n    p.rank = 0"
+        result, _ = run(source, state={"table": {"f1": 7}})
+        assert result.rank == 7
+
+    def test_not_in(self):
+        source = "f = flow(p)\nif f not in table\n    p.rank = 1\nelse\n    p.rank = 2"
+        result, _ = run(source, state={"table": {}})
+        assert result.rank == 1
+
+    def test_reading_missing_key_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("p.rank = table[p.flow]", state={"table": {}})
+        assert "not present" in str(excinfo.value)
+
+    def test_subscript_on_undeclared_table_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("mystery[p.flow] = 1\np.rank = 0")
+        assert "not a declared state variable" in str(excinfo.value)
+
+    def test_subscript_on_scalar_state_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("p.rank = x[p.flow]", state={"x": 3.0})
+        assert "not a table" in str(excinfo.value)
+
+
+class TestControlFlow:
+    def test_if_true_branch(self):
+        result, _ = run("if 2 > 1\n    p.rank = 1\nelse\n    p.rank = 2")
+        assert result.rank == 1
+
+    def test_if_false_branch(self):
+        result, _ = run("if 1 > 2\n    p.rank = 1\nelse\n    p.rank = 2")
+        assert result.rank == 2
+
+    def test_if_without_else_skips_body(self):
+        result, _ = run("p.rank = 0\nif 1 > 2\n    p.rank = 1")
+        assert result.rank == 0
+
+    def test_elif_chain(self):
+        source = (
+            "if p.length > 2000\n"
+            "    p.rank = 3\n"
+            "elif p.length > 500\n"
+            "    p.rank = 2\n"
+            "else\n"
+            "    p.rank = 1\n"
+        )
+        result, _ = run(source, packet=Packet(flow="f", length=1000))
+        assert result.rank == 2
+
+    def test_c_style_inline_if(self):
+        result, env = run("if (x > 10) x = 10;\np.rank = x", state={"x": 50})
+        assert result.rank == 10
+        assert env.state["x"] == 10
+
+    def test_boolean_and_short_circuits(self):
+        # The right operand would raise if evaluated (missing key).
+        source = "f = flow(p)\nif false and table[f] > 0\n    p.rank = 1\nelse\n    p.rank = 2"
+        result, _ = run(source, state={"table": {}})
+        assert result.rank == 2
+
+    def test_boolean_or_short_circuits(self):
+        source = "f = flow(p)\nif true or table[f] > 0\n    p.rank = 1\nelse\n    p.rank = 2"
+        result, _ = run(source, state={"table": {}})
+        assert result.rank == 1
+
+    def test_not_operator(self):
+        result, _ = run("if not (1 > 2)\n    p.rank = 5\nelse\n    p.rank = 6")
+        assert result.rank == 5
+
+    def test_nested_conditionals(self):
+        source = (
+            "if p.length > 100\n"
+            "    if p.length > 1000\n"
+            "        p.rank = 2\n"
+            "    else\n"
+            "        p.rank = 1\n"
+            "else\n"
+            "    p.rank = 0\n"
+        )
+        result, _ = run(source, packet=Packet(flow="f", length=500))
+        assert result.rank == 1
+
+
+class TestFlowAttributes:
+    def test_flow_attribute_accessor(self):
+        weights = {"gold": 4.0, "silver": 1.0}
+        source = "f = flow(p)\np.rank = 10 / f.weight"
+        result, _ = run(
+            source,
+            element_flow="gold",
+            flow_attrs={"weight": lambda flow: weights.get(flow, 1.0)},
+        )
+        assert result.rank == 2.5
+
+    def test_missing_flow_attribute_accessor_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("f = flow(p)\np.rank = f.weight")
+        assert "flow attribute accessor" in str(excinfo.value)
+
+
+class TestCustomFunctions:
+    def test_custom_function(self):
+        result, _ = run(
+            "p.rank = double(21)", functions={"double": lambda value: value * 2}
+        )
+        assert result.rank == 42
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("p.rank = frobnicate(1)")
+        assert "unknown function" in str(excinfo.value)
+
+    def test_wrong_arity_reports_call_failure(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("p.rank = one() + 1", functions={"one": lambda x: x})
+        assert "failed" in str(excinfo.value)
+
+
+class TestAssignmentRestrictions:
+    def test_assigning_to_non_packet_attribute_raises(self):
+        with pytest.raises(RuntimeLangError) as excinfo:
+            run("f.weight = 2\np.rank = 0")
+        assert "packet fields" in str(excinfo.value)

@@ -1,0 +1,191 @@
+"""Unit tests for the transaction-language tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import LexerError, TokenType, tokenize
+from repro.lang.lexer import token_types
+
+
+def types_of(source):
+    """Token types excluding the trailing EOF, for compact assertions."""
+    types = token_types(source)
+    assert types[-1] is TokenType.EOF
+    return types[:-1]
+
+
+class TestBasicTokens:
+    def test_simple_assignment(self):
+        assert types_of("p.rank = 5") == [
+            TokenType.NAME,
+            TokenType.DOT,
+            TokenType.NAME,
+            TokenType.ASSIGN,
+            TokenType.NUMBER,
+            TokenType.NEWLINE,
+        ]
+
+    def test_integer_and_float_literals(self):
+        tokens = tokenize("x = 42\ny = 3.25\nz = 1e3")
+        numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers == [42, 3.25, 1000.0]
+        assert isinstance(numbers[0], int)
+        assert isinstance(numbers[1], float)
+
+    def test_scientific_notation_with_sign(self):
+        tokens = tokenize("rate = 1.25e+6\ntiny = 2E-3")
+        numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers == [1.25e6, 2e-3]
+
+    def test_operators(self):
+        source = "a = b + c - d * e / f % g"
+        types = types_of(source)
+        assert TokenType.PLUS in types
+        assert TokenType.MINUS in types
+        assert TokenType.STAR in types
+        assert TokenType.SLASH in types
+        assert TokenType.PERCENT in types
+
+    def test_comparison_operators(self):
+        for text, expected in [
+            ("a == b", TokenType.EQ),
+            ("a != b", TokenType.NE),
+            ("a <= b", TokenType.LE),
+            ("a >= b", TokenType.GE),
+            ("a < b", TokenType.LT),
+            ("a > b", TokenType.GT),
+        ]:
+            assert expected in types_of(f"x = 1\nif {text}\n    x = 2")
+
+    def test_keywords_are_case_insensitive(self):
+        types = types_of("If a > b\n    x = 1\nElse\n    x = 2")
+        assert types.count(TokenType.IF) == 1
+        assert types.count(TokenType.ELSE) == 1
+
+    def test_true_false_literals(self):
+        tokens = tokenize("a = true\nb = false")
+        values = [t.value for t in tokens if t.type in (TokenType.TRUE, TokenType.FALSE)]
+        assert values == [True, False]
+
+    def test_name_with_underscores_and_digits(self):
+        tokens = tokenize("frame_end_time = last_time_2 + 1")
+        names = [t.value for t in tokens if t.type is TokenType.NAME]
+        assert names == ["frame_end_time", "last_time_2"]
+
+
+class TestCommentsAndSeparators:
+    def test_double_slash_comment_is_ignored(self):
+        assert types_of("x = 1 // this is a comment") == [
+            TokenType.NAME,
+            TokenType.ASSIGN,
+            TokenType.NUMBER,
+            TokenType.NEWLINE,
+        ]
+
+    def test_hash_comment_is_ignored(self):
+        assert types_of("x = 1 # python-style comment") == [
+            TokenType.NAME,
+            TokenType.ASSIGN,
+            TokenType.NUMBER,
+            TokenType.NEWLINE,
+        ]
+
+    def test_whole_line_comment_produces_no_tokens(self):
+        assert types_of("// just a comment\nx = 1") == [
+            TokenType.NAME,
+            TokenType.ASSIGN,
+            TokenType.NUMBER,
+            TokenType.NEWLINE,
+        ]
+
+    def test_semicolon_acts_as_statement_separator(self):
+        types = types_of("x = 1; y = 2")
+        assert types.count(TokenType.NEWLINE) == 2
+        assert types.count(TokenType.ASSIGN) == 2
+
+    def test_blank_lines_are_skipped(self):
+        assert types_of("x = 1\n\n\ny = 2") == [
+            TokenType.NAME, TokenType.ASSIGN, TokenType.NUMBER, TokenType.NEWLINE,
+            TokenType.NAME, TokenType.ASSIGN, TokenType.NUMBER, TokenType.NEWLINE,
+        ]
+
+    def test_trailing_semicolon_does_not_duplicate_newline(self):
+        types = types_of("x = 1;")
+        assert types.count(TokenType.NEWLINE) == 1
+
+
+class TestIndentation:
+    def test_indent_and_dedent_emitted(self):
+        source = "if a > b\n    x = 1\ny = 2"
+        types = types_of(source)
+        assert types.count(TokenType.INDENT) == 1
+        assert types.count(TokenType.DEDENT) == 1
+
+    def test_nested_blocks(self):
+        source = (
+            "if a > b\n"
+            "    if c > d\n"
+            "        x = 1\n"
+            "    y = 2\n"
+            "z = 3\n"
+        )
+        types = types_of(source)
+        assert types.count(TokenType.INDENT) == 2
+        assert types.count(TokenType.DEDENT) == 2
+
+    def test_dedent_at_end_of_file(self):
+        source = "if a > b\n    x = 1"
+        types = types_of(source)
+        assert types.count(TokenType.DEDENT) == 1
+
+    def test_tabs_count_as_indentation(self):
+        source = "if a > b\n\tx = 1"
+        types = types_of(source)
+        assert types.count(TokenType.INDENT) == 1
+
+    def test_inconsistent_dedent_raises(self):
+        source = "if a > b\n        x = 1\n    y = 2"
+        with pytest.raises(LexerError):
+            tokenize(source)
+
+    def test_parenthesised_continuation_lines_do_not_indent(self):
+        source = "x = min(a,\n        b)\ny = 2"
+        types = types_of(source)
+        assert TokenType.INDENT not in types
+        assert TokenType.DEDENT not in types
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("x = 1 @ 2")
+        assert "unexpected character" in str(excinfo.value)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("x = 1\ny = $")
+        assert excinfo.value.line == 2
+
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert [t.type for t in tokens] == [TokenType.EOF]
+
+    def test_comment_only_source_yields_only_eof(self):
+        tokens = tokenize("// nothing here\n# nor here")
+        assert [t.type for t in tokens] == [TokenType.EOF]
+
+
+class TestPaperFigures:
+    """The figures' listings must tokenize without errors."""
+
+    @pytest.mark.parametrize("name", [
+        "stfq", "token_bucket", "lstf", "stop_and_go", "min_rate",
+        "fifo", "strict_priority", "sjf", "srpt", "edf", "las",
+    ])
+    def test_program_sources_tokenize(self, name):
+        from repro.lang.programs import PROGRAM_SOURCES
+
+        tokens = tokenize(PROGRAM_SOURCES[name])
+        assert tokens[-1].type is TokenType.EOF
+        assert len(tokens) > 3

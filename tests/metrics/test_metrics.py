@@ -1,0 +1,163 @@
+"""Tests for fairness, throughput, latency and FCT metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Packet
+from repro.metrics import (
+    DelaySummary,
+    FCTSummary,
+    bytes_by_flow,
+    delay_summary,
+    delays_by_flow,
+    expected_weighted_shares,
+    fct_summary,
+    flow_completions,
+    jain_index,
+    max_share_error,
+    max_windowed_rate_bps,
+    mean_rate_bps,
+    normalized_fct,
+    normalized_shares,
+    percentile,
+    relative_share_error,
+    weighted_jain_index,
+    windowed_rates,
+)
+
+
+def departed(flow, length, arrival, departure):
+    packet = Packet(flow=flow, length=length, arrival_time=arrival)
+    packet.departure_time = departure
+    return packet
+
+
+class TestFairness:
+    def test_jain_perfectly_fair(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_jain_single_hog(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_jain_empty_raises(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    def test_weighted_jain(self):
+        allocations = {"A": 10.0, "B": 30.0}
+        weights = {"A": 1.0, "B": 3.0}
+        assert weighted_jain_index(allocations, weights) == pytest.approx(1.0)
+
+    def test_normalized_and_expected_shares(self):
+        assert normalized_shares({"A": 2, "B": 6}) == {"A": 0.25, "B": 0.75}
+        assert expected_weighted_shares({"A": 1, "B": 3}) == {"A": 0.25, "B": 0.75}
+
+    def test_max_share_error(self):
+        measured = {"A": 30, "B": 70}
+        expected = {"A": 0.25, "B": 0.75}
+        assert max_share_error(measured, expected) == pytest.approx(0.05)
+
+    def test_relative_share_error(self):
+        errors = relative_share_error({"A": 30, "B": 70}, {"A": 25, "B": 75})
+        assert errors["A"] == pytest.approx(0.2)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1000), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_property_jain_in_unit_interval(self, values):
+        assert 0 < jain_index(values) <= 1.0 + 1e-9
+
+
+class TestThroughput:
+    def test_windowed_rates(self):
+        packets = [departed("A", 1250, 0.0, 0.05), departed("A", 1250, 0.0, 0.15)]
+        samples = windowed_rates(packets, window_s=0.1)
+        assert len(samples) == 2
+        assert samples[0].rate_bps == pytest.approx(100_000)
+
+    def test_max_windowed_rate_skips_burst_window(self):
+        packets = [departed("A", 125000, 0.0, 0.01)] + [
+            departed("A", 1250, 0.0, 0.1 + 0.01 * i) for i in range(10)
+        ]
+        peak_all = max_windowed_rate_bps(packets, window_s=0.1)
+        peak_skip = max_windowed_rate_bps(packets, window_s=0.1, skip_first_windows=1)
+        assert peak_all > peak_skip
+
+    def test_flow_filter(self):
+        packets = [departed("A", 1250, 0, 0.05), departed("B", 1250, 0, 0.05)]
+        assert mean_rate_bps(packets, duration_s=1.0, flows=["A"]) == pytest.approx(10_000)
+        assert bytes_by_flow(packets) == {"A": 1250, "B": 1250}
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            windowed_rates([], window_s=0)
+
+
+class TestLatency:
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_delay_summary(self):
+        packets = [departed("A", 100, 0.0, d) for d in (0.1, 0.2, 0.3)]
+        summary = delay_summary(packets)
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.maximum == pytest.approx(0.3)
+
+    def test_delays_by_flow(self):
+        packets = [departed("A", 100, 0.0, 0.1), departed("B", 100, 0.0, 0.4)]
+        by_flow = delays_by_flow(packets)
+        assert by_flow["B"].mean == pytest.approx(0.4)
+
+    def test_summary_from_empty_raises(self):
+        with pytest.raises(ValueError):
+            DelaySummary.from_values([])
+
+
+class TestFCT:
+    def make_flow(self, flow, sizes, start, finish):
+        packets = []
+        for i, size in enumerate(sizes):
+            packet = Packet(flow=flow, length=size, arrival_time=start)
+            packet.departure_time = finish if i == len(sizes) - 1 else start
+            packets.append(packet)
+        return packets
+
+    def test_flow_completions(self):
+        packets = self.make_flow("f1", [1000, 1000], start=0.0, finish=0.5)
+        completions = flow_completions(packets)
+        assert len(completions) == 1
+        assert completions[0].completion_time == pytest.approx(0.5)
+        assert completions[0].size_bytes == 2000
+
+    def test_incomplete_flows_excluded(self):
+        packets = self.make_flow("f1", [1000], 0.0, 0.5)
+        pending = Packet(flow="f2", length=1000, arrival_time=0.0)
+        completions = flow_completions(packets + [pending])
+        assert [c.flow for c in completions] == ["f1"]
+
+    def test_fct_summary_size_band(self):
+        small = self.make_flow("small", [1000], 0.0, 0.1)
+        big = self.make_flow("big", [100000], 0.0, 3.0)
+        summary = fct_summary(small + big, max_size_bytes=10_000)
+        assert summary.count == 1
+        assert summary.mean == pytest.approx(0.1)
+
+    def test_normalized_fct(self):
+        completion = flow_completions(self.make_flow("f", [1250], 0.0, 0.01))[0]
+        assert normalized_fct(completion, line_rate_bps=1e6) == pytest.approx(1.0)
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            FCTSummary.from_completions([])

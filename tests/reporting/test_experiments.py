@@ -1,0 +1,173 @@
+"""Tests for the experiment runners and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import (
+    EXPERIMENTS,
+    ExperimentResult,
+    generate_report,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.reporting.experiments import (
+    PAPER_TABLE1_MM2,
+    run_fig1_wfq,
+    run_fig3_hpfq,
+    run_fig4_shaping,
+    run_fig6_lstf,
+    run_fig7_stop_and_go,
+    run_fig8_min_rate,
+    run_sec41_atoms,
+    run_sec53_variations,
+    run_sec54_wiring,
+    run_table1,
+    run_table2,
+)
+
+
+class TestRegistry:
+    def test_every_expected_experiment_is_registered(self):
+        expected = {"table1", "table2", "sec5.3", "sec5.4", "sec4.1",
+                    "fig1", "fig3", "fig4", "fig6", "fig7", "fig8"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_list_experiments_matches_registry(self):
+        assert {spec.experiment_id for spec in list_experiments()} == set(EXPERIMENTS)
+
+    def test_get_experiment_unknown_id_raises_with_known_ids(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_experiment("not-an-experiment")
+        assert "table1" in str(excinfo.value)
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("sec5.4")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "sec5.4"
+
+    def test_result_to_dict_roundtrip(self):
+        result = run_experiment("table2")
+        payload = result.to_dict()
+        assert payload["experiment_id"] == "table2"
+        assert isinstance(payload["rows"], list)
+        assert payload["rows"]
+
+
+class TestHardwareExperiments:
+    def test_table1_matches_paper_within_tolerance(self):
+        result = run_table1()
+        by_component = {row["component"]: row for row in result.rows}
+        assert set(PAPER_TABLE1_MM2) <= set(by_component)
+        for component, row in by_component.items():
+            assert row["model"] is not None, component
+            assert row["model"] == pytest.approx(row["paper"], rel=0.05), component
+
+    def test_table1_headline_overhead_below_four_percent(self):
+        result = run_table1()
+        overhead = next(
+            row for row in result.rows if row["component"] == "overhead_percent"
+        )
+        assert overhead["model"] < 4.0
+
+    def test_table2_timing_cutoff_at_2048_flows(self):
+        result = run_table2()
+        by_flows = {row["flows"]: row for row in result.rows}
+        assert by_flows[2048]["model_meets_1GHz"] is True
+        assert by_flows[4096]["model_meets_1GHz"] is False
+
+    def test_table2_area_grows_with_flows(self):
+        rows = run_table2().rows
+        areas = [row["model_area_mm2"] for row in rows]
+        assert areas == sorted(areas)
+
+    def test_sec53_variations_cover_paper_design_points(self):
+        result = run_sec53_variations()
+        variations = {row["variation"] for row in result.rows}
+        assert {"baseline", "rank_32_bits", "logical_pifos_1024",
+                "metadata_64_bits"} <= variations
+        for row in result.rows:
+            assert row["model_area_mm2"] == pytest.approx(
+                row["paper_area_mm2"], rel=0.08
+            ), row["variation"]
+            assert row["meets_1GHz"] is True
+
+    def test_sec54_wiring_counts(self):
+        result = run_sec54_wiring()
+        by_quantity = {row["quantity"]: row for row in result.rows}
+        for row in by_quantity.values():
+            assert row["model"] == row["paper"]
+
+    def test_sec41_every_transaction_feasible(self):
+        result = run_sec41_atoms()
+        assert len(result.rows) >= 10
+        assert all(row["feasible"] for row in result.rows)
+        assert sum(row["atoms"] for row in result.rows) <= 300
+
+
+class TestBehaviouralExperiments:
+    def test_fig1_weighted_shares(self):
+        result = run_fig1_wfq(quick=True)
+        for row in result.rows:
+            assert row["measured_share"] == pytest.approx(
+                row["expected_share"], abs=0.05
+            ), row["flow"]
+
+    def test_fig3_hierarchy_shares(self):
+        result = run_fig3_hpfq(quick=True)
+        by_flow = {row["flow"]: row for row in result.rows}
+        assert by_flow["Left (A+B)"]["measured_share"] == pytest.approx(0.10, abs=0.04)
+        assert by_flow["Right (C+D)"]["measured_share"] == pytest.approx(0.90, abs=0.04)
+
+    def test_fig4_right_class_capped(self):
+        result = run_fig4_shaping(quick=True)
+        overloaded = [
+            row for row in result.rows
+            if row["offered_right_Mbps"] > row["cap_Mbps"]
+        ]
+        assert overloaded, "the sweep must include an overloaded point"
+        for row in overloaded:
+            assert row["measured_right_Mbps"] <= row["cap_Mbps"] * 1.3
+            assert row["measured_left_Mbps"] > 40.0
+
+    def test_fig6_lstf_beats_fifo_on_urgent_delay(self):
+        result = run_fig6_lstf(quick=True)
+        by_scheduler = {row["scheduler"]: row for row in result.rows}
+        lstf = by_scheduler["LSTF"]
+        fifo = by_scheduler["FIFO"]
+        assert lstf["max_urgent_delay_ms"] <= lstf["urgent_slack_budget_ms"]
+        assert fifo["max_urgent_delay_ms"] > lstf["max_urgent_delay_ms"]
+        assert lstf["urgent_packets"] == fifo["urgent_packets"]
+
+    def test_fig7_delay_bounded_by_two_frames(self):
+        result = run_fig7_stop_and_go(quick=True)
+        row = result.rows[0]
+        assert row["packets"] > 0
+        assert row["max_delay_ms"] <= row["bound_2T_ms"] + 1.0
+        assert row["min_delay_ms"] > 0.0
+
+    def test_fig8_guarantee_held_under_overload(self):
+        result = run_fig8_min_rate(quick=True)
+        by_flow = {row["flow"]: row for row in result.rows}
+        guaranteed = by_flow["guaranteed"]
+        assert guaranteed["measured_Mbps"] >= guaranteed["guarantee_Mbps"] * 0.85
+        total = sum(row["measured_Mbps"] for row in result.rows)
+        assert total >= 45.0
+
+
+class TestReportGeneration:
+    def test_report_for_selected_experiments(self):
+        text = generate_report(["table2", "sec5.4"], quick=True)
+        assert "[table2]" in text
+        assert "[sec5.4]" in text
+        assert "[fig4]" not in text
+
+    def test_report_contains_notes_and_tables(self):
+        text = generate_report(["table1"], quick=True)
+        assert "overhead_percent" in text
+        assert "Notes:" in text
+
+    def test_report_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(["nope"], quick=True)

@@ -1,0 +1,115 @@
+"""Tests for the text table renderers."""
+
+from __future__ import annotations
+
+from repro.reporting import format_value, render_comparison, render_kv, render_table
+
+
+class TestFormatValue:
+    def test_none_renders_as_dash(self):
+        assert format_value(None) == "-"
+
+    def test_booleans_render_as_yes_no(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_floats_use_significant_digits(self):
+        assert format_value(0.123456789) == "0.1235"
+        assert format_value(1234567.0) == "1.235e+06"
+
+    def test_float_digits_configurable(self):
+        assert format_value(0.123456789, float_digits=2) == "0.12"
+
+    def test_integers_and_strings_pass_through(self):
+        assert format_value(42) == "42"
+        assert format_value("hello") == "hello"
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table([
+            {"flow": "A", "share": 0.25},
+            {"flow": "B", "share": 0.75},
+        ])
+        lines = text.splitlines()
+        assert lines[0].startswith("flow")
+        assert "share" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_is_underlined(self):
+        text = render_table([{"x": 1}], title="My table")
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert lines[1] == "=" * len("My table")
+
+    def test_empty_rows(self):
+        text = render_table([], title="Empty")
+        assert "(no rows)" in text
+
+    def test_explicit_column_order(self):
+        text = render_table([{"b": 2, "a": 1}], columns=["a", "b"])
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_missing_cells_render_as_dash(self):
+        text = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "-" in text.splitlines()[-1]
+
+    def test_columns_union_across_rows(self):
+        text = render_table([{"a": 1}, {"a": 2, "extra": "x"}])
+        assert "extra" in text.splitlines()[0]
+
+    def test_all_rows_have_equal_width(self):
+        text = render_table([
+            {"name": "short", "value": 1},
+            {"name": "a-much-longer-name", "value": 123456},
+        ])
+        lines = text.splitlines()
+        assert len({len(line.rstrip()) for line in lines[:1]}) == 1
+        assert max(len(line) for line in lines) == len(lines[0])
+
+
+class TestRenderKV:
+    def test_aligned_keys(self):
+        text = render_kv({"short": 1, "a longer key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty_mapping(self):
+        assert "(empty)" in render_kv({})
+
+    def test_title(self):
+        text = render_kv({"a": 1}, title="Settings")
+        assert text.splitlines()[0] == "Settings"
+
+
+class TestRenderComparison:
+    def test_agreement_marker(self):
+        text = render_comparison(
+            [
+                {"component": "ok", "paper": 1.0, "model": 1.05},
+                {"component": "off", "paper": 1.0, "model": 2.0},
+            ],
+            measured_key="model",
+            paper_key="paper",
+        )
+        lines = text.splitlines()
+        assert "agrees" in lines[0]
+        assert "yes" in lines[2]
+        assert "NO" in lines[3]
+
+    def test_missing_paper_value_is_na(self):
+        text = render_comparison(
+            [{"component": "x", "paper": None, "model": 3.0}],
+            measured_key="model",
+            paper_key="paper",
+        )
+        assert "n/a" in text
+
+    def test_custom_tolerance(self):
+        rows = [{"c": "x", "paper": 100.0, "model": 120.0}]
+        strict = render_comparison(rows, "model", "paper", tolerance=0.1)
+        loose = render_comparison(rows, "model", "paper", tolerance=0.3)
+        assert "NO" in strict
+        assert "NO" not in loose

@@ -1,0 +1,101 @@
+"""Tests for the discrete-event simulator kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, name="b")
+        queue.push(1.0, lambda: None, name="a")
+        assert queue.pop().name == "a"
+        assert queue.pop().name == "b"
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, name="first")
+        queue.push(1.0, lambda: None, name="second")
+        assert queue.pop().name == "first"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+
+class TestSimulator:
+    def test_runs_events_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.2, lambda: log.append("late"))
+        sim.schedule(0.1, lambda: log.append("early"))
+        sim.run()
+        assert log == ["early", "late"]
+        assert sim.events_processed == 2
+
+    def test_now_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("in"))
+        sim.schedule(5.0, lambda: log.append("out"))
+        sim.run(until=2.0)
+        assert log == ["in"]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain(count):
+            log.append(count)
+            if count < 3:
+                sim.schedule(0.1, lambda: chain(count + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert log == [0, 1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(0.1, lambda: log.append("cancelled"))
+        sim.schedule(0.2, lambda: log.append("kept"))
+        event.cancel()
+        sim.run()
+        assert log == ["kept"]
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(0.1 * i, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4

@@ -1,0 +1,90 @@
+"""Documentation consistency checks.
+
+DESIGN.md and EXPERIMENTS.md map every experiment to the code that
+regenerates it; README.md lists the runnable examples.  These tests keep
+those documents honest: every file they reference must exist, and every
+benchmark/example on disk must be documented.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DESIGN = (REPO_ROOT / "DESIGN.md").read_text()
+EXPERIMENTS = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+README = (REPO_ROOT / "README.md").read_text()
+
+_FILE_REFERENCE = re.compile(r"`((?:tests|benchmarks|examples|docs)/[\w/.-]+\.(?:py|md))`")
+_BARE_BENCH_REFERENCE = re.compile(r"`(test_\w+\.py)`")
+
+
+class TestReferencedFilesExist:
+    def test_design_md_references_exist(self):
+        for path in _FILE_REFERENCE.findall(DESIGN):
+            assert (REPO_ROOT / path).exists(), f"DESIGN.md references missing {path}"
+
+    def test_experiments_md_references_exist(self):
+        for path in _FILE_REFERENCE.findall(EXPERIMENTS):
+            assert (REPO_ROOT / path).exists(), f"EXPERIMENTS.md references missing {path}"
+        for name in _BARE_BENCH_REFERENCE.findall(EXPERIMENTS):
+            assert (REPO_ROOT / "benchmarks" / name).exists(), (
+                f"EXPERIMENTS.md references missing benchmarks/{name}"
+            )
+
+    def test_readme_references_exist(self):
+        for path in _FILE_REFERENCE.findall(README):
+            assert (REPO_ROOT / path).exists(), f"README.md references missing {path}"
+
+
+class TestEverythingOnDiskIsDocumented:
+    def test_every_benchmark_module_is_documented(self):
+        documented = DESIGN + EXPERIMENTS
+        for bench in sorted((REPO_ROOT / "benchmarks").glob("test_*.py")):
+            assert bench.name in documented, (
+                f"{bench.name} is not mentioned in DESIGN.md or EXPERIMENTS.md"
+            )
+
+    def test_every_example_is_documented_in_readme(self):
+        for example in sorted((REPO_ROOT / "examples").glob("*.py")):
+            assert example.name in README, f"{example.name} is not listed in README.md"
+
+    def test_every_cli_experiment_references_a_documented_figure_or_table(self):
+        from repro.reporting import list_experiments
+
+        documented = DESIGN + EXPERIMENTS + README
+        for spec in list_experiments():
+            # "Figure 6" / "Table 1" / "Section 5.3" also appear in the docs
+            # in their abbreviated forms ("Fig 6", "§5.3"); accept either.
+            reference = spec.paper_reference.split(",")[0]
+            abbreviated = (
+                reference.replace("Figure ", "Fig ")
+                .replace("Section ", "§")
+                .replace("Table ", "Table ")
+            )
+            assert reference in documented or abbreviated in documented, (
+                f"experiment {spec.experiment_id!r} ({reference}) is not "
+                "mentioned in the documentation"
+            )
+
+
+class TestDesignInventoryMatchesPackages:
+    def test_every_subpackage_appears_in_design_md(self):
+        src = REPO_ROOT / "src" / "repro"
+        for package in sorted(p.name for p in src.iterdir() if p.is_dir()
+                              and (p / "__init__.py").exists()
+                              and not p.name.endswith(".egg-info")):
+            assert f"repro.{package}" in DESIGN or f"{package}/" in DESIGN, (
+                f"subpackage repro.{package} is not described in DESIGN.md"
+            )
+
+    def test_readme_architecture_block_covers_subpackages(self):
+        src = REPO_ROOT / "src" / "repro"
+        for package in sorted(p.name for p in src.iterdir() if p.is_dir()
+                              and (p / "__init__.py").exists()
+                              and not p.name.endswith(".egg-info")):
+            assert f"repro.{package}" in README, (
+                f"subpackage repro.{package} is missing from README's "
+                "architecture overview"
+            )

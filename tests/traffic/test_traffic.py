@@ -1,0 +1,185 @@
+"""Tests for flow specs, distributions, generators and traces."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    EmpiricalCDF,
+    FlowSpec,
+    PacketTrace,
+    backlogged_arrivals,
+    bounded_pareto,
+    cbr_arrivals,
+    data_mining_flow_sizes,
+    exponential,
+    flow_arrivals,
+    merge_arrivals,
+    lazy_merge_arrivals,
+    onoff_arrivals,
+    pareto,
+    poisson_arrivals,
+    total_bytes,
+    web_search_flow_sizes,
+)
+
+
+class TestFlowSpec:
+    def test_packets_per_second(self):
+        spec = FlowSpec(name="A", rate_bps=12000, packet_size=1500)
+        assert spec.packets_per_second == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec(name="A", rate_bps=-1)
+        with pytest.raises(ValueError):
+            FlowSpec(name="A", rate_bps=1, packet_size=0)
+        with pytest.raises(ValueError):
+            FlowSpec(name="A", rate_bps=1, start_time=5.0, end_time=1.0)
+
+    def test_active_at(self):
+        spec = FlowSpec(name="A", rate_bps=1e6, start_time=1.0, end_time=2.0)
+        assert not spec.active_at(0.5)
+        assert spec.active_at(1.5)
+        assert not spec.active_at(2.5)
+
+
+class TestGenerators:
+    def test_cbr_spacing(self):
+        spec = FlowSpec(name="A", rate_bps=8e6, packet_size=1000)
+        arrivals = list(cbr_arrivals(spec, duration=0.005))
+        times = [t for t, _ in arrivals]
+        assert times == pytest.approx([0.0, 0.001, 0.002, 0.003, 0.004])
+
+    def test_cbr_zero_rate_produces_nothing(self):
+        spec = FlowSpec(name="A", rate_bps=0.0)
+        assert list(cbr_arrivals(spec, duration=1.0)) == []
+
+    def test_poisson_mean_rate(self):
+        spec = FlowSpec(name="A", rate_bps=8e6, packet_size=1000)
+        arrivals = list(poisson_arrivals(spec, duration=1.0, seed=7))
+        # ~1000 packets/s expected; allow 10% slack.
+        assert 900 <= len(arrivals) <= 1100
+
+    def test_poisson_deterministic_per_seed(self):
+        spec = FlowSpec(name="A", rate_bps=8e6, packet_size=1000)
+        a = [t for t, _ in poisson_arrivals(spec, duration=0.1, seed=3)]
+        b = [t for t, _ in poisson_arrivals(spec, duration=0.1, seed=3)]
+        assert a == b
+
+    def test_onoff_long_run_rate_below_peak(self):
+        spec = FlowSpec(name="A", rate_bps=8e6, packet_size=1000)
+        arrivals = list(
+            onoff_arrivals(spec, duration=2.0, mean_on_s=0.01, mean_off_s=0.01, seed=5)
+        )
+        measured = total_bytes(arrivals) * 8 / 2.0
+        assert measured < 8e6
+        assert measured > 1e6
+
+    def test_backlogged_burst(self):
+        spec = FlowSpec(name="A", rate_bps=1e6, packet_size=500)
+        arrivals = list(backlogged_arrivals(spec, packet_count=10))
+        assert len(arrivals) == 10
+        assert all(t == 0.0 for t, _ in arrivals)
+
+    def test_flow_arrivals_tags_srpt_fields(self):
+        arrivals = list(
+            flow_arrivals("f", load_bps=50e6, duration=0.05, packet_size=1500, seed=1)
+        )
+        assert arrivals, "expected at least one flow"
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        # Remaining size decreases packet by packet within a flow.
+        by_flow = {}
+        for _, packet in arrivals:
+            by_flow.setdefault(packet.flow, []).append(packet)
+        for packets in by_flow.values():
+            remaining = [p.get("remaining_size") for p in packets]
+            assert remaining == sorted(remaining, reverse=True)
+            assert packets[0].get("flow_size") == sum(p.length for p in packets)
+
+    def test_merge_preserves_time_order(self):
+        spec_a = FlowSpec(name="A", rate_bps=8e6, packet_size=1000)
+        spec_b = FlowSpec(name="B", rate_bps=3e6, packet_size=700)
+        merged = list(merge_arrivals(cbr_arrivals(spec_a, 0.01), cbr_arrivals(spec_b, 0.01)))
+        times = [t for t, _ in merged]
+        assert times == sorted(times)
+
+    def test_lazy_merge_matches_eager_merge(self):
+        spec_a = FlowSpec(name="A", rate_bps=8e6, packet_size=1000)
+        spec_b = FlowSpec(name="B", rate_bps=3e6, packet_size=700)
+        eager = [(t, p.flow) for t, p in merge_arrivals(
+            cbr_arrivals(spec_a, 0.01), cbr_arrivals(spec_b, 0.01))]
+        lazy = [(t, p.flow) for t, p in lazy_merge_arrivals(
+            cbr_arrivals(spec_a, 0.01), cbr_arrivals(spec_b, 0.01))]
+        assert eager == lazy
+
+
+class TestDistributions:
+    def test_empirical_cdf_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.5), (20, 0.4), (30, 1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.5)])
+
+    def test_samples_within_support(self):
+        cdf = web_search_flow_sizes()
+        rng = random.Random(0)
+        samples = [cdf.sample(rng) for _ in range(500)]
+        assert all(0 <= s <= 15_000_000 for s in samples)
+
+    def test_data_mining_heavier_tail_than_web_search(self):
+        assert data_mining_flow_sizes().mean() > web_search_flow_sizes().mean()
+
+    def test_exponential_and_pareto_positive(self):
+        rng = random.Random(1)
+        assert exponential(rng, 5.0) > 0
+        assert pareto(rng, shape=1.5, scale=100) >= 100
+        value = bounded_pareto(rng, shape=1.2, low=10, high=1000)
+        assert 10 <= value <= 1000
+
+    def test_invalid_parameters(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            exponential(rng, 0)
+        with pytest.raises(ValueError):
+            pareto(rng, 0, 1)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 1.0, 10, 5)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50)
+    def test_property_cdf_sample_in_range(self, seed):
+        cdf = data_mining_flow_sizes()
+        sample = cdf.sample(random.Random(seed))
+        assert 0 <= sample <= 1_000_000_000
+
+
+class TestTrace:
+    def test_round_trip_replay(self):
+        spec = FlowSpec(name="A", rate_bps=8e6, packet_size=1000,
+                        packet_class="Left", fields={"deadline": 1.0})
+        trace = PacketTrace.from_arrivals(cbr_arrivals(spec, duration=0.003))
+        replayed = list(trace.replay())
+        assert len(replayed) == len(trace) == 3
+        assert replayed[0][1].packet_class == "Left"
+        assert replayed[0][1].get("deadline") == 1.0
+        # Replaying twice yields distinct packet objects.
+        again = list(trace.replay())
+        assert replayed[0][1] is not again[0][1]
+
+    def test_csv_round_trip(self, tmp_path):
+        spec = FlowSpec(name="A", rate_bps=8e6, packet_size=1000, fields={"x": 3})
+        trace = PacketTrace.from_arrivals(cbr_arrivals(spec, duration=0.002))
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = PacketTrace.load_csv(path)
+        assert len(loaded) == len(trace)
+        assert loaded.records[0].fields == {"x": 3}
+        assert loaded.duration() == pytest.approx(trace.duration())
