@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from ..core.backend import BackendSpec
 from ..core.predicates import FlowIn
 from ..core.tree import ScheduleTree, TreeNode
 from .stfq import STFQTransaction
@@ -37,7 +38,11 @@ class CBQClass:
     flows: Mapping[str, float] = field(default_factory=dict)
 
 
-def build_cbq_tree(classes: Sequence[CBQClass], root_name: str = "CBQ") -> ScheduleTree:
+def build_cbq_tree(
+    classes: Sequence[CBQClass],
+    root_name: str = "CBQ",
+    pifo_backend: BackendSpec = None,
+) -> ScheduleTree:
     """Build the two-level CBQ tree (inter-class priority, intra-class WFQ)."""
     priorities = {cbq_class.name: cbq_class.priority for cbq_class in classes}
     root = TreeNode(
@@ -52,4 +57,4 @@ def build_cbq_tree(classes: Sequence[CBQClass], root_name: str = "CBQ") -> Sched
                 scheduling=STFQTransaction(weights=dict(cbq_class.flows)),
             )
         )
-    return ScheduleTree(root)
+    return ScheduleTree(root, pifo_backend=pifo_backend)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from ..core.backend import BackendSpec
 from ..core.tree import ScheduleTree
 from .hpfq import HierarchySpec, ShapingSpec, build_hierarchy
 
@@ -42,10 +43,12 @@ def fig4_spec(
 def build_fig4_tree(
     right_rate_bps: float = FIG4_RIGHT_RATE_BPS,
     right_burst_bytes: float = 3000.0,
+    pifo_backend: BackendSpec = None,
 ) -> ScheduleTree:
     """The Hierarchies-with-Shaping tree of Figure 4."""
     return build_hierarchy(
-        fig4_spec(right_rate_bps=right_rate_bps, right_burst_bytes=right_burst_bytes)
+        fig4_spec(right_rate_bps=right_rate_bps, right_burst_bytes=right_burst_bytes),
+        pifo_backend=pifo_backend,
     )
 
 
@@ -54,6 +57,7 @@ def build_shaped_hierarchy(
     class_weights: Mapping[str, float],
     class_rate_limits_bps: Optional[Mapping[str, float]] = None,
     burst_bytes: float = 3000.0,
+    pifo_backend: BackendSpec = None,
 ) -> ScheduleTree:
     """General two-level hierarchy with optional per-class rate limits.
 
@@ -83,4 +87,7 @@ def build_shaped_hierarchy(
                 shaping=shaping,
             )
         )
-    return build_hierarchy(HierarchySpec(name="Root", children=tuple(children)))
+    return build_hierarchy(
+        HierarchySpec(name="Root", children=tuple(children)),
+        pifo_backend=pifo_backend,
+    )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..core.backend import BackendSpec
 from ..core.predicates import FlowIn, MatchAll
 from ..core.tree import ScheduleTree, TreeNode
 from ..exceptions import TreeConfigurationError
@@ -100,14 +101,17 @@ def _build_node(spec: HierarchySpec, is_root: bool) -> TreeNode:
     return node
 
 
-def build_hierarchy(spec: HierarchySpec) -> ScheduleTree:
+def build_hierarchy(
+    spec: HierarchySpec, pifo_backend: BackendSpec = None
+) -> ScheduleTree:
     """Build a scheduling tree from a hierarchy specification.
 
     Packets are routed to classes by their flow identifier: a class matches
     every flow declared anywhere beneath it, so only ``Packet.flow`` needs to
-    be set by the workload.
+    be set by the workload.  ``pifo_backend`` selects the PIFO storage
+    backend for every node (see :mod:`repro.core.backend`).
     """
-    return ScheduleTree(_build_node(spec, is_root=True))
+    return ScheduleTree(_build_node(spec, is_root=True), pifo_backend=pifo_backend)
 
 
 def fig3_spec() -> HierarchySpec:
@@ -125,14 +129,20 @@ def fig3_spec() -> HierarchySpec:
     )
 
 
-def build_fig3_tree() -> ScheduleTree:
+def build_fig3_tree(pifo_backend: BackendSpec = None) -> ScheduleTree:
     """The HPFQ tree of Figure 3, ready to attach to a scheduler."""
-    return build_hierarchy(fig3_spec())
+    return build_hierarchy(fig3_spec(), pifo_backend=pifo_backend)
 
 
-def build_wfq_tree(weights: Mapping[str, float]) -> ScheduleTree:
+def build_wfq_tree(
+    weights: Mapping[str, float], pifo_backend: BackendSpec = None
+) -> ScheduleTree:
     """Single-node WFQ over a set of flows (the Section 2.1 configuration)."""
-    root = TreeNode(name="WFQ", scheduling=STFQTransaction(weights=dict(weights)))
+    root = TreeNode(
+        name="WFQ",
+        scheduling=STFQTransaction(weights=dict(weights)),
+        pifo_backend=pifo_backend,
+    )
     return ScheduleTree(root)
 
 
@@ -141,6 +151,7 @@ def build_deep_hierarchy(
     fanout: int = 2,
     flows_per_leaf: int = 2,
     base_weight: float = 1.0,
+    pifo_backend: BackendSpec = None,
 ) -> ScheduleTree:
     """Build a uniform hierarchy ``levels`` deep (used by the 5-level
     hierarchical-scheduling claim in the introduction and by scaling
@@ -170,7 +181,7 @@ def build_deep_hierarchy(
         )
         return HierarchySpec(name=name, weight=base_weight, children=children)
 
-    return build_hierarchy(_spec(1, 0))
+    return build_hierarchy(_spec(1, 0), pifo_backend=pifo_backend)
 
 
 def hierarchy_flows(tree: ScheduleTree) -> Dict[str, List[str]]:

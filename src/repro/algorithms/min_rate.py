@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Mapping, Optional
 
+from ..core.backend import BackendSpec
 from ..core.pifo import Rank
 from ..core.packet import Packet
 from ..core.predicates import FlowEquals
@@ -115,6 +116,7 @@ def build_min_rate_tree(
     min_rates_bps: Mapping[str, float],
     burst_bytes: float = 15000.0,
     root_name: str = "MinRateRoot",
+    pifo_backend: BackendSpec = None,
 ) -> ScheduleTree:
     """Build the two-level tree of Section 3.3.
 
@@ -134,7 +136,7 @@ def build_min_rate_tree(
                 scheduling=FIFOTransaction(),
             )
         )
-    return ScheduleTree(root)
+    return ScheduleTree(root, pifo_backend=pifo_backend)
 
 
 class CollapsedMinRateTransaction(MinRateTransaction):
@@ -151,10 +153,11 @@ class CollapsedMinRateTransaction(MinRateTransaction):
 def build_collapsed_min_rate_tree(
     min_rates_bps: Mapping[str, float],
     burst_bytes: float = 15000.0,
+    pifo_backend: BackendSpec = None,
 ) -> ScheduleTree:
     """Single-node variant used by the reordering ablation."""
     root = TreeNode(
         name="CollapsedMinRate",
         scheduling=CollapsedMinRateTransaction(min_rates_bps, burst_bytes=burst_bytes),
     )
-    return ScheduleTree(root)
+    return ScheduleTree(root, pifo_backend=pifo_backend)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Mapping
 
+from ..core.backend import BackendSpec
 from ..core.packet import Packet
 from ..core.predicates import FlowIn
 from ..core.transaction import ShapingTransaction, TransactionContext
@@ -75,7 +76,9 @@ class PerHopDeadlineTransaction(EarliestDeadlineFirstTransaction):
         return "Jitter-EDD scheduler (EDF on per-hop deadline)"
 
 
-def build_jitter_edd_tree(flows: Mapping[str, float]) -> ScheduleTree:
+def build_jitter_edd_tree(
+    flows: Mapping[str, float], pifo_backend: BackendSpec = None
+) -> ScheduleTree:
     """Jitter-EDD: per-flow regulators (shaping) under an EDF scheduler.
 
     ``flows`` maps flow identifiers to their per-hop delay bounds in seconds.
@@ -95,12 +98,13 @@ def build_jitter_edd_tree(flows: Mapping[str, float]) -> ScheduleTree:
                 shaping=JitterEDDRegulator(),
             )
         )
-    return ScheduleTree(root)
+    return ScheduleTree(root, pifo_backend=pifo_backend)
 
 
 def build_hierarchical_round_robin_tree(
     class_flows: Mapping[str, Mapping[str, float]],
     frame_lengths_s: Mapping[str, float],
+    pifo_backend: BackendSpec = None,
 ) -> ScheduleTree:
     """Hierarchical Round Robin: per-class framing regulators under FIFO.
 
@@ -120,7 +124,7 @@ def build_hierarchical_round_robin_tree(
                 shaping=StopAndGoShapingTransaction(frame_length=frame),
             )
         )
-    return ScheduleTree(root)
+    return ScheduleTree(root, pifo_backend=pifo_backend)
 
 
 def stamp_jitter_slack(packet: Packet, deadline: float, actual_departure: float) -> None:

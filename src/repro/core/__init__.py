@@ -4,7 +4,9 @@ This subpackage implements the paper's programming model (Section 2):
 
 * :class:`~repro.core.packet.Packet` — the unit of scheduling.
 * :class:`~repro.core.pifo.PIFO` — push-in first-out queue (rank-ordered
-  insert, head dequeue, FIFO tie-break).
+  insert, head dequeue, FIFO tie-break), with interchangeable storage
+  backends (:mod:`repro.core.backend`): sorted list, heap calendar,
+  integer-rank bucket queue.
 * :class:`~repro.core.transaction.SchedulingTransaction` /
   :class:`~repro.core.transaction.ShapingTransaction` — per-packet programs
   computing ranks and release times.
@@ -14,8 +16,27 @@ This subpackage implements the paper's programming model (Section 2):
   enqueue/dequeue engine.
 """
 
+from .backend import (
+    DEFAULT_BACKEND,
+    PIFO_BACKENDS,
+    BackendSpec,
+    PIFOBackend,
+    available_backends,
+    backend_name,
+    make_pifo,
+    register_backend,
+    resolve_backend,
+)
 from .packet import Packet, make_packets
-from .pifo import PIFO, CalendarPIFO, PIFOEntry, Rank
+from .pifo import (
+    PIFO,
+    BucketedPIFO,
+    CalendarPIFO,
+    PIFOBase,
+    PIFOEntry,
+    Rank,
+    SortedListPIFO,
+)
 from .predicates import (
     And,
     ClassEquals,
@@ -45,9 +66,21 @@ __all__ = [
     "Packet",
     "make_packets",
     "PIFO",
+    "SortedListPIFO",
     "CalendarPIFO",
+    "BucketedPIFO",
+    "PIFOBase",
     "PIFOEntry",
     "Rank",
+    "PIFOBackend",
+    "BackendSpec",
+    "PIFO_BACKENDS",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "backend_name",
+    "make_pifo",
+    "register_backend",
+    "resolve_backend",
     "Predicate",
     "MatchAll",
     "MatchNone",

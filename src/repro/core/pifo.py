@@ -1,4 +1,4 @@
-"""The push-in first-out queue (PIFO).
+"""The push-in first-out queue (PIFO) and its interchangeable backends.
 
 A PIFO is a priority queue that lets an element be *pushed into an arbitrary
 location* based on the element's rank, but always *dequeues from the head*
@@ -10,28 +10,51 @@ location* based on the element's rank, but always *dequeues from the head*
   pushed.  Stop-and-Go queueing (Section 3.2) relies on this to transmit all
   packets of a frame in arrival order.
 
-Two implementations are provided:
+Three interchangeable implementations share one base class and are therefore
+behaviourally identical (a property-based suite in
+``tests/core/test_pifo_backends.py`` pins the equivalence):
 
-:class:`PIFO`
-    The reference implementation backed by a sorted list and ``bisect``.
-    Pushes are O(n) in the worst case (list insert) but fast in practice and,
-    more importantly, trivially correct.
+:class:`SortedListPIFO` (alias :data:`PIFO`)
+    The reference implementation backed by a sorted list, ``bisect`` and a
+    head index.  Pushes are O(n) in the worst case (list insert) but fast in
+    practice; pops are O(1) amortised (the head index advances and the dead
+    prefix is compacted geometrically).
 
 :class:`CalendarPIFO`
-    The same interface with an O(log n) push backed by a heap, used by the
-    simulator for large workloads.  It keeps a monotonically increasing
+    The same interface with an O(log n) push/pop backed by a heap, used by
+    the simulator for large workloads.  It keeps a monotonically increasing
     sequence number alongside the rank so heap ordering matches PIFO
     semantics (rank, then arrival order).
 
-Both accept arbitrary elements: packets at the leaves of a scheduling tree,
-or references to other PIFOs at interior nodes.
+:class:`BucketedPIFO`
+    A bucket queue for *integer* ranks (the hardware uses 16- or 32-bit rank
+    fields, Section 5.1): a dict of per-rank FIFO deques plus a small heap of
+    occupied ranks.  Push is O(1) amortised, pop is O(1) amortised, making
+    it the fastest backend for workloads whose transactions emit integral
+    ranks (strict priority, arrival sequence numbers, per-hop deadlines).
+
+All accept arbitrary elements: packets at the leaves of a scheduling tree,
+or references to other PIFOs at interior nodes.  The factory and registry
+for selecting a backend by name live in :mod:`repro.core.backend`.
 """
 
 from __future__ import annotations
 
 import bisect
 import heapq
-from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+from collections import deque
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from ..exceptions import PIFOEmptyError, PIFOFullError
 
@@ -61,14 +84,21 @@ class PIFOEntry(Generic[T]):
         return (self.rank, self.seq)
 
     def __lt__(self, other: "PIFOEntry") -> bool:
-        return self.key() < other.key()
+        return (self.rank, self.seq) < (other.rank, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PIFOEntry(rank={self.rank}, seq={self.seq}, element={self.element!r})"
 
 
-class PIFO(Generic[T]):
-    """Reference push-in first-out queue.
+class PIFOBase(Generic[T]):
+    """Shared machinery for every PIFO backend.
+
+    Subclasses provide the storage by implementing five hooks:
+    :meth:`_insert`, :meth:`_pop_head`, :meth:`_head`,
+    :meth:`_sorted_entries`, :meth:`_clear_storage`, :meth:`_rebuild` and
+    ``__len__``.  Everything observable — capacity enforcement, FIFO
+    tie-breaks via the sequence number, the push/pop/drop counters, batch
+    operations — lives here so the backends cannot drift apart.
 
     Parameters
     ----------
@@ -80,11 +110,14 @@ class PIFO(Generic[T]):
         Optional label used in error messages and debugging output.
     """
 
+    #: Registry name of the backend (see :mod:`repro.core.backend`).
+    backend_name = "abstract"
+    #: True for backends that only accept integral ranks (bucket queues).
+    requires_integer_ranks = False
+
     def __init__(self, capacity: Optional[int] = None, name: str = "pifo") -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive or None")
-        self._entries: List[PIFOEntry[T]] = []
-        self._keys: List[Tuple[Rank, int]] = []
         self._seq = 0
         self.capacity = capacity
         self.name = name
@@ -93,7 +126,30 @@ class PIFO(Generic[T]):
         self.pops = 0
         self.drops = 0
 
-    # -- core operations ---------------------------------------------------
+    # -- storage hooks (implemented by each backend) -------------------------
+    def _insert(self, entry: PIFOEntry[T]) -> None:
+        raise NotImplementedError
+
+    def _pop_head(self) -> PIFOEntry[T]:
+        raise NotImplementedError
+
+    def _head(self) -> PIFOEntry[T]:
+        raise NotImplementedError
+
+    def _sorted_entries(self) -> List[PIFOEntry[T]]:
+        raise NotImplementedError
+
+    def _clear_storage(self) -> None:
+        raise NotImplementedError
+
+    def _rebuild(self, kept: List[PIFOEntry[T]]) -> None:
+        """Replace storage with ``kept`` (already in dequeue order)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- core operations -----------------------------------------------------
     def push(self, element: T, rank: Rank) -> None:
         """Insert ``element`` at the position determined by ``rank``.
 
@@ -101,86 +157,99 @@ class PIFO(Generic[T]):
         :class:`~repro.exceptions.PIFOFullError` when the capacity bound
         would be exceeded.
         """
-        if self.capacity is not None and len(self._entries) >= self.capacity:
+        if self.capacity is not None and len(self) >= self.capacity:
             self.drops += 1
             raise PIFOFullError(
                 f"PIFO {self.name!r} is full (capacity={self.capacity})"
             )
         entry = PIFOEntry(rank, self._seq, element)
+        self._insert(entry)
         self._seq += 1
-        # bisect_right on (rank, seq): seq is strictly increasing so an equal
-        # rank always lands after previously pushed equal ranks (FIFO ties).
-        index = bisect.bisect_right(self._keys, entry.key())
-        self._keys.insert(index, entry.key())
-        self._entries.insert(index, entry)
         self.pushes += 1
 
     def pop(self) -> T:
         """Remove and return the head (lowest rank, earliest push)."""
-        if not self._entries:
-            raise PIFOEmptyError(f"pop from empty PIFO {self.name!r}")
-        self._keys.pop(0)
-        entry = self._entries.pop(0)
-        self.pops += 1
-        return entry.element
+        return self.pop_entry().element
 
     def pop_entry(self) -> PIFOEntry[T]:
         """Like :meth:`pop` but returns the full entry (element and rank)."""
-        if not self._entries:
+        if not len(self):
             raise PIFOEmptyError(f"pop from empty PIFO {self.name!r}")
-        self._keys.pop(0)
-        entry = self._entries.pop(0)
+        entry = self._pop_head()
         self.pops += 1
         return entry
 
     def peek(self) -> T:
         """Return the head element without removing it."""
-        if not self._entries:
-            raise PIFOEmptyError(f"peek on empty PIFO {self.name!r}")
-        return self._entries[0].element
+        return self.peek_entry().element
 
     def peek_rank(self) -> Rank:
         """Return the head element's rank without removing it."""
-        if not self._entries:
-            raise PIFOEmptyError(f"peek on empty PIFO {self.name!r}")
-        return self._entries[0].rank
+        return self.peek_entry().rank
 
     def peek_entry(self) -> PIFOEntry[T]:
         """Return the head entry without removing it."""
-        if not self._entries:
+        if not len(self):
             raise PIFOEmptyError(f"peek on empty PIFO {self.name!r}")
-        return self._entries[0]
+        return self._head()
 
-    # -- introspection -----------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._entries)
+    # -- batch fast paths ----------------------------------------------------
+    def enqueue_many(self, items: Iterable[Tuple[T, Rank]]) -> int:
+        """Push a batch of ``(element, rank)`` pairs; returns how many were
+        buffered.
 
+        Unlike :meth:`push`, elements that would exceed the capacity bound
+        are *dropped* (counted in :attr:`drops`) instead of raising, so one
+        oversized burst does not abort the rest of the batch — the behaviour
+        a switch exhibits on buffer exhaustion.  Backends may override this
+        with a bulk implementation; the semantics must stay identical.
+        """
+        accepted = 0
+        for element, rank in items:
+            try:
+                self.push(element, rank)
+            except PIFOFullError:
+                continue
+            accepted += 1
+        return accepted
+
+    def drain(self) -> List[T]:
+        """Pop every element, returning them in dequeue order.
+
+        Equivalent to repeated :meth:`pop` but implemented as one bulk
+        operation; used by the simulator and benchmarks as a fast path.
+        """
+        entries = self._sorted_entries()
+        self.pops += len(entries)
+        self._clear_storage()
+        return [entry.element for entry in entries]
+
+    # -- introspection -------------------------------------------------------
     def __bool__(self) -> bool:
-        return bool(self._entries)
+        return len(self) > 0
 
     def __iter__(self) -> Iterator[T]:
         """Iterate elements in dequeue order without removing them."""
-        return (entry.element for entry in self._entries)
+        return (entry.element for entry in self._sorted_entries())
 
     def entries(self) -> List[PIFOEntry[T]]:
         """Return a snapshot of entries in dequeue order."""
-        return list(self._entries)
+        return list(self._sorted_entries())
 
     def ranks(self) -> List[Rank]:
         """Return the ranks in dequeue order."""
-        return [entry.rank for entry in self._entries]
+        return [entry.rank for entry in self._sorted_entries()]
 
     @property
     def is_empty(self) -> bool:
-        return not self._entries
+        return len(self) == 0
 
     def clear(self) -> None:
         """Drop all buffered elements."""
-        self._entries.clear()
-        self._keys.clear()
+        self._clear_storage()
 
-    # -- extended operations used by the switch substrate -------------------
-    def remove(self, predicate) -> List[T]:
+    # -- extended operations used by the switch substrate --------------------
+    def remove(self, predicate: Callable[[T], bool]) -> List[T]:
         """Remove and return every element for which ``predicate`` is true.
 
         Used by buffer management (drop on threshold crossing) and by PFC to
@@ -190,97 +259,219 @@ class PIFO(Generic[T]):
         """
         kept: List[PIFOEntry[T]] = []
         removed: List[T] = []
-        for entry in self._entries:
+        for entry in self._sorted_entries():
             if predicate(entry.element):
                 removed.append(entry.element)
             else:
                 kept.append(entry)
-        self._entries = kept
-        self._keys = [entry.key() for entry in kept]
+        self._rebuild(kept)
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"PIFO(name={self.name!r}, len={len(self)})"
+        return f"{type(self).__name__}(name={self.name!r}, len={len(self)})"
 
 
-class CalendarPIFO(Generic[T]):
-    """Heap-backed PIFO with the same semantics as :class:`PIFO`.
+class SortedListPIFO(PIFOBase[T]):
+    """Reference push-in first-out queue: sorted list + head index.
+
+    The seed implementation used ``list.pop(0)``, making every dequeue O(n);
+    this version advances a head index instead and compacts the dead prefix
+    geometrically, so pops are O(1) amortised while pushes keep the simple
+    bisect-insert the reference semantics were validated with.
+    """
+
+    backend_name = "sorted"
+
+    #: Compact the dead prefix once it exceeds this many slots *and* at
+    #: least half the backing list (geometric, so amortised O(1) per pop).
+    _COMPACT_MIN = 64
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "pifo") -> None:
+        super().__init__(capacity=capacity, name=name)
+        self._entries: List[PIFOEntry[T]] = []
+        self._keys: List[Tuple[Rank, int]] = []
+        self._front = 0
+
+    def _insert(self, entry: PIFOEntry[T]) -> None:
+        # bisect_right on (rank, seq): seq is strictly increasing so an equal
+        # rank always lands after previously pushed equal ranks (FIFO ties).
+        index = bisect.bisect_right(self._keys, entry.key(), lo=self._front)
+        self._keys.insert(index, entry.key())
+        self._entries.insert(index, entry)
+
+    def _pop_head(self) -> PIFOEntry[T]:
+        entry = self._entries[self._front]
+        self._entries[self._front] = None  # type: ignore[call-overload]
+        self._front += 1
+        if self._front == len(self._entries):
+            self._clear_storage()
+        elif self._front >= self._COMPACT_MIN and self._front * 2 >= len(self._entries):
+            del self._entries[: self._front]
+            del self._keys[: self._front]
+            self._front = 0
+        return entry
+
+    def _head(self) -> PIFOEntry[T]:
+        return self._entries[self._front]
+
+    def _sorted_entries(self) -> List[PIFOEntry[T]]:
+        return self._entries[self._front :]
+
+    def _clear_storage(self) -> None:
+        self._entries.clear()
+        self._keys.clear()
+        self._front = 0
+
+    def _rebuild(self, kept: List[PIFOEntry[T]]) -> None:
+        self._entries = list(kept)
+        self._keys = [entry.key() for entry in kept]
+        self._front = 0
+
+    def __len__(self) -> int:
+        return len(self._entries) - self._front
+
+    def enqueue_many(self, items: Iterable[Tuple[T, Rank]]) -> int:
+        """Bulk push: append then one stable merge instead of n inserts."""
+        batch: List[PIFOEntry[T]] = []
+        for element, rank in items:
+            if self.capacity is not None and len(self) + len(batch) >= self.capacity:
+                self.drops += 1
+                continue
+            batch.append(PIFOEntry(rank, self._seq, element))
+            self._seq += 1
+        if not batch:
+            return 0
+        batch.sort()  # stable on (rank, seq): FIFO ties preserved
+        merged = list(heapq.merge(self._sorted_entries(), batch))
+        self._rebuild(merged)
+        self.pushes += len(batch)
+        return len(batch)
+
+
+#: Backwards-compatible name: the reference PIFO used throughout the seed.
+PIFO = SortedListPIFO
+
+
+class CalendarPIFO(PIFOBase[T]):
+    """Heap-backed PIFO with the same semantics as :class:`SortedListPIFO`.
 
     Push and pop are O(log n).  Used by the discrete-event simulator when a
     run buffers tens of thousands of packets; behavioural equivalence with
-    :class:`PIFO` is enforced by a property-based test.
+    the reference is enforced by a property-based test.
     """
 
+    backend_name = "calendar"
+
     def __init__(self, capacity: Optional[int] = None, name: str = "calendar-pifo") -> None:
-        if capacity is not None and capacity <= 0:
-            raise ValueError("capacity must be positive or None")
-        self._heap: List[PIFOEntry[T]] = []
-        self._seq = 0
-        self.capacity = capacity
-        self.name = name
-        self.pushes = 0
-        self.pops = 0
-        self.drops = 0
+        super().__init__(capacity=capacity, name=name)
+        # The heap holds (rank, seq, entry) tuples rather than bare entries:
+        # tuple comparison runs in C and, because seq is unique, never falls
+        # through to comparing the entry itself.  This matters — heap
+        # sift-downs are the hot loop of large simulations.
+        self._heap: List[Tuple[Rank, int, PIFOEntry[T]]] = []
 
-    def push(self, element: T, rank: Rank) -> None:
-        if self.capacity is not None and len(self._heap) >= self.capacity:
-            self.drops += 1
-            raise PIFOFullError(
-                f"PIFO {self.name!r} is full (capacity={self.capacity})"
-            )
-        heapq.heappush(self._heap, PIFOEntry(rank, self._seq, element))
-        self._seq += 1
-        self.pushes += 1
+    def _insert(self, entry: PIFOEntry[T]) -> None:
+        heapq.heappush(self._heap, (entry.rank, entry.seq, entry))
 
-    def pop(self) -> T:
-        if not self._heap:
-            raise PIFOEmptyError(f"pop from empty PIFO {self.name!r}")
-        self.pops += 1
-        return heapq.heappop(self._heap).element
+    def _pop_head(self) -> PIFOEntry[T]:
+        return heapq.heappop(self._heap)[2]
 
-    def pop_entry(self) -> PIFOEntry[T]:
-        if not self._heap:
-            raise PIFOEmptyError(f"pop from empty PIFO {self.name!r}")
-        self.pops += 1
-        return heapq.heappop(self._heap)
+    def _head(self) -> PIFOEntry[T]:
+        return self._heap[0][2]
 
-    def peek(self) -> T:
-        if not self._heap:
-            raise PIFOEmptyError(f"peek on empty PIFO {self.name!r}")
-        return self._heap[0].element
+    def _sorted_entries(self) -> List[PIFOEntry[T]]:
+        return [item[2] for item in sorted(self._heap)]
 
-    def peek_rank(self) -> Rank:
-        if not self._heap:
-            raise PIFOEmptyError(f"peek on empty PIFO {self.name!r}")
-        return self._heap[0].rank
+    def _clear_storage(self) -> None:
+        self._heap.clear()
 
-    def peek_entry(self) -> PIFOEntry[T]:
-        if not self._heap:
-            raise PIFOEmptyError(f"peek on empty PIFO {self.name!r}")
-        return self._heap[0]
+    def _rebuild(self, kept: List[PIFOEntry[T]]) -> None:
+        # ``kept`` arrives sorted, which is already a valid heap.
+        self._heap = [(entry.rank, entry.seq, entry) for entry in kept]
 
     def __len__(self) -> int:
         return len(self._heap)
 
-    def __bool__(self) -> bool:
-        return bool(self._heap)
 
-    @property
-    def is_empty(self) -> bool:
-        return not self._heap
+class BucketedPIFO(PIFOBase[T]):
+    """Bucket-queue PIFO for integer-rank workloads.
 
-    def clear(self) -> None:
-        self._heap.clear()
+    The hardware stores ranks in fixed-width integer fields (Section 5.1);
+    many algorithms (strict priority, FIFO sequence numbers, per-hop
+    deadlines in slots) therefore only ever emit integral ranks.  For those
+    workloads a dict of per-rank FIFO buckets plus a heap of occupied ranks
+    gives O(1) amortised push *and* pop: the heap only sees one entry per
+    distinct rank, not one per element.
 
-    def entries(self) -> List[PIFOEntry[T]]:
-        """Return entries in dequeue order (requires a sort; O(n log n))."""
-        return sorted(self._heap)
+    Pushing a non-integral rank raises ``ValueError`` — use
+    :class:`SortedListPIFO` or :class:`CalendarPIFO` for virtual-time
+    algorithms that compute fractional ranks.
+    """
 
-    def ranks(self) -> List[Rank]:
-        return [entry.rank for entry in sorted(self._heap)]
+    backend_name = "bucketed"
+    requires_integer_ranks = True
 
-    def __iter__(self) -> Iterator[T]:
-        return (entry.element for entry in sorted(self._heap))
+    def __init__(self, capacity: Optional[int] = None, name: str = "bucketed-pifo") -> None:
+        super().__init__(capacity=capacity, name=name)
+        self._buckets: Dict[int, Deque[PIFOEntry[T]]] = {}
+        self._rank_heap: List[int] = []
+        self._size = 0
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"CalendarPIFO(name={self.name!r}, len={len(self)})"
+    def _insert(self, entry: PIFOEntry[T]) -> None:
+        rank = entry.rank
+        key = int(rank)
+        if key != rank:
+            raise ValueError(
+                f"BucketedPIFO {self.name!r} requires integer ranks, got {rank!r}"
+            )
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = deque()
+            heapq.heappush(self._rank_heap, key)
+        bucket.append(entry)
+        self._size += 1
+
+    def _min_occupied_rank(self) -> int:
+        # Lazily discard ranks whose bucket has emptied (or duplicate heap
+        # entries left behind when a rank was re-occupied).
+        heap = self._rank_heap
+        while heap:
+            key = heap[0]
+            bucket = self._buckets.get(key)
+            if bucket:
+                return key
+            heapq.heappop(heap)
+            self._buckets.pop(key, None)
+        raise PIFOEmptyError(f"pop from empty PIFO {self.name!r}")
+
+    def _pop_head(self) -> PIFOEntry[T]:
+        key = self._min_occupied_rank()
+        bucket = self._buckets[key]
+        entry = bucket.popleft()
+        self._size -= 1
+        if not bucket:
+            del self._buckets[key]
+        return entry
+
+    def _head(self) -> PIFOEntry[T]:
+        return self._buckets[self._min_occupied_rank()][0]
+
+    def _sorted_entries(self) -> List[PIFOEntry[T]]:
+        return [
+            entry
+            for key in sorted(self._buckets)
+            for entry in self._buckets[key]
+        ]
+
+    def _clear_storage(self) -> None:
+        self._buckets.clear()
+        self._rank_heap.clear()
+        self._size = 0
+
+    def _rebuild(self, kept: List[PIFOEntry[T]]) -> None:
+        self._clear_storage()
+        for entry in kept:
+            self._insert(entry)
+
+    def __len__(self) -> int:
+        return self._size

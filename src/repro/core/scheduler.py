@@ -23,10 +23,12 @@ ground truth against which the cycle-level hardware model
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..exceptions import PIFOFullError, SchedulerError
+from .backend import BackendSpec
 from .packet import Packet
 from .pifo import Rank
 from .transaction import TransactionContext
@@ -86,13 +88,39 @@ class ProgrammableScheduler:
         When a node's scheduling PIFO is at capacity, drop the packet
         (returning ``False`` from :meth:`enqueue`) instead of raising.
         Mirrors a switch dropping on buffer exhaustion.
+    pifo_backend:
+        Optional backend spec (see :mod:`repro.core.backend`) applied to
+        every PIFO in the tree before the run starts.
+
+    Shaping releases are driven by a single **global shaping calendar**: a
+    heap of ``(release_time, seq, token)`` shared by the whole tree.  The
+    per-node shaping PIFOs remain authoritative for introspection (and are
+    what the hardware compiler places into mesh blocks), but release
+    processing pops the calendar in O(log n) per token instead of scanning
+    every node of the tree on every poll.
     """
 
-    def __init__(self, tree: ScheduleTree, drop_on_full: bool = True) -> None:
+    def __init__(
+        self,
+        tree: ScheduleTree,
+        drop_on_full: bool = True,
+        pifo_backend: BackendSpec = None,
+    ) -> None:
         self.tree = tree
         self.drop_on_full = drop_on_full
+        if pifo_backend is not None:
+            tree.use_backend(pifo_backend)
+        self.pifo_backend: BackendSpec = tree.pifo_backend
         self.stats = SchedulerStats()
         self._buffered_packets = 0
+        #: Global shaping calendar: (release_time, push order, token).
+        self._shaping_calendar: List[Tuple[float, int, ShapingToken]] = []
+        self._calendar_seq = 0
+
+    def use_backend(self, backend: BackendSpec) -> None:
+        """Swap every PIFO in the tree onto ``backend`` (entries migrate)."""
+        self.tree.use_backend(backend)
+        self.pifo_backend = backend
 
     # ------------------------------------------------------------------ #
     # Enqueue path                                                        #
@@ -119,6 +147,25 @@ class ProgrammableScheduler:
             self.stats.per_flow_enqueued.get(packet.flow, 0) + 1
         )
         return True
+
+    def enqueue_many(
+        self, packets: Iterable[Packet], now: Optional[float] = None
+    ) -> int:
+        """Enqueue a batch of packets; returns how many were buffered.
+
+        The batch fast path used by the simulator's
+        :meth:`~repro.sim.link.OutputPort.receive_many` and the throughput
+        benchmarks; drops (full PIFOs) are counted, not raised, regardless
+        of ``drop_on_full``.
+        """
+        accepted = 0
+        for packet in packets:
+            try:
+                if self.enqueue(packet, now=now):
+                    accepted += 1
+            except PIFOFullError:
+                self.stats.dropped += 1
+        return accepted
 
     def _walk_up(
         self,
@@ -160,33 +207,40 @@ class ProgrammableScheduler:
                 )
                 assert node.shaping_pifo is not None
                 node.shaping_pifo.push(token, send_time)
+                heapq.heappush(
+                    self._shaping_calendar,
+                    (send_time, self._calendar_seq, token),
+                )
+                self._calendar_seq += 1
                 return
             child = node
 
     # ------------------------------------------------------------------ #
     # Shaping releases                                                    #
     # ------------------------------------------------------------------ #
+    def _calendar_entry_is_stale(self, token: ShapingToken) -> bool:
+        """A calendar entry is stale when its token is no longer the head of
+        its node's shaping PIFO — which only happens when the tree was reset
+        or the token was removed behind the scheduler's back."""
+        pifo = token.node.shaping_pifo
+        return pifo is None or pifo.is_empty or pifo.peek() is not token
+
     def process_shaping_releases(self, now: float) -> int:
         """Release every shaping token whose time has arrived.
 
         Tokens are processed in global release-time order so that multiple
-        shaped nodes interleave deterministically.  Returns the number of
-        tokens released.
+        shaped nodes interleave deterministically.  Pops the global shaping
+        calendar — O(log n) per released token, independent of the number
+        of tree nodes — instead of the seed's per-call scan of every node.
+        Returns the number of tokens released.
         """
         released = 0
-        while True:
-            best_node: Optional[TreeNode] = None
-            best_time: Optional[float] = None
-            for node in self.tree.nodes():
-                if node.shaping_pifo is None or node.shaping_pifo.is_empty:
-                    continue
-                head_time = node.shaping_pifo.peek_rank()
-                if head_time <= now and (best_time is None or head_time < best_time):
-                    best_node = node
-                    best_time = head_time
-            if best_node is None:
-                return released
-            token: ShapingToken = best_node.shaping_pifo.pop()
+        calendar = self._shaping_calendar
+        while calendar and calendar[0][0] <= now:
+            _, _, token = heapq.heappop(calendar)
+            if self._calendar_entry_is_stale(token):
+                continue
+            token.node.shaping_pifo.pop()
             self.stats.shaping_releases += 1
             released += 1
             # Resume the walk at the parent, using the token's release time
@@ -199,19 +253,23 @@ class ProgrammableScheduler:
                 now=max(token.release_time, 0.0),
                 from_child=token.node,
             )
+        return released
 
     def next_shaping_release(self) -> Optional[float]:
         """Earliest pending shaping release time, or ``None`` if none.
 
         The simulator uses this to schedule a wake-up for non-work-conserving
-        algorithms instead of busy-polling.
+        algorithms instead of busy-polling.  O(1) plus lazy cleanup of stale
+        calendar entries.
         """
-        times = [
-            node.shaping_pifo.peek_rank()
-            for node in self.tree.nodes()
-            if node.shaping_pifo is not None and not node.shaping_pifo.is_empty
-        ]
-        return min(times) if times else None
+        calendar = self._shaping_calendar
+        while calendar:
+            release_time, _, token = calendar[0]
+            if self._calendar_entry_is_stale(token):
+                heapq.heappop(calendar)
+                continue
+            return release_time
+        return None
 
     # ------------------------------------------------------------------ #
     # Dequeue path                                                        #
@@ -223,7 +281,8 @@ class ProgrammableScheduler:
         packets are held back by shaping transactions; use
         :meth:`next_shaping_release` to distinguish.
         """
-        self.process_shaping_releases(now)
+        if self._shaping_calendar:
+            self.process_shaping_releases(now)
         node = self.tree.root
         if node.scheduling_pifo.is_empty:
             return None
@@ -262,7 +321,8 @@ class ProgrammableScheduler:
     def peek(self, now: float = 0.0) -> Optional[Packet]:
         """Return the packet that :meth:`dequeue` would return, without
         removing it.  Shaping releases due by ``now`` are applied."""
-        self.process_shaping_releases(now)
+        if self._shaping_calendar:
+            self.process_shaping_releases(now)
         node = self.tree.root
         if node.scheduling_pifo.is_empty:
             return None
@@ -337,6 +397,8 @@ class ProgrammableScheduler:
         self.tree.reset()
         self.stats = SchedulerStats()
         self._buffered_packets = 0
+        self._shaping_calendar.clear()
+        self._calendar_seq = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

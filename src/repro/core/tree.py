@@ -23,8 +23,13 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import TreeConfigurationError
+from .backend import (
+    BackendSpec,
+    PIFOBackend,
+    backend_requires_integer_ranks,
+    make_pifo,
+)
 from .packet import Packet
-from .pifo import PIFO
 from .predicates import MatchAll, Predicate
 from .transaction import SchedulingTransaction, ShapingTransaction
 
@@ -50,6 +55,12 @@ class TreeNode:
         packet's ``flow`` attribute.
     pifo_capacity:
         Optional bound on the node's scheduling PIFO occupancy.
+    pifo_backend:
+        Backend spec (see :mod:`repro.core.backend`) for this node's
+        scheduling PIFO.  ``None`` selects the default (sorted-list)
+        backend.  The shaping PIFO ranks by wall-clock send time (a float),
+        so integer-only backends such as ``"bucketed"`` fall back to the
+        default there.
     """
 
     def __init__(
@@ -60,6 +71,7 @@ class TreeNode:
         shaping: Optional[ShapingTransaction] = None,
         flow_fn: Optional[Callable[[Packet], str]] = None,
         pifo_capacity: Optional[int] = None,
+        pifo_backend: BackendSpec = None,
         children: Optional[Sequence["TreeNode"]] = None,
     ) -> None:
         self.name = name
@@ -69,18 +81,55 @@ class TreeNode:
         self.flow_fn = flow_fn or (lambda packet: packet.flow)
         self.parent: Optional["TreeNode"] = None
         self.children: List["TreeNode"] = []
+        self.pifo_capacity = pifo_capacity
+        self.pifo_backend: BackendSpec = pifo_backend
 
         # Runtime PIFOs.  The scheduling PIFO holds packets (leaf) or child
         # references (interior).  The shaping PIFO, present only when a
         # shaping transaction is attached, holds deferred release tokens
         # ranked by wall-clock send time.
-        self.scheduling_pifo: PIFO = PIFO(capacity=pifo_capacity, name=f"{name}.sched")
-        self.shaping_pifo: Optional[PIFO] = (
-            PIFO(name=f"{name}.shape") if shaping is not None else None
+        self.scheduling_pifo: PIFOBackend = make_pifo(
+            pifo_backend, capacity=pifo_capacity, name=f"{name}.sched"
+        )
+        self.shaping_pifo: Optional[PIFOBackend] = (
+            make_pifo(self._shaping_backend(pifo_backend), name=f"{name}.shape")
+            if shaping is not None
+            else None
         )
 
         for child in children or ():
             self.add_child(child)
+
+    @staticmethod
+    def _shaping_backend(backend: BackendSpec) -> BackendSpec:
+        """Shaping ranks are float send times; avoid integer-only backends."""
+        if backend is not None and backend_requires_integer_ranks(backend):
+            return None
+        return backend
+
+    def use_backend(self, backend: BackendSpec) -> None:
+        """Swap this node's PIFOs onto a different backend.
+
+        Buffered entries migrate in dequeue order (FIFO ties preserved);
+        operation counters restart at zero, so swap before a run when the
+        counters matter.
+        """
+        def _migrate(old: PIFOBackend, new: PIFOBackend) -> PIFOBackend:
+            new.enqueue_many(
+                (entry.element, entry.rank) for entry in old.entries()
+            )
+            return new
+
+        self.pifo_backend = backend
+        self.scheduling_pifo = _migrate(
+            self.scheduling_pifo,
+            make_pifo(backend, capacity=self.pifo_capacity, name=f"{self.name}.sched"),
+        )
+        if self.shaping_pifo is not None:
+            self.shaping_pifo = _migrate(
+                self.shaping_pifo,
+                make_pifo(self._shaping_backend(backend), name=f"{self.name}.shape"),
+            )
 
     # -- structure ----------------------------------------------------------
     def add_child(self, child: "TreeNode") -> "TreeNode":
@@ -148,12 +197,31 @@ class TreeNode:
 
 
 class ScheduleTree:
-    """A validated tree of scheduling (and shaping) transactions."""
+    """A validated tree of scheduling (and shaping) transactions.
 
-    def __init__(self, root: TreeNode) -> None:
+    Parameters
+    ----------
+    root:
+        Root node of the hierarchy.
+    pifo_backend:
+        Optional backend spec applied to *every* node's PIFOs (see
+        :mod:`repro.core.backend`).  ``None`` leaves each node on whatever
+        backend it was constructed with.
+    """
+
+    def __init__(self, root: TreeNode, pifo_backend: BackendSpec = None) -> None:
         self.root = root
         self._nodes: Dict[str, TreeNode] = {}
         self._validate()
+        self.pifo_backend: BackendSpec = pifo_backend
+        if pifo_backend is not None:
+            self.use_backend(pifo_backend)
+
+    def use_backend(self, backend: BackendSpec) -> None:
+        """Swap every node's PIFOs onto ``backend`` (entries migrate)."""
+        self.pifo_backend = backend
+        for node in self.root.walk():
+            node.use_backend(backend)
 
     # -- validation ----------------------------------------------------------
     def _validate(self) -> None:
@@ -271,6 +339,7 @@ def single_node_tree(
     scheduling: SchedulingTransaction,
     name: str = "root",
     pifo_capacity: Optional[int] = None,
+    pifo_backend: BackendSpec = None,
 ) -> ScheduleTree:
     """Build the simplest tree: one node, one scheduling transaction.
 
@@ -278,5 +347,10 @@ def single_node_tree(
     all fine-grained priority algorithms.
     """
     return ScheduleTree(
-        TreeNode(name=name, scheduling=scheduling, pifo_capacity=pifo_capacity)
+        TreeNode(
+            name=name,
+            scheduling=scheduling,
+            pifo_capacity=pifo_capacity,
+            pifo_backend=pifo_backend,
+        )
     )

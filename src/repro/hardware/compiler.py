@@ -28,9 +28,11 @@ equivalence under the assumption and the documented deviation without it.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from ..core.backend import BackendSpec
 from ..core.packet import Packet
 from ..core.scheduler import SchedulerStats, ShapingToken
 from ..core.transaction import TransactionContext
@@ -82,11 +84,13 @@ class MeshCompiler:
         rank_store_capacity: int = 64 * 1024,
         logical_pifos_per_block: int = 256,
         max_blocks: Optional[int] = None,
+        pifo_backend: BackendSpec = None,
     ) -> None:
         self.capacity_flows = capacity_flows
         self.rank_store_capacity = rank_store_capacity
         self.logical_pifos_per_block = logical_pifos_per_block
         self.max_blocks = max_blocks
+        self.pifo_backend = pifo_backend
 
     def _new_block(self, mesh: PIFOMesh, name: str) -> PIFOBlock:
         block = PIFOBlock(
@@ -94,6 +98,7 @@ class MeshCompiler:
             capacity_flows=self.capacity_flows,
             rank_store_capacity=self.rank_store_capacity,
             logical_pifo_count=self.logical_pifos_per_block,
+            pifo_backend=self.pifo_backend,
         )
         return mesh.add_block(block)
 
@@ -191,16 +196,28 @@ class HardwareScheduler:
     """
 
     def __init__(self, tree: ScheduleTree, program: Optional[MeshProgram] = None,
-                 compiler: Optional[MeshCompiler] = None) -> None:
+                 compiler: Optional[MeshCompiler] = None,
+                 pifo_backend: BackendSpec = None) -> None:
         self.tree = tree
+        self.pifo_backend = (
+            compiler.pifo_backend if compiler is not None else pifo_backend
+        )
+        # Kept so reset()/use_backend() recompile with the caller's block
+        # capacities instead of silently reverting to defaults.
+        self._compiler = compiler
         self.program = program if program is not None else (
-            compiler or MeshCompiler()
+            compiler or MeshCompiler(pifo_backend=pifo_backend)
         ).compile(tree)
         self.mesh = self.program.mesh
         self.stats = SchedulerStats()
         self._buffered_packets = 0
         # Count of elements per node's scheduling PIFO (for invariants).
         self._node_elements: Dict[str, int] = {node.name: 0 for node in tree.nodes()}
+        # Global shaping calendar: (release_time, push order, token, slot).
+        # Mirrors the reference engine so release processing is O(log n) per
+        # token instead of scanning every shaping assignment per poll.
+        self._shaping_calendar: List[Tuple[float, int, ShapingToken, PIFOAssignment]] = []
+        self._calendar_seq = 0
 
     # -- placement helpers ------------------------------------------------------------
     def _sched_slot(self, node: TreeNode) -> PIFOAssignment:
@@ -266,44 +283,81 @@ class HardwareScheduler:
                     flow=node.name,
                     metadata=token,
                 )
+                heapq.heappush(
+                    self._shaping_calendar,
+                    (send_time, self._calendar_seq, token, shape_slot),
+                )
+                self._calendar_seq += 1
                 return
             child = node
 
     # -- shaping releases ----------------------------------------------------------------
+    def _token_is_masked(self, token: ShapingToken, slot: PIFOAssignment) -> bool:
+        """A shaping entry is paused when its flow (the shaped node's name)
+        is PFC-masked in the shaping block; it must be *deferred*, never
+        discarded — it becomes releasable again on unmask."""
+        block = self._block(slot.block)
+        return token.node.name in block.flow_scheduler.masked_flows()
+
+    def _calendar_entry_is_stale(
+        self, token: ShapingToken, slot: PIFOAssignment
+    ) -> bool:
+        """Stale when the token no longer heads its shaping logical PIFO
+        (only possible after an external reset/recompile)."""
+        head = self._block(slot.block).peek(slot.logical_pifo)
+        return head is None or head.metadata is not token
+
     def process_shaping_releases(self, now: float) -> int:
+        """Release due tokens in global release-time order by popping the
+        shaping calendar — O(log n) per token, independent of how many
+        shaped nodes the program has.  PFC-masked entries are set aside
+        and re-queued so a pause defers (not drops) the release."""
         released = 0
-        while True:
-            best: Optional[ShapingToken] = None
-            best_slot: Optional[PIFOAssignment] = None
-            best_time: Optional[float] = None
-            for node_name, slot in self.program.shaping_assignment.items():
-                head = self._block(slot.block).peek(slot.logical_pifo)
-                if head is None:
-                    continue
-                if head.rank <= now and (best_time is None or head.rank < best_time):
-                    best = head.metadata
-                    best_slot = slot
-                    best_time = head.rank
-            if best is None or best_slot is None:
-                return released
-            self._block(best_slot.block).dequeue(best_slot.logical_pifo)
+        calendar = self._shaping_calendar
+        deferred = []
+        while calendar and calendar[0][0] <= now:
+            entry = heapq.heappop(calendar)
+            _, _, token, slot = entry
+            if self._token_is_masked(token, slot):
+                deferred.append(entry)
+                continue
+            if self._calendar_entry_is_stale(token, slot):
+                continue
+            self._block(slot.block).dequeue(slot.logical_pifo)
             self.stats.shaping_releases += 1
             released += 1
             self._walk_up(
-                best.packet,
-                best.path,
-                best.resume_index,
-                max(best.release_time, 0.0),
-                from_child=best.node,
+                token.packet,
+                token.path,
+                token.resume_index,
+                max(token.release_time, 0.0),
+                from_child=token.node,
             )
+        for entry in deferred:
+            heapq.heappush(calendar, entry)
+        return released
 
     def next_shaping_release(self) -> Optional[float]:
-        times = []
-        for slot in self.program.shaping_assignment.values():
-            head = self._block(slot.block).peek(slot.logical_pifo)
-            if head is not None:
-                times.append(head.rank)
-        return min(times) if times else None
+        """Earliest *releasable* pending time, skipping PFC-masked entries
+        (a masked token cannot fire, and advertising its time would shadow
+        later releasable tokens — the seed's mask-honouring peek likewise
+        made paused heads invisible here)."""
+        calendar = self._shaping_calendar
+        deferred = []
+        result: Optional[float] = None
+        while calendar:
+            release_time, _, token, slot = calendar[0]
+            if self._token_is_masked(token, slot):
+                deferred.append(heapq.heappop(calendar))
+                continue
+            if self._calendar_entry_is_stale(token, slot):
+                heapq.heappop(calendar)
+                continue
+            result = release_time
+            break
+        for entry in deferred:
+            heapq.heappush(calendar, entry)
+        return result
 
     # -- dequeue path ----------------------------------------------------------------------
     def dequeue(self, now: float = 0.0) -> Optional[Packet]:
@@ -364,11 +418,35 @@ class HardwareScheduler:
                 return packets
             packets.append(packet)
 
+    def use_backend(self, backend: BackendSpec) -> None:
+        """Recompile the mesh with a different PIFO backend.
+
+        Only valid while empty (the mesh is rebuilt from scratch); the
+        simulator's ports call this before a run starts.
+        """
+        if self._buffered_packets:
+            raise SchedulerError(
+                "cannot swap the PIFO backend of a hardware scheduler with "
+                f"{self._buffered_packets} buffered packets"
+            )
+        self.pifo_backend = backend
+        if self._compiler is not None:
+            self._compiler.pifo_backend = backend
+        self.reset()
+
     def reset(self) -> None:
-        """Reset transactions and recompile a fresh mesh."""
+        """Reset transactions and recompile a fresh mesh (with the original
+        compiler's capacities when one was supplied)."""
         self.tree.reset()
-        self.program = MeshCompiler().compile(self.tree)
+        compiler = (
+            self._compiler
+            if self._compiler is not None
+            else MeshCompiler(pifo_backend=self.pifo_backend)
+        )
+        self.program = compiler.compile(self.tree)
         self.mesh = self.program.mesh
         self.stats = SchedulerStats()
         self._buffered_packets = 0
         self._node_elements = {node.name: 0 for node in self.tree.nodes()}
+        self._shaping_calendar.clear()
+        self._calendar_seq = 0

@@ -17,11 +17,17 @@ Work conservation and shaping both fall out naturally:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
+from ..core.backend import BackendSpec
 from ..core.packet import Packet
 from .simulator import Simulator
 from .sink import PacketSink
+
+#: Expected backlog (packets) above which ``pifo_backend="auto"`` selects
+#: the heap-backed ``"calendar"`` backend: beyond a few thousand buffered
+#: elements the sorted list's O(n) inserts dominate a simulation's runtime.
+AUTO_CALENDAR_THRESHOLD = 4096
 
 
 class OutputPort:
@@ -45,6 +51,18 @@ class OutputPort:
     on_departure:
         Optional callback invoked with each packet after transmission; used
         to chain hops (for example the LSTF multi-switch experiment).
+    pifo_backend:
+        Optional PIFO backend spec applied to the scheduler's tree (see
+        :mod:`repro.core.backend`).  The special value ``"auto"`` lets the
+        simulator choose: when the expected backlog
+        (``expected_backlog``, defaulting to unbounded) reaches
+        :data:`AUTO_CALENDAR_THRESHOLD` packets the O(log n) ``"calendar"``
+        backend is selected, otherwise the scheduler's current backend is
+        kept.  Ignored for schedulers without a swappable tree (the classic
+        baselines).
+    expected_backlog:
+        Optional hint of the worst-case number of buffered packets, used
+        only by ``pifo_backend="auto"``.
     """
 
     def __init__(
@@ -55,11 +73,14 @@ class OutputPort:
         name: str = "port",
         sink: Optional[PacketSink] = None,
         on_departure: Optional[Callable[[Packet], None]] = None,
+        pifo_backend: BackendSpec = None,
+        expected_backlog: Optional[int] = None,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("rate_bps must be positive")
         self.sim = sim
         self.scheduler = scheduler
+        self.pifo_backend = self._apply_backend(pifo_backend, expected_backlog)
         self.rate_bps = rate_bps
         self.name = name
         self.sink = sink if sink is not None else PacketSink(name=f"{name}.sink")
@@ -69,6 +90,21 @@ class OutputPort:
         self.transmitted_bytes = 0
         self.dropped_packets = 0
         self._wakeup = None
+
+    def _apply_backend(
+        self, pifo_backend: BackendSpec, expected_backlog: Optional[int]
+    ) -> BackendSpec:
+        """Resolve ``"auto"`` and swap the scheduler's tree if possible."""
+        if pifo_backend is None:
+            return None
+        if pifo_backend == "auto":
+            if expected_backlog is not None and expected_backlog < AUTO_CALENDAR_THRESHOLD:
+                return None
+            pifo_backend = "calendar"
+        if hasattr(self.scheduler, "use_backend"):
+            self.scheduler.use_backend(pifo_backend)
+            return pifo_backend
+        return None
 
     # -- ingress ---------------------------------------------------------------
     def receive(self, packet: Packet) -> bool:
@@ -80,6 +116,30 @@ class OutputPort:
             return False
         self._try_transmit()
         return True
+
+    def receive_many(self, packets: Iterable[Packet]) -> int:
+        """Hand a burst of packets to the scheduler in one batch.
+
+        Uses the scheduler's ``enqueue_many`` fast path when available and
+        kicks the transmitter once for the whole burst instead of once per
+        packet; returns the number of packets buffered.
+        """
+        batch = list(packets)
+        for packet in batch:
+            packet.arrival_time = self.sim.now
+        if hasattr(self.scheduler, "enqueue_many"):
+            accepted = self.scheduler.enqueue_many(batch, now=self.sim.now)
+            self.dropped_packets += len(batch) - accepted
+        else:
+            accepted = 0
+            for packet in batch:
+                if self.scheduler.enqueue(packet, now=self.sim.now):
+                    accepted += 1
+                else:
+                    self.dropped_packets += 1
+        if accepted:
+            self._try_transmit()
+        return accepted
 
     # -- egress ------------------------------------------------------------------
     def _try_transmit(self) -> None:

@@ -13,8 +13,9 @@ scheduling subsystem cares about.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
+from ..core.backend import BackendSpec
 from ..core.packet import Packet
 from ..exceptions import BufferError_
 from ..sim.link import OutputPort
@@ -52,6 +53,10 @@ class SharedMemorySwitch:
         Number of output ports and per-port line rate.
     buffer / admission:
         Shared buffer and admission policy guarding it.
+    pifo_backend:
+        Optional PIFO backend spec (see :mod:`repro.core.backend`) applied
+        to every port's scheduler (``"auto"`` defers to the simulator's
+        selection rule; schedulers without a swappable tree are left alone).
     """
 
     def __init__(
@@ -62,12 +67,14 @@ class SharedMemorySwitch:
         port_rate_bps: float = DEFAULT_PORT_RATE_BPS,
         buffer: Optional[SharedBuffer] = None,
         admission: Optional[AdmissionPolicy] = None,
+        pifo_backend: BackendSpec = None,
     ) -> None:
         if port_count <= 0:
             raise ValueError("port_count must be positive")
         self.sim = sim
         self.buffer = buffer if buffer is not None else SharedBuffer()
         self.admission = admission if admission is not None else AlwaysAdmit()
+        self.pifo_backend = pifo_backend
         self.stats = SwitchStats()
         self.ports: Dict[str, OutputPort] = {}
         for index in range(port_count):
@@ -78,6 +85,8 @@ class SharedMemorySwitch:
                 rate_bps=port_rate_bps,
                 name=name,
                 on_departure=self._make_release_callback(name),
+                pifo_backend=pifo_backend,
+                expected_backlog=self.buffer.total_cells,
             )
             self.ports[name] = port
 
@@ -116,6 +125,51 @@ class SharedMemorySwitch:
             return False
         self.stats.admitted += 1
         return True
+
+    def receive_many(self, packets: Iterable[Packet], output_port: str) -> int:
+        """Admit a burst of packets destined for one output port.
+
+        Admission and buffer accounting stay packet by packet (dynamic
+        thresholds depend on instantaneous occupancy), but the burst goes
+        to the scheduler through the port's batch path and the transmitter
+        is kicked once.  Scheduler-full rejects are identified by their
+        unset ``enqueue_time`` (every scheduler stamps it on success) and
+        their cells released through the buffer's batch path.  Returns the
+        number of packets buffered.
+        """
+        if output_port not in self.ports:
+            raise KeyError(f"unknown output port {output_port!r}")
+        port = self.ports[output_port]
+        packets = list(packets)
+        if isinstance(self.admission, AlwaysAdmit) and (
+            sum(self.buffer.cells_for(p) for p in packets)
+            <= self.buffer.free_cells
+        ):
+            # Threshold-free admission and a burst that fits as a whole:
+            # commit it through the buffer's batch accounting.
+            self.stats.received += len(packets)
+            self.buffer.allocate_many(packets, port=output_port)
+            admitted = packets
+        else:
+            admitted = []
+            for packet in packets:
+                self.stats.received += 1
+                if not self.admission.admit(self.buffer, packet, port=output_port):
+                    self.stats.dropped_admission += 1
+                    continue
+                self.buffer.allocate(packet, port=output_port)
+                admitted.append(packet)
+        for packet in admitted:
+            # A packet arriving from an upstream hop still carries that
+            # hop's enqueue stamp; clear it so rejects are identifiable.
+            packet.enqueue_time = None
+        accepted = port.receive_many(admitted)
+        if accepted < len(admitted):
+            rejected = [p for p in admitted if p.enqueue_time is None]
+            self.buffer.release_many(rejected, port=output_port)
+            self.stats.dropped_scheduler += len(rejected)
+        self.stats.admitted += accepted
+        return accepted
 
     # -- queries -------------------------------------------------------------------------
     def port(self, name: str) -> OutputPort:

@@ -1,0 +1,116 @@
+"""Tests for the global shaping calendar.
+
+The seed scheduler scanned *every* tree node on every
+``process_shaping_releases`` poll; the calendar replaces that with one heap
+of ``(release_time, seq, token)`` shared by the tree.  These tests pin the
+observable contract: global release-time ordering across shaped nodes,
+O(1) ``next_shaping_release``, robustness against external tree resets, and
+equality with the per-node shaping PIFOs the hardware compiler still places.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import build_fig4_tree, build_shaped_hierarchy
+from repro.core import Packet, ProgrammableScheduler
+
+
+def _shaped_two_class_tree():
+    return build_shaped_hierarchy(
+        class_flows={"gold": {"A": 1.0}, "silver": {"B": 1.0}},
+        class_weights={"gold": 1.0, "silver": 1.0},
+        class_rate_limits_bps={"gold": 8e6, "silver": 4e6},
+        burst_bytes=1500.0,
+    )
+
+
+class TestGlobalShapingCalendar:
+    def test_tokens_release_in_global_time_order(self):
+        scheduler = ProgrammableScheduler(_shaped_two_class_tree())
+        for i in range(4):
+            scheduler.enqueue(Packet(flow="A", length=1500, arrival_time=0.0))
+            scheduler.enqueue(Packet(flow="B", length=1500, arrival_time=0.0))
+        order = []
+        now = 0.0
+        while len(scheduler) > 0:
+            packet = scheduler.dequeue(now)
+            if packet is not None:
+                order.append((packet.flow, now))
+                continue
+            nxt = scheduler.next_shaping_release()
+            if nxt is None:
+                break
+            now = nxt
+        # Everything eventually departs, and the gold class (double rate)
+        # never falls behind silver.
+        assert len(order) == 8
+        a_times = [t for f, t in order if f == "A"]
+        b_times = [t for f, t in order if f == "B"]
+        assert a_times[-1] <= b_times[-1]
+
+    def test_shaping_pifo_and_calendar_agree(self):
+        scheduler = ProgrammableScheduler(build_fig4_tree())
+        for _ in range(3):
+            scheduler.enqueue(Packet(flow="C", length=1500, arrival_time=0.0))
+        shaped = scheduler.tree.node("Right")
+        if shaped.shaping_pifo.is_empty:
+            pytest.skip("burst allowance released everything immediately")
+        assert scheduler.next_shaping_release() == shaped.shaping_pifo.peek_rank()
+
+    def test_next_release_none_when_idle(self):
+        scheduler = ProgrammableScheduler(build_fig4_tree())
+        assert scheduler.next_shaping_release() is None
+
+    def test_released_count_and_stats(self):
+        scheduler = ProgrammableScheduler(build_fig4_tree())
+        for _ in range(5):
+            scheduler.enqueue(Packet(flow="D", length=1500, arrival_time=0.0))
+        pending = sum(
+            len(node.shaping_pifo)
+            for node in scheduler.tree.nodes()
+            if node.shaping_pifo is not None
+        )
+        released = scheduler.process_shaping_releases(now=1e9)
+        assert released == pending
+        assert scheduler.stats.shaping_releases == pending
+        for node in scheduler.tree.nodes():
+            if node.shaping_pifo is not None:
+                assert node.shaping_pifo.is_empty
+
+    def test_scheduler_reset_clears_calendar(self):
+        scheduler = ProgrammableScheduler(build_fig4_tree())
+        for _ in range(5):
+            scheduler.enqueue(Packet(flow="C", length=1500, arrival_time=0.0))
+        scheduler.reset()
+        assert scheduler.next_shaping_release() is None
+        assert scheduler.process_shaping_releases(now=1e9) == 0
+
+    def test_external_tree_reset_leaves_no_phantom_releases(self):
+        """Resetting the tree behind the scheduler's back must not make the
+        calendar release stale tokens."""
+        scheduler = ProgrammableScheduler(build_fig4_tree())
+        for _ in range(5):
+            scheduler.enqueue(Packet(flow="C", length=1500, arrival_time=0.0))
+        scheduler.tree.reset()
+        assert scheduler.next_shaping_release() is None
+        assert scheduler.process_shaping_releases(now=1e9) == 0
+        assert scheduler.stats.shaping_releases == 0
+
+    def test_drain_timed_unchanged_by_backend(self):
+        """The calendar must not change shaped departure behaviour, on any
+        backend."""
+
+        def run(backend):
+            scheduler = ProgrammableScheduler(
+                build_fig4_tree(), pifo_backend=backend
+            )
+            for i in range(6):
+                scheduler.enqueue(Packet(flow="C", length=1500, arrival_time=0.0))
+                scheduler.enqueue(Packet(flow="A", length=1500, arrival_time=0.0))
+            return [
+                (p.flow, round(p.dequeue_time, 9))
+                for p in scheduler.drain_timed(until=10.0)
+            ]
+
+        assert run(None) == run("calendar")

@@ -1,0 +1,171 @@
+"""Equivalence of the flow scheduler's indexed (heap) storage mode.
+
+``PIFOBlock(pifo_backend=...)`` flips the flow scheduler from the
+hardware-faithful flat sorted array into per-logical-PIFO heaps with lazy
+deletion.  Ordering semantics — (rank, push order), per-logical-PIFO pops,
+PFC mask skipping — must be bit-identical; only the work accounting
+(``comparisons``/``shifts``) is allowed to differ.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import build_fig3_tree
+from repro.core import Packet
+from repro.hardware import HardwareScheduler, PIFOBlock
+from repro.hardware.flow_scheduler import FlowScheduler
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["push", "push", "pop", "peek", "mask", "unmask"]),
+            st.integers(min_value=0, max_value=2),   # logical pifo
+            st.integers(min_value=0, max_value=9),   # rank
+            st.sampled_from(["f0", "f1", "f2", "f3"]),
+        ),
+        max_size=150,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_property_indexed_mode_matches_sorted_array(operations):
+    flat = FlowScheduler(capacity_flows=64)
+    indexed = FlowScheduler(capacity_flows=64, indexed=True)
+    for op, pifo_id, rank, flow in operations:
+        if op == "push":
+            if flat.is_full:
+                continue
+            flat.push(rank, pifo_id, flow, metadata=(rank, flow))
+            indexed.push(rank, pifo_id, flow, metadata=(rank, flow))
+        elif op == "pop":
+            a = flat.pop(pifo_id)
+            b = indexed.pop(pifo_id)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.rank, a.seq, a.flow) == (b.rank, b.seq, b.flow)
+        elif op == "peek":
+            a = flat.peek(pifo_id)
+            b = indexed.peek(pifo_id)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.rank, a.seq, a.flow) == (b.rank, b.seq, b.flow)
+        elif op == "mask":
+            flat.mask_flow(flow)
+            indexed.mask_flow(flow)
+        else:
+            flat.unmask_flow(flow)
+            indexed.unmask_flow(flow)
+        assert len(flat) == len(indexed)
+        assert [e.key() for e in flat.entries()] == [
+            e.key() for e in indexed.entries()
+        ]
+        for pid in range(3):
+            for flow_name in ["f0", "f1", "f2", "f3"]:
+                assert flat.contains_flow(pid, flow_name) == indexed.contains_flow(
+                    pid, flow_name
+                )
+
+
+def test_pifo_block_backend_selects_indexed_mode():
+    assert PIFOBlock().flow_scheduler.indexed is False
+    assert PIFOBlock(pifo_backend="sorted").flow_scheduler.indexed is False
+    assert PIFOBlock(pifo_backend="calendar").flow_scheduler.indexed is True
+    assert PIFOBlock(pifo_backend="bucketed").flow_scheduler.indexed is True
+
+
+def test_block_dequeue_order_identical_across_backends():
+    rng = random.Random(7)
+    blocks = {
+        "sorted": PIFOBlock(name="flat"),
+        "calendar": PIFOBlock(name="heap", pifo_backend="calendar"),
+    }
+    ops = [(rng.randint(0, 3), rng.randint(0, 50), rng.choice("abcd"))
+           for _ in range(300)]
+    for pifo_id, rank, flow in ops:
+        for block in blocks.values():
+            block.enqueue(pifo_id, rank=rank, flow=flow)
+    orders = {}
+    for name, block in blocks.items():
+        order = []
+        for pifo_id in range(4):
+            while True:
+                out = block.dequeue(pifo_id)
+                if out is None:
+                    break
+                order.append((pifo_id, out.rank, out.flow))
+        orders[name] = order
+    assert orders["sorted"] == orders["calendar"]
+
+
+def test_hardware_scheduler_backend_equivalence():
+    rng = random.Random(11)
+    flows = [rng.choice("ABCD") for _ in range(400)]
+
+    def run(backend):
+        scheduler = HardwareScheduler(build_fig3_tree(), pifo_backend=backend)
+        for flow in flows:
+            scheduler.enqueue(Packet(flow=flow, length=1000, arrival_time=0.0))
+        return [p.flow for p in scheduler.drain()]
+
+    assert run(None) == run("calendar")
+
+
+def test_hardware_scheduler_use_backend_requires_empty():
+    scheduler = HardwareScheduler(build_fig3_tree())
+    scheduler.enqueue(Packet(flow="A", length=1000, arrival_time=0.0))
+    from repro.exceptions import SchedulerError
+
+    with pytest.raises(SchedulerError):
+        scheduler.use_backend("calendar")
+    scheduler.drain()
+    scheduler.use_backend("calendar")
+    assert scheduler.pifo_backend == "calendar"
+
+
+def test_masked_shaping_token_is_deferred_not_dropped():
+    """Regression: a PFC mask on a shaped node's flow at release time must
+    defer the shaping token, not discard its calendar entry."""
+    from repro.algorithms import build_fig4_tree
+
+    scheduler = HardwareScheduler(build_fig4_tree())
+    for _ in range(6):
+        scheduler.enqueue(Packet(flow="C", length=1500, arrival_time=0.0))
+    slot = scheduler.program.shaping_assignment["Right"]
+    block = scheduler.mesh.blocks[slot.block]
+    pending = scheduler.next_shaping_release()
+    assert pending is not None
+
+    block.mask_flow("Right")
+    assert scheduler.process_shaping_releases(now=1e9) == 0
+    # Paused tokens are invisible to next_shaping_release (they cannot
+    # fire, and advertising them would shadow other nodes' releases) but
+    # must not be lost from the calendar.
+    assert scheduler.next_shaping_release() is None
+
+    block.unmask_flow("Right")
+    assert scheduler.next_shaping_release() == pending
+    released = scheduler.process_shaping_releases(now=1e9)
+    assert released > 0
+    assert len(scheduler.drain(now=1e9)) == 6
+
+
+def test_reset_preserves_custom_compiler_capacities():
+    """Regression: reset()/use_backend() must recompile with the caller's
+    compiler, not silently revert to default block capacities."""
+    from repro.hardware import MeshCompiler
+
+    compiler = MeshCompiler(capacity_flows=8, logical_pifos_per_block=16)
+    scheduler = HardwareScheduler(build_fig3_tree(), compiler=compiler)
+    scheduler.use_backend("calendar")
+    block = next(iter(scheduler.mesh.blocks.values()))
+    assert block.flow_scheduler.capacity_flows == 8
+    assert block.logical_pifo_count == 16
+    assert block.flow_scheduler.indexed is True
+    scheduler.reset()
+    block = next(iter(scheduler.mesh.blocks.values()))
+    assert block.flow_scheduler.capacity_flows == 8

@@ -1,0 +1,105 @@
+"""Batch ingress paths: switch.receive_many and the buffer batch ops.
+
+Includes the multi-hop regression: packets that already carry an upstream
+hop's ``enqueue_time`` stamp must still be identified as scheduler rejects
+(and their cells released) when a downstream scheduler is full.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FIFOTransaction
+from repro.core import Packet, ProgrammableScheduler, single_node_tree
+from repro.exceptions import BufferError_
+from repro.sim import Simulator
+from repro.switch import SharedBuffer, SharedMemorySwitch
+
+
+def _switch(sim, capacity=None, **kwargs):
+    return SharedMemorySwitch(
+        sim,
+        lambda name: ProgrammableScheduler(
+            single_node_tree(FIFOTransaction(), pifo_capacity=capacity)
+        ),
+        port_count=1,
+        port_rate_bps=1e9,
+        **kwargs,
+    )
+
+
+class TestReceiveMany:
+    def test_burst_accepted_and_transmitted(self):
+        sim = Simulator()
+        switch = _switch(sim)
+        burst = [Packet(flow="A", length=1000) for _ in range(50)]
+        assert switch.receive_many(burst, "port0") == 50
+        sim.run(until=1.0)
+        assert switch.total_transmitted() == 50
+        assert switch.buffer.used_cells == 0
+
+    def test_scheduler_full_releases_cells(self):
+        sim = Simulator()
+        switch = _switch(sim, capacity=2)
+        burst = [Packet(flow="A", length=1000) for _ in range(5)]
+        accepted = switch.receive_many(burst, "port0")
+        # capacity 2, but the port starts transmitting the head immediately,
+        # freeing one slot mid-burst; accept count must match cell usage.
+        assert accepted == switch.stats.admitted
+        assert switch.stats.dropped_scheduler == 5 - accepted
+        expected_cells = sum(
+            switch.buffer.cells_for(p) for p in burst if p.enqueue_time is not None
+        )
+        assert switch.buffer.used_cells == expected_cells
+
+    def test_multihop_rejects_do_not_leak_cells(self):
+        """Regression: packets reused from an upstream hop carry a stale
+        enqueue_time; downstream rejects must still release their cells."""
+        sim = Simulator()
+        switch = _switch(sim, capacity=2)
+        burst = [Packet(flow="A", length=1000) for _ in range(5)]
+        for packet in burst:
+            packet.enqueue_time = 0.123  # stamped by a previous hop
+        accepted = switch.receive_many(burst, "port0")
+        assert accepted < 5
+        assert switch.stats.dropped_scheduler == 5 - accepted
+        buffered_cells = sum(
+            switch.buffer.cells_for(p) for p in burst if p.enqueue_time is not None
+        )
+        assert switch.buffer.used_cells == buffered_cells
+        sim.run(until=1.0)
+        assert switch.buffer.used_cells == 0
+
+    def test_unknown_port_raises(self):
+        switch = _switch(Simulator())
+        with pytest.raises(KeyError):
+            switch.receive_many([Packet(flow="A", length=100)], "port9")
+
+
+class TestBufferBatchOps:
+    def test_allocate_many_accounts_like_per_packet(self):
+        batched = SharedBuffer(capacity_bytes=10_000, cell_bytes=200)
+        looped = SharedBuffer(capacity_bytes=10_000, cell_bytes=200)
+        packets = [Packet(flow=f, length=500) for f in "AABBC"]
+        cells = batched.allocate_many(packets, port="p0")
+        for packet in packets:
+            looped.allocate(packet, port="p0")
+        assert cells == looped.used_cells == batched.used_cells
+        assert batched.cells_by_flow == looped.cells_by_flow
+        assert batched.cells_by_port == looped.cells_by_port
+
+    def test_allocate_many_is_all_or_nothing(self):
+        buffer = SharedBuffer(capacity_bytes=1000, cell_bytes=200)  # 5 cells
+        packets = [Packet(flow="A", length=400) for _ in range(3)]  # 6 cells
+        with pytest.raises(BufferError_):
+            buffer.allocate_many(packets)
+        assert buffer.used_cells == 0
+        assert buffer.cells_by_flow == {}
+
+    def test_release_many_roundtrip(self):
+        buffer = SharedBuffer()
+        packets = [Packet(flow="A", length=500) for _ in range(4)]
+        buffer.allocate_many(packets, port="p0")
+        buffer.release_many(packets, port="p0")
+        assert buffer.used_cells == 0
+        assert buffer.used_bytes == 0
