@@ -14,8 +14,9 @@ finish times.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.packet import Packet
 
@@ -69,8 +70,10 @@ class GPSFluidSimulator:
         )
         backlog: Dict[str, float] = {}
         served: Dict[str, float] = {}
-        # Per-flow list of (cumulative_bytes_required, original_index).
-        pending_finish: Dict[str, List[Tuple[float, int]]] = {}
+        # Per-flow FIFO of (cumulative_bytes_required, original_index);
+        # packets finish strictly in arrival order within a flow, so head
+        # removal is O(1) with a deque.
+        pending_finish: Dict[str, Deque[Tuple[float, int]]] = {}
         cumulative_in: Dict[str, float] = {}
         finish_times: List[Optional[float]] = [None] * len(ordered)
 
@@ -97,9 +100,9 @@ class GPSFluidSimulator:
                     backlog[flow] -= delta
                     served[flow] = served.get(flow, 0.0) + delta
                     # Record finish times of packets fully served.
-                    queue = pending_finish.get(flow, [])
+                    queue = pending_finish.get(flow, ())
                     while queue and served[flow] >= queue[0][0] - 1e-9:
-                        _bytes_needed, index = queue.pop(0)
+                        _bytes_needed, index = queue.popleft()
                         finish_times[index] = now + step
                 now += step
 
@@ -109,7 +112,7 @@ class GPSFluidSimulator:
             flow = packet.flow
             backlog[flow] = backlog.get(flow, 0.0) + packet.length
             cumulative_in[flow] = cumulative_in.get(flow, 0.0) + packet.length
-            pending_finish.setdefault(flow, []).append((cumulative_in[flow], index))
+            pending_finish.setdefault(flow, deque()).append((cumulative_in[flow], index))
             next_arrival += 1
 
         # Drain the remaining backlog (or stop at the horizon).

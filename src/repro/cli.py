@@ -27,7 +27,12 @@ from typing import List, Optional, Sequence
 from . import __version__
 from .hardware.atoms import AtomPipelineAnalyzer
 from .lang.analysis import analyze_program, spec_from_program
-from .lang.programs import PROGRAM_SOURCES, PROGRAM_STATE, SHAPING_PROGRAMS
+from .lang.programs import (
+    DEFAULT_FACTORIES,
+    PROGRAM_SOURCES,
+    PROGRAM_STATE,
+    SHAPING_PROGRAMS,
+)
 from .reporting import (
     generate_report,
     list_experiments,
@@ -164,6 +169,15 @@ def _cmd_show(program: str) -> int:
     print("Analysis")
     print("========")
     print(analysis.summary())
+    transaction = DEFAULT_FACTORIES[program]()
+    generated = getattr(transaction, "generated_source", lambda: None)()
+    print()
+    print(f"Execution backend: {transaction.backend}")
+    if generated is not None:
+        print()
+        print("Generated Python (repro.lang.compiler)")
+        print("======================================")
+        print(generated.rstrip())
     return 0
 
 

@@ -72,6 +72,12 @@ class Transaction(abc.ABC):
     #: Names of the state variables this transaction reads or writes.
     state_variables: tuple = ()
 
+    #: How this transaction executes per packet.  Hand-written classes are
+    #: plain Python ("python"); lang-backed transactions report "compiled"
+    #: (AST lowered to a native closure) or "interpreted" (per-packet AST
+    #: walk fallback) — see :mod:`repro.lang.compiler`.
+    backend: str = "python"
+
     def __init__(self) -> None:
         self.state: Dict[str, Any] = {}
         self.executions = 0

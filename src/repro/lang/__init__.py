@@ -11,6 +11,10 @@ pipeline of atoms.  This package reproduces that workflow in Python:
 * :mod:`repro.lang.interpreter` — executes a parsed program against a packet
   and the transaction's persistent state, producing ``p.rank`` or
   ``p.send_time``.
+* :mod:`repro.lang.compiler` — lowers a parsed program to generated Python
+  source and ``compile()``s it into a native closure with the interpreter's
+  exact semantics; the bridge uses it by default so the per-packet program
+  cost is a direct function call, not an AST walk.
 * :mod:`repro.lang.analysis` — the Domino-style front end: extracts each
   state variable's read/write pattern, classifies the atom it needs, and
   emits a :class:`repro.hardware.atoms.TransactionSpec` so the feasibility
@@ -58,6 +62,14 @@ from .bridge import (
     CompiledShapingTransaction,
     compile_scheduling_program,
     compile_shaping_program,
+    resolve_backend,
+)
+from .compiler import (
+    CompileError,
+    CompiledProgram,
+    compile_cache_info,
+    compile_cached,
+    compile_program,
 )
 from .errors import LangError, LexerError, ParseError, RuntimeLangError
 from .interpreter import ExecutionResult, Interpreter, ProgramEnvironment
@@ -93,11 +105,18 @@ __all__ = [
     "ProgramAnalysis",
     "analyze_program",
     "spec_from_program",
+    # compiler
+    "CompiledProgram",
+    "CompileError",
+    "compile_program",
+    "compile_cached",
+    "compile_cache_info",
     # bridge
     "CompiledSchedulingTransaction",
     "CompiledShapingTransaction",
     "compile_scheduling_program",
     "compile_shaping_program",
+    "resolve_backend",
     # errors
     "LangError",
     "LexerError",

@@ -6,14 +6,23 @@ program becomes a :class:`~repro.core.transaction.SchedulingTransaction` or
 :class:`~repro.core.tree.TreeNode` exactly like the hand-written algorithm
 classes in :mod:`repro.algorithms`.
 
-Two details deserve a note:
+Three details deserve a note:
 
+* **Compile-by-default.**  Programs are lowered to native Python closures by
+  :mod:`repro.lang.compiler` at construction time; the per-packet cost is a
+  direct function call, not an AST walk.  If the compiler cannot lower a
+  construct it raises :class:`~repro.lang.compiler.CompileError` and the
+  bridge silently falls back to the interpreter — ``backend="interpreted"``
+  (or the ``REPRO_LANG_BACKEND`` environment variable) forces the fallback
+  explicitly, which the ablation benchmark uses for its baseline.
 * **Dequeue programs.**  Some algorithms update state when a packet leaves
   the PIFO, not only when it enters — STFQ advances its virtual time to the
   start tag of the dequeued packet.  The bridge therefore accepts an
   optional ``dequeue_source``; that program runs with the extra names
   ``dequeued_rank`` (the PIFO rank of the element being dequeued) available
-  as parameters.
+  as parameters.  ``dequeued_rank`` changes per call, so it is compiled as a
+  *dynamic* parameter (read through the environment) while every other
+  parameter is inlined as a constant.
 * **Atom feasibility.**  ``require_line_rate=True`` runs the Domino-style
   analysis at construction time and refuses programs that do not fit the
   atom vocabulary — the same contract the paper's compiler enforces.
@@ -21,6 +30,7 @@ Two details deserve a note:
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..core.packet import Packet
@@ -34,9 +44,31 @@ from ..exceptions import TransactionError
 from ..hardware.atoms import AtomPipelineAnalyzer, PipelineReport, TransactionSpec
 from .analysis import ProgramAnalysis, analyze_program, spec_from_program
 from .ast import Program
-from .errors import RuntimeLangError
+from .compiler import CompiledProgram, CompileError, compile_cached
+from .errors import LangError, RuntimeLangError
 from .interpreter import ExecutionResult, Interpreter, ProgramEnvironment
 from .parser import parse
+
+#: Default execution backend for lang-backed transactions.  ``"compiled"``
+#: lowers the AST to a native Python closure (with automatic interpreter
+#: fallback on unsupported constructs); ``"interpreted"`` forces the
+#: per-packet AST walk.  Overridable per process via ``REPRO_LANG_BACKEND``.
+DEFAULT_BACKEND = "compiled"
+
+_VALID_BACKENDS = ("compiled", "interpreted")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a requested backend name against the env-var default."""
+    if backend is None:
+        backend = os.environ.get("REPRO_LANG_BACKEND", "").strip().lower() or None
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if backend not in _VALID_BACKENDS:
+        raise ValueError(
+            f"unknown lang backend {backend!r} (expected one of {_VALID_BACKENDS})"
+        )
+    return backend
 
 
 class _CompiledProgramMixin:
@@ -54,6 +86,7 @@ class _CompiledProgramMixin:
         dequeue_source: Optional[str | Program] = None,
         name: str = "compiled",
         require_line_rate: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self.program = parse(source) if isinstance(source, str) else source
         self.dequeue_program = (
@@ -75,6 +108,50 @@ class _CompiledProgramMixin:
             self.program, state=self._initial_state
         )
         self.last_result: Optional[ExecutionResult] = None
+        self._compiled: Optional[CompiledProgram] = None
+        self._dequeue_compiled: Optional[CompiledProgram] = None
+        self.compile_fallback_reason: Optional[str] = None
+        self.backend = resolve_backend(backend)
+        if self.backend == "compiled":
+            try:
+                self._compiled = compile_cached(
+                    self.program,
+                    state=self._initial_state,
+                    params=self.params,
+                    name=name,
+                )
+                if self.dequeue_program is not None:
+                    self._dequeue_compiled = compile_cached(
+                        self.dequeue_program,
+                        state=self._initial_state,
+                        params=self.params,
+                        dynamic_params=("dequeued_rank",),
+                        name=f"{name}.dequeue",
+                    )
+            except (CompileError, LangError) as exc:
+                # Unsupported construct: run interpreted, record why.
+                self._compiled = None
+                self._dequeue_compiled = None
+                self.backend = "interpreted"
+                self.compile_fallback_reason = str(exc)
+        self._execute = (
+            self._compiled.execute
+            if self._compiled is not None
+            else self._interpreter.execute
+        )
+        if self._dequeue_interpreter is not None:
+            self._dequeue_execute = (
+                self._dequeue_compiled.execute
+                if self._dequeue_compiled is not None
+                else self._dequeue_interpreter.execute
+            )
+        else:
+            self._dequeue_execute = None
+        # Per-call environments are reused (rebuilt only when reset() swaps
+        # the state mapping); the dequeue params dict is shared with its
+        # environment and updated in place.
+        self._env: Optional[ProgramEnvironment] = None
+        self._dequeue_env: Optional[ProgramEnvironment] = None
         if require_line_rate:
             report = self.pipeline_report()
             if not report.feasible:
@@ -93,17 +170,29 @@ class _CompiledProgramMixin:
         return initial
 
     def describe(self) -> str:
-        return f"{type(self).__name__}({self.program_name!r})"
+        return f"{type(self).__name__}({self.program_name!r}, {self.backend})"
+
+    def generated_source(self) -> Optional[str]:
+        """Python source the compiler produced (``None`` when interpreted)."""
+        if self._compiled is None:
+            return None
+        return self._compiled.source_text
 
     # -- execution ---------------------------------------------------------------
+    def _environment(self) -> ProgramEnvironment:
+        env = self._env
+        if env is None or env.state is not self.state:
+            env = ProgramEnvironment(
+                state=self.state,
+                params=self.params,
+                flow_attrs=self.flow_attrs,
+                functions=self.functions,
+            )
+            self._env = env
+        return env
+
     def _run(self, packet: Packet, ctx: TransactionContext) -> ExecutionResult:
-        env = ProgramEnvironment(
-            state=self.state,
-            params=self.params,
-            flow_attrs=self.flow_attrs,
-            functions=self.functions,
-        )
-        result = self._interpreter.execute(packet, ctx, env)
+        result = self._execute(packet, ctx, self._environment())
         # Packet-field writes other than the rank/send-time outputs persist on
         # the packet, exactly as the paper's programs write back to ``p.x``
         # (LSTF relies on this to carry the decremented slack to the next hop).
@@ -114,19 +203,21 @@ class _CompiledProgramMixin:
         return result
 
     def on_dequeue(self, element: Any, ctx: TransactionContext) -> None:
-        if self._dequeue_interpreter is None:
+        if self._dequeue_execute is None:
             return
-        params = dict(self.params)
+        env = self._dequeue_env
+        if env is None or env.state is not self.state:
+            env = ProgramEnvironment(
+                state=self.state,
+                params=dict(self.params),
+                flow_attrs=self.flow_attrs,
+                functions=self.functions,
+            )
+            self._dequeue_env = env
         rank = ctx.extras.get("rank")
-        params["dequeued_rank"] = 0.0 if rank is None else rank
-        env = ProgramEnvironment(
-            state=self.state,
-            params=params,
-            flow_attrs=self.flow_attrs,
-            functions=self.functions,
-        )
+        env.params["dequeued_rank"] = 0.0 if rank is None else rank
         packet = element if isinstance(element, Packet) else _pseudo_packet(ctx)
-        self._dequeue_interpreter.execute(packet, ctx, env)
+        self._dequeue_execute(packet, ctx, env)
 
     # -- hardware feasibility ------------------------------------------------------
     def transaction_spec(self) -> TransactionSpec:
@@ -193,6 +284,7 @@ def compile_scheduling_program(
     dequeue_source: Optional[str | Program] = None,
     name: str = "compiled-scheduling",
     require_line_rate: bool = False,
+    backend: Optional[str] = None,
 ) -> CompiledSchedulingTransaction:
     """Compile program text into a ready-to-use scheduling transaction."""
     return CompiledSchedulingTransaction(
@@ -204,6 +296,7 @@ def compile_scheduling_program(
         dequeue_source=dequeue_source,
         name=name,
         require_line_rate=require_line_rate,
+        backend=backend,
     )
 
 
@@ -215,6 +308,7 @@ def compile_shaping_program(
     functions: Optional[Mapping[str, Callable[..., Any]]] = None,
     name: str = "compiled-shaping",
     require_line_rate: bool = False,
+    backend: Optional[str] = None,
 ) -> CompiledShapingTransaction:
     """Compile program text into a ready-to-use shaping transaction."""
     return CompiledShapingTransaction(
@@ -225,6 +319,7 @@ def compile_shaping_program(
         functions=functions,
         name=name,
         require_line_rate=require_line_rate,
+        backend=backend,
     )
 
 

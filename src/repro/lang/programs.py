@@ -179,6 +179,7 @@ SHAPING_PROGRAMS = frozenset({"token_bucket", "stop_and_go"})
 def stfq_program(
     weights: Optional[Mapping[str, float]] = None,
     default_weight: float = 1.0,
+    backend: Optional[str] = None,
 ) -> CompiledSchedulingTransaction:
     """Figure 1's STFQ as a compiled program, with per-flow weights."""
     weight_table = dict(weights or {})
@@ -192,6 +193,7 @@ def stfq_program(
         flow_attrs={"weight": weight_of},
         dequeue_source=STFQ_DEQUEUE_SOURCE,
         name="stfq",
+        backend=backend,
     )
 
 
@@ -199,6 +201,7 @@ def token_bucket_program(
     rate_bytes_per_s: float,
     burst_bytes: float,
     start_full: bool = True,
+    backend: Optional[str] = None,
 ) -> CompiledShapingTransaction:
     """Figure 4c's token bucket as a compiled shaping program.
 
@@ -216,19 +219,22 @@ def token_bucket_program(
         state=state,
         params={"r": float(rate_bytes_per_s), "B": float(burst_bytes)},
         name="token_bucket",
+        backend=backend,
     )
 
 
-def lstf_program() -> CompiledSchedulingTransaction:
+def lstf_program(backend: Optional[str] = None) -> CompiledSchedulingTransaction:
     """Figure 6's LSTF as a compiled program.
 
     Packets must carry ``slack`` and ``prev_wait_time`` fields, set by the
     end host and the upstream switches respectively.
     """
-    return compile_scheduling_program(LSTF_SOURCE, name="lstf")
+    return compile_scheduling_program(LSTF_SOURCE, name="lstf", backend=backend)
 
 
-def stop_and_go_program(frame_length: float) -> CompiledShapingTransaction:
+def stop_and_go_program(
+    frame_length: float, backend: Optional[str] = None
+) -> CompiledShapingTransaction:
     """Figure 7's Stop-and-Go shaping program with frame length ``T``."""
     if frame_length <= 0:
         raise ValueError("frame_length must be positive")
@@ -237,6 +243,7 @@ def stop_and_go_program(frame_length: float) -> CompiledShapingTransaction:
         state=dict(PROGRAM_STATE["stop_and_go"]),
         params={"T": float(frame_length)},
         name="stop_and_go",
+        backend=backend,
     )
 
 
@@ -244,6 +251,7 @@ def min_rate_program(
     min_rate_bytes_per_s: float,
     burst_bytes: float,
     start_full: bool = True,
+    backend: Optional[str] = None,
 ) -> CompiledSchedulingTransaction:
     """Figure 8's minimum-rate-guarantee program for the root of the 2-level
     tree described in Section 3.3."""
@@ -261,20 +269,27 @@ def min_rate_program(
             "BURST_SIZE": float(burst_bytes),
         },
         name="min_rate",
+        backend=backend,
     )
 
 
-def fifo_program() -> CompiledSchedulingTransaction:
+def fifo_program(backend: Optional[str] = None) -> CompiledSchedulingTransaction:
     """First-In First-Out (rank = wall-clock arrival)."""
-    return compile_scheduling_program(FIFO_SOURCE, name="fifo")
+    return compile_scheduling_program(FIFO_SOURCE, name="fifo", backend=backend)
 
 
-def strict_priority_program() -> CompiledSchedulingTransaction:
+def strict_priority_program(
+    backend: Optional[str] = None,
+) -> CompiledSchedulingTransaction:
     """Strict priority (rank = the packet's priority field)."""
-    return compile_scheduling_program(STRICT_PRIORITY_SOURCE, name="strict_priority")
+    return compile_scheduling_program(
+        STRICT_PRIORITY_SOURCE, name="strict_priority", backend=backend
+    )
 
 
-def fine_grained_program(field: str) -> CompiledSchedulingTransaction:
+def fine_grained_program(
+    field: str, backend: Optional[str] = None
+) -> CompiledSchedulingTransaction:
     """A Section 3.4 fine-grained priority program: rank = ``p.<field>``.
 
     ``field`` is typically ``flow_size`` (SJF), ``remaining_size`` (SRPT) or
@@ -283,13 +298,15 @@ def fine_grained_program(field: str) -> CompiledSchedulingTransaction:
     if not field.isidentifier():
         raise ValueError(f"invalid packet field name {field!r}")
     source = f"p.rank = p.{field}\n"
-    return compile_scheduling_program(source, name=f"rank-from-{field}")
+    return compile_scheduling_program(
+        source, name=f"rank-from-{field}", backend=backend
+    )
 
 
-def las_program() -> CompiledSchedulingTransaction:
+def las_program(backend: Optional[str] = None) -> CompiledSchedulingTransaction:
     """Least Attained Service with switch-maintained per-flow counters."""
     return compile_scheduling_program(
-        LAS_SOURCE, state=dict(PROGRAM_STATE["las"]), name="las"
+        LAS_SOURCE, state=dict(PROGRAM_STATE["las"]), name="las", backend=backend
     )
 
 

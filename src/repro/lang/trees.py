@@ -1,0 +1,102 @@
+"""Scheduling hierarchies built *entirely* from transaction-language programs.
+
+The strongest programmability claim in the paper is that whole hierarchies —
+Figure 3's HPFQ and Figure 4's Hierarchies-with-Shaping — are expressible as
+program text alone, with no hand-written transaction classes.  These
+builders construct exactly those trees from :mod:`repro.lang.programs`
+sources; the integration suite compares them against the hand-written trees
+in :mod:`repro.algorithms`, and the lang-compile benchmark drives them
+through the full simulation stack.
+
+Every builder threads two knobs:
+
+* ``backend`` — the lang execution backend (``"compiled"``, the default, or
+  ``"interpreted"``), passed to each program factory;
+* ``pifo_backend`` — the PIFO storage backend (see :mod:`repro.core.backend`)
+  applied to every node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.backend import BackendSpec
+from ..core.predicates import FlowIn
+from ..core.tree import ScheduleTree, TreeNode
+from .programs import stfq_program, token_bucket_program
+
+
+def build_fig3_tree_from_programs(
+    backend: Optional[str] = None,
+    pifo_backend: BackendSpec = None,
+) -> ScheduleTree:
+    """Figure 3's HPFQ hierarchy with every transaction compiled from text."""
+    root = TreeNode(
+        name="Root",
+        scheduling=stfq_program(
+            weights={"Left": 1.0, "Right": 9.0}, backend=backend
+        ),
+        pifo_backend=pifo_backend,
+    )
+    root.add_child(
+        TreeNode(
+            name="Left",
+            predicate=FlowIn(["A", "B"]),
+            scheduling=stfq_program(
+                weights={"A": 3.0, "B": 7.0}, backend=backend
+            ),
+            pifo_backend=pifo_backend,
+        )
+    )
+    root.add_child(
+        TreeNode(
+            name="Right",
+            predicate=FlowIn(["C", "D"]),
+            scheduling=stfq_program(
+                weights={"C": 4.0, "D": 6.0}, backend=backend
+            ),
+            pifo_backend=pifo_backend,
+        )
+    )
+    return ScheduleTree(root)
+
+
+def build_fig4_tree_from_programs(
+    right_rate_bps: float = 10e6,
+    backend: Optional[str] = None,
+    pifo_backend: BackendSpec = None,
+) -> ScheduleTree:
+    """Figure 4: HPFQ plus a token-bucket shaping program on class Right."""
+    root = TreeNode(
+        name="Root",
+        scheduling=stfq_program(
+            weights={"Left": 1.0, "Right": 9.0}, backend=backend
+        ),
+        pifo_backend=pifo_backend,
+    )
+    root.add_child(
+        TreeNode(
+            name="Left",
+            predicate=FlowIn(["A", "B"]),
+            scheduling=stfq_program(
+                weights={"A": 3.0, "B": 7.0}, backend=backend
+            ),
+            pifo_backend=pifo_backend,
+        )
+    )
+    root.add_child(
+        TreeNode(
+            name="Right",
+            predicate=FlowIn(["C", "D"]),
+            scheduling=stfq_program(
+                weights={"C": 4.0, "D": 6.0}, backend=backend
+            ),
+            shaping=token_bucket_program(
+                rate_bytes_per_s=right_rate_bps / 8.0,
+                burst_bytes=3000.0,
+                backend=backend,
+            ),
+            pifo_backend=pifo_backend,
+        )
+    )
+    return ScheduleTree(root)

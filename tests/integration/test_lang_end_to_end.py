@@ -13,8 +13,11 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms import build_fig3_tree
-from repro.core import FlowIn, Packet, ProgrammableScheduler, ScheduleTree, TreeNode
-from repro.lang.programs import stfq_program, token_bucket_program
+from repro.core import Packet, ProgrammableScheduler
+from repro.lang.trees import (
+    build_fig3_tree_from_programs,
+    build_fig4_tree_from_programs,
+)
 from repro.metrics import max_share_error
 from repro.sim import OutputPort, PacketSource, Simulator
 from repro.traffic import FlowSpec, cbr_arrivals, merge_arrivals
@@ -22,55 +25,6 @@ from repro.traffic import FlowSpec, cbr_arrivals, merge_arrivals
 LINK_RATE = 100e6
 DURATION = 0.05
 FIG3_EXPECTED = {"A": 0.03, "B": 0.07, "C": 0.36, "D": 0.54}
-
-
-def build_fig3_tree_from_programs() -> ScheduleTree:
-    """Figure 3's HPFQ hierarchy with every transaction compiled from text."""
-    root = TreeNode(
-        name="Root",
-        scheduling=stfq_program(weights={"Left": 1.0, "Right": 9.0}),
-    )
-    root.add_child(
-        TreeNode(
-            name="Left",
-            predicate=FlowIn(["A", "B"]),
-            scheduling=stfq_program(weights={"A": 3.0, "B": 7.0}),
-        )
-    )
-    root.add_child(
-        TreeNode(
-            name="Right",
-            predicate=FlowIn(["C", "D"]),
-            scheduling=stfq_program(weights={"C": 4.0, "D": 6.0}),
-        )
-    )
-    return ScheduleTree(root)
-
-
-def build_fig4_tree_from_programs(right_rate_bps: float = 10e6) -> ScheduleTree:
-    """Figure 4: HPFQ plus a token-bucket shaping program on class Right."""
-    root = TreeNode(
-        name="Root",
-        scheduling=stfq_program(weights={"Left": 1.0, "Right": 9.0}),
-    )
-    root.add_child(
-        TreeNode(
-            name="Left",
-            predicate=FlowIn(["A", "B"]),
-            scheduling=stfq_program(weights={"A": 3.0, "B": 7.0}),
-        )
-    )
-    root.add_child(
-        TreeNode(
-            name="Right",
-            predicate=FlowIn(["C", "D"]),
-            scheduling=stfq_program(weights={"C": 4.0, "D": 6.0}),
-            shaping=token_bucket_program(
-                rate_bytes_per_s=right_rate_bps / 8.0, burst_bytes=3000.0
-            ),
-        )
-    )
-    return ScheduleTree(root)
 
 
 def run_port(tree, rates, duration=DURATION):
@@ -133,6 +87,23 @@ class TestShapedHierarchyFromPrograms:
         assert right <= 10e6 * 1.2
         assert right >= 10e6 * 0.6
         assert left >= 55e6
+
+    def test_compiled_and_interpreted_trees_schedule_identically(self):
+        """The lang backend must be invisible to the scheduler: the compiled
+        tree and the interpreter-forced tree emit the same departures."""
+        compiled_sched = ProgrammableScheduler(
+            build_fig3_tree_from_programs(backend="compiled")
+        )
+        interpreted_sched = ProgrammableScheduler(
+            build_fig3_tree_from_programs(backend="interpreted")
+        )
+        for round_index in range(25):
+            for flow in "ABCD":
+                compiled_sched.enqueue(Packet(flow=flow, length=1500))
+                interpreted_sched.enqueue(Packet(flow=flow, length=1500))
+        compiled_order = [p.flow for p in compiled_sched.drain()]
+        interpreted_order = [p.flow for p in interpreted_sched.drain()]
+        assert compiled_order == interpreted_order
 
     def test_shaper_defers_elements(self):
         scheduler = ProgrammableScheduler(build_fig4_tree_from_programs())

@@ -1,0 +1,196 @@
+"""Property-based lockstep equivalence: interpreter vs compiler.
+
+For every program bundled in :mod:`repro.lang.programs`, hypothesis drives
+random packet sequences through the interpreter and the compiled closure in
+lockstep — fresh, isolated environments, identical inputs per step — and
+requires the two paths to agree *exactly* at every step:
+
+* the :class:`ExecutionResult` (rank, send time, every packet write, every
+  local) is identical,
+* the persistent state trajectory is identical,
+* and when one path raises, the other raises the same
+  :class:`RuntimeLangError` with the same message, leaving identical state.
+
+Exact ``==`` (not approx) is intentional: both paths must perform the same
+float operations in the same order, so bit-identical results are part of
+the compiled-backend contract.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Packet, TransactionContext
+from repro.lang import Interpreter, ProgramEnvironment, RuntimeLangError, parse
+from repro.lang.compiler import compile_program
+from repro.lang.programs import (
+    PROGRAM_SOURCES,
+    PROGRAM_STATE,
+    STFQ_DEQUEUE_SOURCE,
+)
+
+#: Parameters each program needs (mirrors DEFAULT_FACTORIES' choices).
+PROGRAM_PARAMS = {
+    "token_bucket": {"r": 1.25e6, "B": 3000.0},
+    "stop_and_go": {"T": 1e-3},
+    "min_rate": {"min_rate": 1.25e6, "BURST_SIZE": 3000.0},
+}
+
+#: Flow-attribute accessors each program needs.
+PROGRAM_FLOW_ATTRS = {
+    "stfq": {"weight": lambda flow: {"a": 1.0, "b": 2.0, "c": 0.5}.get(flow, 1.0)},
+}
+
+ALL_PROGRAMS = sorted(PROGRAM_SOURCES)
+
+#: Every metadata field any bundled program reads, so the "rich packet"
+#: strategy exercises success paths for all of them.
+RICH_FIELDS = ("slack", "prev_wait_time", "flow_size", "remaining_size", "deadline")
+
+
+def arrivals_strategy(rich: bool):
+    field_values = st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+    fields = (
+        st.fixed_dictionaries({name: field_values for name in RICH_FIELDS})
+        if rich
+        # Sparse packets: most fields missing, so field reads often fail —
+        # the error paths must stay equivalent too.
+        else st.dictionaries(st.sampled_from(RICH_FIELDS), field_values, max_size=2)
+    )
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),                    # flow
+            st.integers(min_value=1, max_value=9000),            # length
+            st.floats(min_value=0.0, max_value=0.02,
+                      allow_nan=False),                          # inter-arrival gap
+            st.integers(min_value=0, max_value=7),               # priority
+            fields,
+        ),
+        min_size=1,
+        max_size=30,
+    )
+
+
+def _fresh_env(name):
+    state = {
+        key: (dict(value) if isinstance(value, dict) else value)
+        for key, value in PROGRAM_STATE[name].items()
+    }
+    return ProgramEnvironment(
+        state=state,
+        params=dict(PROGRAM_PARAMS.get(name, {})),
+        flow_attrs=dict(PROGRAM_FLOW_ATTRS.get(name, {})),
+    )
+
+
+def _step(execute, env, flow, length, now, priority, fields):
+    packet = Packet(flow=flow, length=length, priority=priority,
+                    fields=dict(fields))
+    ctx = TransactionContext(now=now, node="n", element_flow=flow,
+                             element_length=length)
+    try:
+        result = execute(packet, ctx, env)
+        return (
+            "ok",
+            result.rank,
+            result.send_time,
+            result.packet_writes,
+            result.locals,
+        )
+    except RuntimeLangError as exc:
+        return ("err", str(exc))
+
+
+def drive_lockstep(name, arrivals):
+    program = parse(PROGRAM_SOURCES[name])
+    interpreter = Interpreter(program)
+    compiled = compile_program(
+        program,
+        state=PROGRAM_STATE[name],
+        params=PROGRAM_PARAMS.get(name, {}),
+        name=name,
+    )
+    env_i = _fresh_env(name)
+    env_c = _fresh_env(name)
+    now = 0.0
+    for step, (flow, length, gap, priority, fields) in enumerate(arrivals):
+        now += gap
+        out_i = _step(interpreter.execute, env_i, flow, length, now, priority, fields)
+        out_c = _step(compiled.execute, env_c, flow, length, now, priority, fields)
+        assert out_c == out_i, (
+            f"{name} diverged at step {step}: interpreter {out_i!r} "
+            f"vs compiled {out_c!r}"
+        )
+        assert env_c.state == env_i.state, (
+            f"{name} state diverged at step {step}"
+        )
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+@settings(max_examples=25, deadline=None)
+@given(arrivals=arrivals_strategy(rich=True))
+def test_lockstep_equivalence_rich_packets(name, arrivals):
+    """Success-path equivalence: every field present, ranks/state identical."""
+    drive_lockstep(name, arrivals)
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+@settings(max_examples=25, deadline=None)
+@given(arrivals=arrivals_strategy(rich=False))
+def test_lockstep_equivalence_sparse_packets(name, arrivals):
+    """Error-path equivalence: missing fields must raise identically."""
+    drive_lockstep(name, arrivals)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ranks=st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_lockstep_equivalence_stfq_dequeue_program(ranks):
+    """The dequeue-side program (dynamic ``dequeued_rank`` parameter) stays
+    equivalent across random dequeue rank sequences."""
+    program = parse(STFQ_DEQUEUE_SOURCE)
+    interpreter = Interpreter(program)
+    compiled = compile_program(
+        program,
+        state={"virtual_time": 0.0},
+        params={"dequeued_rank": 0.0},
+        dynamic_params=("dequeued_rank",),
+        name="stfq.dequeue",
+    )
+    env_i = ProgramEnvironment(state={"virtual_time": 0.0},
+                               params={"dequeued_rank": 0.0})
+    env_c = ProgramEnvironment(state={"virtual_time": 0.0},
+                               params={"dequeued_rank": 0.0})
+    packet = Packet(flow="a", length=100)
+    for rank in ranks:
+        env_i.params["dequeued_rank"] = rank
+        env_c.params["dequeued_rank"] = rank
+        ctx = TransactionContext(now=0.0, node="n", element_flow="a",
+                                 element_length=100)
+        out_i = interpreter.execute(packet, ctx, env_i)
+        out_c = compiled.execute(packet, ctx, env_c)
+        assert out_c.packet_writes == out_i.packet_writes
+        assert env_c.state == env_i.state
+
+
+def test_lockstep_covers_every_bundled_program():
+    """Smoke-drive every bundled program through the lockstep harness (the
+    parametrized hypothesis tests above auto-grow with PROGRAM_SOURCES; this
+    catches a program whose params/flow_attrs wiring here went stale)."""
+    for name in ALL_PROGRAMS:
+        drive_lockstep(
+            name,
+            [("a", 1500, 0.001, 3,
+              {field: 10.0 for field in RICH_FIELDS})] * 5,
+        )
