@@ -9,9 +9,10 @@ The library has four layers:
   PIFOs (WFQ/STFQ, HPFQ, token-bucket shaping, LSTF, Stop-and-Go, minimum
   rate guarantees, SJF/SRPT/LAS/EDF, SC-EDF, CBQ, RCSD).
 * :mod:`repro.sim`, :mod:`repro.traffic`, :mod:`repro.switch`,
-  :mod:`repro.baselines`, :mod:`repro.metrics` — the substrate: a
-  discrete-event switch simulator, workload generators, classic (non-PIFO)
-  reference schedulers and measurement utilities.
+  :mod:`repro.net`, :mod:`repro.baselines`, :mod:`repro.metrics` — the
+  substrate: a discrete-event switch simulator, workload generators, the
+  network fabric layer (topologies, routing, multi-hop scenarios), classic
+  (non-PIFO) reference schedulers and measurement utilities.
 * :mod:`repro.hardware` — the cycle-level PIFO-block/mesh model, the
   tree-to-mesh compiler and the chip-area/timing model reproducing the
   paper's Tables 1 and 2.

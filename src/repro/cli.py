@@ -10,6 +10,9 @@ Subcommands
     Run several experiments (all by default) and print the combined report.
 ``programs``
     List the transactions available in the transaction language.
+``scenarios``
+    List the registered network-fabric scenarios (topology, variants,
+    traffic matrix size); run one via ``run`` with its experiment id.
 ``show PROGRAM``
     Print a transaction's source, its state analysis and the Domino-style
     atom pipeline it compiles to.
@@ -74,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("programs",
                           help="list transaction-language programs")
+
+    subparsers.add_parser("scenarios",
+                          help="list network-fabric scenarios")
 
     show_parser = subparsers.add_parser(
         "show", help="show a program's source, analysis and atom pipeline"
@@ -140,6 +146,27 @@ def _cmd_programs() -> int:
     return 0
 
 
+def _cmd_scenarios() -> int:
+    from .net import list_scenarios
+
+    rows = []
+    for scenario in list_scenarios():
+        network = scenario.topology()
+        rows.append(
+            {
+                "scenario": scenario.name,
+                "paper": scenario.paper_reference,
+                "topology": (f"{len(network.switches())} switches / "
+                             f"{len(network.hosts())} hosts"),
+                "variants": ", ".join(scenario.variants),
+                "demands": len(scenario.demands),
+            }
+        )
+    print(render_table(rows, title="Network-fabric scenarios"))
+    print("\nRun one with: repro run SCENARIO [--quick] [--json]")
+    return 0
+
+
 def _cmd_show(program: str) -> int:
     if program not in PROGRAM_SOURCES:
         known = ", ".join(sorted(PROGRAM_SOURCES))
@@ -197,6 +224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args.experiments, args.quick)
     if args.command == "programs":
         return _cmd_programs()
+    if args.command == "scenarios":
+        return _cmd_scenarios()
     if args.command == "show":
         return _cmd_show(args.program)
     parser.error(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 #: Monotonic packet identifier source.  Used only for debugging and for
 #: deterministic tie-breaking in tests; the PIFO itself breaks ties by
@@ -36,6 +36,10 @@ class Packet:
         Packet length in bytes (headers + payload).
     arrival_time:
         Wall-clock time (seconds) at which the packet arrived at the switch.
+    src / dst:
+        Optional network addresses (host names) used by the fabric layer
+        (:mod:`repro.net`) to route the packet across a topology.  Single-port
+        experiments leave them unset.
     packet_class:
         Optional class label used by tree predicates (for example ``"Left"``
         or ``"Right"`` in the HPFQ example of Figure 3).
@@ -54,11 +58,21 @@ class Packet:
     priority: int = 0
     fields: Dict[str, Any] = field(default_factory=dict)
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    src: Optional[str] = None
+    dst: Optional[str] = None
 
     # Filled in by the switch / simulator as the packet moves through.
     enqueue_time: Optional[float] = None
     dequeue_time: Optional[float] = None
     departure_time: Optional[float] = None
+    #: Time the packet was first injected into a network fabric (set once by
+    #: :class:`repro.net.Fabric`; ``arrival_time`` is re-stamped at every hop).
+    injection_time: Optional[float] = None
+    #: Per-hop trace across a fabric: ``(node, arrival, queueing, departure)``
+    #: tuples appended as the packet leaves each hop.  Empty outside
+    #: :mod:`repro.net` runs, so single-port experiments pay only an empty
+    #: list per packet.
+    hops: List[tuple] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.length <= 0:
@@ -93,6 +107,29 @@ class Packet:
             return None
         return self.departure_time - self.arrival_time
 
+    # -- fabric (multi-hop) helpers ----------------------------------------
+    def record_hop(self, node: str, arrival: float, queueing: float,
+                   departure: float) -> None:
+        """Append one hop's timestamps as the packet leaves ``node``."""
+        self.hops.append((node, arrival, queueing, departure))
+
+    def per_hop_delays(self) -> Dict[str, float]:
+        """Arrival-to-departure delay at each traversed hop, by node name."""
+        return {node: departure - arrival
+                for node, arrival, _queueing, departure in self.hops}
+
+    @property
+    def end_to_end_delay(self) -> Optional[float]:
+        """Injection-to-departure delay across a fabric.
+
+        Falls back to :attr:`total_delay` when the packet never entered a
+        fabric (``injection_time`` unset), so sinks can use it uniformly.
+        """
+        if self.departure_time is None:
+            return None
+        start = self.injection_time if self.injection_time is not None else self.arrival_time
+        return self.departure_time - start
+
     def copy(self) -> "Packet":
         """Return a deep-enough copy (fields dict is copied, not shared)."""
         return Packet(
@@ -102,6 +139,8 @@ class Packet:
             packet_class=self.packet_class,
             priority=self.priority,
             fields=dict(self.fields),
+            src=self.src,
+            dst=self.dst,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

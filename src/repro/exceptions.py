@@ -62,3 +62,18 @@ class SimulationError(ReproError):
 
 class TrafficError(ReproError):
     """Raised by traffic generators for invalid workload specifications."""
+
+
+class TopologyError(ReproError):
+    """Raised by the network fabric layer for malformed topologies.
+
+    Examples include links naming unknown nodes, duplicate node names, or a
+    disconnected graph handed to the routing pass.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when a packet cannot be forwarded across the fabric.
+
+    Examples include a packet without a destination address, a destination
+    with no installed route, or a route naming a non-existent port."""

@@ -13,6 +13,7 @@ from .fct import (
     FlowCompletion,
     fct_summary,
     flow_completions,
+    flow_completions_from_sink,
     normalized_fct,
 )
 from .latency import (
@@ -52,6 +53,7 @@ __all__ = [
     "FlowCompletion",
     "FCTSummary",
     "flow_completions",
+    "flow_completions_from_sink",
     "fct_summary",
     "normalized_fct",
 ]

@@ -87,6 +87,40 @@ class FCTSummary:
         )
 
 
+def flow_completions_from_sink(sink) -> List[FlowCompletion]:
+    """Flow completions from a sink's running per-flow aggregates.
+
+    Works with sinks in streaming mode (``keep_packets=False``), so FCT can
+    be computed over million-packet fabric runs without retaining packets.
+    Only flows whose packets carried a ``flow_size`` tag (the FCT workloads
+    always tag it) and whose delivered bytes reach that size count as
+    complete; partially-delivered flows (drops, still in flight at the end
+    of the run) are excluded, matching :func:`flow_completions`.
+
+    A flow's start is its earliest *injection* time (source-host NIC) and
+    its finish the arrival of its last packet at the destination host, so
+    fabric FCTs are end-to-end rather than last-hop-only.
+    """
+    completions = []
+    for flow in sorted(sink.aggregates):
+        aggregate = sink.aggregates[flow]
+        if aggregate.expected_bytes is None:
+            continue
+        if aggregate.bytes < aggregate.expected_bytes:
+            continue
+        if aggregate.first_arrival is None or aggregate.last_departure is None:
+            continue
+        completions.append(
+            FlowCompletion(
+                flow=flow,
+                size_bytes=aggregate.bytes,
+                start_time=aggregate.first_arrival,
+                finish_time=aggregate.last_departure,
+            )
+        )
+    return completions
+
+
 def fct_summary(
     packets: Iterable[Packet],
     max_size_bytes: Optional[int] = None,

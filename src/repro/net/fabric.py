@@ -1,0 +1,278 @@
+"""The fabric: a :class:`~repro.net.topology.Network` brought to life.
+
+``Fabric`` instantiates one :class:`~repro.switch.SharedMemorySwitch` per
+switch node — with one egress port per outgoing link, each port running the
+experiment's scheduler at the link's rate — and a lightweight egress switch
+per host (FIFO, effectively unbuffered admission) modelling the NIC.  Egress
+ports are chained to the next hop's ingress through the
+:class:`~repro.sim.link.OutputPort` delivery hook, so *any* scheduler or
+PIFO backend that works on a single port works unmodified on any topology.
+
+As a packet leaves each hop the fabric appends a ``(node, arrival,
+queueing, departure)`` record to ``packet.hops`` and accumulates the hop's
+queueing delay into the packet's ``prev_wait_time`` field (the in-band
+telemetry Section 3.1 assumes), which is exactly what the LSTF transaction
+consumes downstream.  End-to-end delay is measured from injection at the
+source NIC to arrival at the destination host, propagation included.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..algorithms.fifo import FIFOTransaction
+from ..algorithms.lstf import stamp_wait_time
+from ..core.backend import BackendSpec
+from ..core.packet import Packet
+from ..core.scheduler import ProgrammableScheduler
+from ..core.tree import single_node_tree
+from ..exceptions import RoutingError
+from ..sim.simulator import Simulator
+from ..sim.sink import PacketSink
+from ..sim.source import PacketSource
+from ..switch.buffer import SharedBuffer
+from ..switch.switch import PortSpec, SharedMemorySwitch
+from ..switch.thresholds import AdmissionPolicy
+from .routing import build_forwarding_tables
+from .topology import Network
+
+#: Scheduler factory signature: ``(switch_name, port_name) -> scheduler``.
+SchedulerFactory = Callable[[str, str], object]
+
+
+def _default_host_scheduler(switch: str, port: str) -> ProgrammableScheduler:
+    """Host NICs transmit in arrival order."""
+    return ProgrammableScheduler(single_node_tree(FIFOTransaction()))
+
+
+class HostInjector:
+    """Entry point for traffic at a host; quacks like a port for sources."""
+
+    def __init__(self, fabric: "Fabric", host: str) -> None:
+        self.fabric = fabric
+        self.host = host
+
+    def receive(self, packet: Packet) -> bool:
+        return self.fabric.inject(self.host, packet)
+
+
+class Fabric:
+    """Simulation instance of a network: switches, links, host endpoints.
+
+    Parameters
+    ----------
+    sim:
+        Driving simulator.
+    network:
+        Topology to instantiate (validated on construction).
+    scheduler_factory:
+        ``(switch_name, port_name) -> scheduler`` producing a fresh scheduler
+        for every switch egress port.
+    ecmp:
+        Keep all equal-cost next hops and spread flows across them by a
+        stable flow hash; ``False`` pins each destination to one path.
+    pifo_backend:
+        Optional PIFO backend spec applied to every switch scheduler.
+    buffer_factory / admission_factory:
+        Per-node shared buffer / admission policy constructors (called with
+        the node name); switches default to the paper's 12 MB shared buffer
+        with always-admit, host NICs to an effectively unbounded buffer
+        (end-host memory is not the resource under study).
+    keep_packets:
+        Whether host sinks retain every delivered packet (default) or run in
+        streaming-aggregate mode for large workloads.
+    host_scheduler_factory:
+        Scheduler for host egress (NIC) ports; FIFO by default.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        scheduler_factory: SchedulerFactory,
+        ecmp: bool = False,
+        pifo_backend: BackendSpec = None,
+        buffer_factory: Optional[Callable[[str], SharedBuffer]] = None,
+        admission_factory: Optional[Callable[[str], AdmissionPolicy]] = None,
+        keep_packets: bool = True,
+        host_scheduler_factory: SchedulerFactory = _default_host_scheduler,
+    ) -> None:
+        network.validate()
+        self.sim = sim
+        self.network = network
+        self.ecmp = ecmp
+        self.injected_packets = 0
+        self.delivered_packets = 0
+        #: One SharedMemorySwitch per node (hosts get a FIFO NIC switch).
+        self.node_switches: Dict[str, SharedMemorySwitch] = {}
+        #: Terminal sink per host for traffic addressed to it.
+        self.host_sinks: Dict[str, PacketSink] = {
+            host: PacketSink(name=f"{host}.sink", keep_packets=keep_packets)
+            for host in network.hosts()
+        }
+        self._sources: list = []
+
+        for name in sorted(network.nodes):
+            is_host = network.is_host(name)
+            specs = [
+                PortSpec(
+                    name=self.port_to(neighbor),
+                    rate_bps=link.rate_bps,
+                    propagation_delay=link.propagation_delay,
+                    delivery=self._make_delivery(name, neighbor),
+                )
+                for neighbor, link in sorted(network.links[name].items())
+            ]
+            factory = host_scheduler_factory if is_host else scheduler_factory
+            if buffer_factory is not None:
+                buffer = buffer_factory(name)
+            elif is_host:
+                buffer = SharedBuffer(capacity_bytes=1 << 30)
+            else:
+                buffer = None
+            self.node_switches[name] = SharedMemorySwitch(
+                sim=sim,
+                scheduler_factory=lambda port, node=name, f=factory: f(node, port),
+                port_specs=specs,
+                buffer=buffer,
+                admission=admission_factory(name) if admission_factory else None,
+                pifo_backend=None if is_host else pifo_backend,
+                name=name,
+            )
+
+        self._install_routes()
+
+    # -- construction helpers ----------------------------------------------
+    @staticmethod
+    def port_to(neighbor: str) -> str:
+        """Egress port name used for the link toward ``neighbor``."""
+        return f"to_{neighbor}"
+
+    def _install_routes(self) -> None:
+        tables = build_forwarding_tables(self.network, ecmp=self.ecmp)
+        for node, routes in tables.items():
+            switch = self.node_switches[node]
+            for dst, hops in routes.items():
+                if hops:
+                    switch.install_route(dst, [self.port_to(h) for h in hops])
+
+    def _make_delivery(self, node: str, neighbor: str) -> Callable[[Packet], None]:
+        to_host = self.network.is_host(neighbor)
+
+        def deliver(packet: Packet) -> None:
+            wait = packet.queueing_delay or 0.0
+            packet.record_hop(node, packet.arrival_time, wait,
+                              packet.departure_time)
+            stamp_wait_time(packet, wait)
+            if to_host:
+                if packet.dst != neighbor:
+                    # Routing never transits an end host; landing here with
+                    # a different destination means a corrupted route.
+                    raise RoutingError(
+                        f"packet for {packet.dst!r} delivered to host "
+                        f"{neighbor!r}; hosts do not forward transit traffic"
+                    )
+                self._arrive(neighbor, packet)
+            else:
+                self.node_switches[neighbor].forward(packet)
+
+        return deliver
+
+    def _arrive(self, host: str, packet: Packet) -> None:
+        # Stamp arrival at the destination NIC (propagation included) so
+        # end-to-end delay decomposes exactly into the recorded hops + wires.
+        packet.departure_time = self.sim.now
+        self.delivered_packets += 1
+        self.host_sinks[host].record(packet)
+
+    # -- traffic -----------------------------------------------------------
+    def inject(self, host: str, packet: Packet) -> bool:
+        """Inject a packet at a source host; routes by ``packet.dst``."""
+        if packet.dst is None:
+            raise RoutingError(f"cannot inject {packet!r}: no dst address")
+        if packet.dst == host:
+            raise RoutingError(f"packet at {host!r} addressed to itself")
+        if packet.src is None:
+            packet.src = host
+        packet.injection_time = self.sim.now
+        self.injected_packets += 1
+        return self.node_switches[host].forward(packet)
+
+    def injector(self, host: str) -> HostInjector:
+        """A receive()-compatible endpoint for :class:`PacketSource`."""
+        self.network.node(host)
+        return HostInjector(self, host)
+
+    def attach_source(self, host: str,
+                      arrivals: Iterable[Tuple[float, Packet]],
+                      name: Optional[str] = None) -> PacketSource:
+        """Replay an arrival stream into the fabric at ``host``."""
+        source = PacketSource(self.sim, self.injector(host), arrivals,
+                              name=name or f"{host}.source")
+        self._sources.append(source)
+        return source
+
+    # -- execution ---------------------------------------------------------
+    def run(self, until: Optional[float] = None, drain: bool = False) -> float:
+        """Advance the simulation; optionally keep going until all packets
+        in flight at ``until`` have left the fabric.
+
+        Draining stops the attached sources first, so arrivals scheduled
+        past ``until`` are discarded rather than replayed — only traffic
+        already inside the fabric is flushed out.
+        """
+        now = self.sim.run(until=until)
+        if drain:
+            if until is not None:
+                for source in self._sources:
+                    source.stop()
+            now = self.sim.run()
+        return now
+
+    # -- accounting --------------------------------------------------------
+    def switch(self, name: str) -> SharedMemorySwitch:
+        return self.node_switches[name]
+
+    def sink(self, host: str) -> PacketSink:
+        return self.host_sinks[host]
+
+    def dropped_packets(self) -> int:
+        return sum(s.stats.dropped for s in self.node_switches.values())
+
+    def buffered_packets(self) -> int:
+        return sum(s.buffered_packets() for s in self.node_switches.values())
+
+    def in_flight_packets(self) -> int:
+        """Packets inside the fabric: queued, on the wire, or propagating."""
+        return (self.injected_packets - self.delivered_packets
+                - self.dropped_packets())
+
+    def conservation_check(self) -> Dict[str, int]:
+        """Injected / delivered / dropped / in-flight balance for assertions."""
+        return {
+            "injected": self.injected_packets,
+            "delivered": self.delivered_packets,
+            "dropped": self.dropped_packets(),
+            "in_flight": self.in_flight_packets(),
+        }
+
+    def stats_by_node(self) -> Dict[str, Dict]:
+        """JSON-friendly per-node stats with per-port breakdowns."""
+        out = {}
+        for name in sorted(self.node_switches):
+            stats = self.node_switches[name].stats
+            out[name] = {
+                "received": stats.received,
+                "transmitted": stats.transmitted,
+                "dropped_admission": stats.dropped_admission,
+                "dropped_scheduler": stats.dropped_scheduler,
+                "per_port": stats.per_port_dict(),
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Fabric(network={self.network.name!r}, "
+            f"injected={self.injected_packets}, "
+            f"delivered={self.delivered_packets})"
+        )

@@ -1,0 +1,116 @@
+"""Static shortest-path routing over a :class:`~repro.net.topology.Network`.
+
+One BFS per destination host computes, for every node, the set of neighbours
+that lie on *some* shortest path to that destination.  The result is a
+forwarding table ``node -> dst -> [next hops]``:
+
+* with ``ecmp=False`` only the lexicographically first next hop is kept, so
+  every destination has exactly one deterministic path;
+* with ``ecmp=True`` all equal-cost next hops are kept and the switch picks
+  one per flow by a stable CRC32 hash of the flow label (see
+  :meth:`repro.switch.switch.SharedMemorySwitch.select_port`), so a flow
+  never reorders across paths but distinct flows spread over the fabric.
+
+Routing is hop-count shortest path (not weighted by link rate): that is
+what real L3 fabrics (and the pFabric/leaf-spine evaluations this layer
+exists for) do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import TopologyError
+from .topology import Network
+
+#: node -> destination -> candidate next-hop node names.
+ForwardingTables = Dict[str, Dict[str, List[str]]]
+
+
+def hop_distances(network: Network, dst: str) -> Dict[str, int]:
+    """Hop count from every node to ``dst`` (BFS on reversed links).
+
+    End hosts are never transit nodes: paths may start at a host and end
+    at ``dst``, but a multi-homed host in the middle of the graph does not
+    forward other nodes' traffic, so BFS never extends a path *through* a
+    host — only out of ``dst`` itself.
+    """
+    network.node(dst)
+    # Links are installed per direction; walk them backwards so asymmetric
+    # (unidirectional) links route correctly.
+    predecessors: Dict[str, List[str]] = {name: [] for name in network.nodes}
+    for src in network.links:
+        for neighbor in network.links[src]:
+            predecessors[neighbor].append(src)
+    distances = {dst: 0}
+    frontier = deque([dst])
+    while frontier:
+        node = frontier.popleft()
+        if node != dst and network.is_host(node):
+            continue
+        for upstream in predecessors[node]:
+            if upstream not in distances:
+                distances[upstream] = distances[node] + 1
+                frontier.append(upstream)
+    return distances
+
+
+def next_hops(network: Network, node: str, dst: str,
+              distances: Optional[Dict[str, int]] = None) -> List[str]:
+    """Neighbours of ``node`` on a shortest path to ``dst``, sorted."""
+    if node == dst:
+        return []
+    if distances is None:
+        distances = hop_distances(network, dst)
+    if node not in distances:
+        raise TopologyError(f"no path from {node!r} to {dst!r}")
+    return sorted(
+        neighbor for neighbor in network.links[node]
+        if distances.get(neighbor, float("inf")) == distances[node] - 1
+        # A host neighbour is a valid next hop only when it IS the
+        # destination; hosts never forward transit traffic.
+        and (neighbor == dst or not network.is_host(neighbor))
+    )
+
+
+def build_forwarding_tables(
+    network: Network,
+    destinations: Optional[Sequence[str]] = None,
+    ecmp: bool = False,
+) -> ForwardingTables:
+    """Forwarding tables for every node toward every destination host.
+
+    ``destinations`` defaults to all hosts.  Raises
+    :class:`~repro.exceptions.TopologyError` if any node cannot reach a
+    destination (the fabric refuses to run on partially-routable graphs).
+    """
+    if destinations is None:
+        destinations = network.hosts()
+    tables: ForwardingTables = {name: {} for name in network.nodes}
+    for dst in destinations:
+        distances = hop_distances(network, dst)
+        missing = [name for name in network.nodes if name not in distances]
+        if missing:
+            raise TopologyError(
+                f"destination {dst!r} unreachable from {sorted(missing)}"
+            )
+        for node in network.nodes:
+            if node == dst:
+                continue
+            candidates = next_hops(network, node, dst, distances)
+            tables[node][dst] = candidates if ecmp else candidates[:1]
+    return tables
+
+
+def path(network: Network, src: str, dst: str) -> List[str]:
+    """The deterministic (non-ECMP) node path from ``src`` to ``dst``."""
+    distances = hop_distances(network, dst)
+    if src not in distances:
+        raise TopologyError(f"no path from {src!r} to {dst!r}")
+    nodes = [src]
+    current = src
+    while current != dst:
+        current = next_hops(network, current, dst, distances)[0]
+        nodes.append(current)
+    return nodes

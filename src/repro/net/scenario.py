@@ -1,0 +1,251 @@
+"""Declarative fabric scenarios: topology + traffic matrix + schedulers.
+
+A :class:`Scenario` is a description, not a run: a topology builder, a list
+of :class:`Demand` entries (the traffic matrix), one or more named
+scheduler *variants* (e.g. ``{"SRPT": ..., "FIFO": ...}``) and a duration.
+``Scenario.run()`` instantiates a fresh :class:`~repro.net.fabric.Fabric`
+per variant, replays the demands, and returns a :class:`ScenarioResult`
+per variant with per-flow delay aggregates, flow-completion times, packet
+conservation counters and per-node/per-port switch stats — everything the
+experiment registry and the CLI report need.
+
+Scenarios register themselves in :data:`SCENARIOS` via :func:`register`,
+the fabric-level analogue of the experiment registry in
+:mod:`repro.reporting.experiments` (which wraps the built-in scenarios so
+``repro run``/``repro list`` see them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.packet import Packet
+from ..exceptions import TrafficError
+from ..metrics.fct import FCTSummary, flow_completions_from_sink
+from ..sim.simulator import Simulator
+from ..traffic.distributions import web_search_flow_sizes
+from ..traffic.flows import FlowSpec
+from ..traffic.generators import (
+    cbr_arrivals,
+    flow_arrivals,
+    lazy_merge_arrivals,
+    onoff_arrivals,
+    poisson_arrivals,
+)
+from .fabric import Fabric, SchedulerFactory
+from .topology import Network
+
+Arrival = Tuple[float, Packet]
+
+#: Flows at or below this size count as "short" in FCT summaries, matching
+#: the band the datacenter-transport literature (and the single-port
+#: Section 3.4 benchmark) reports separately.
+SHORT_FLOW_BYTES = 100_000
+
+
+@dataclass
+class Demand:
+    """One entry of a scenario's traffic matrix.
+
+    ``kind`` selects the generator:
+
+    * ``"cbr"`` / ``"poisson"`` / ``"onoff"`` — a single long-lived flow at
+      ``rate_bps`` from ``src`` to ``dst``;
+    * ``"flows"`` — finite flows (Poisson arrivals, heavy-tailed sizes)
+      offered at ``rate_bps`` aggregate load, packets tagged with the
+      SJF/SRPT/LAS metadata — the FCT workload;
+    * ``"explicit"`` — caller-provided ``(time, packet)`` pairs via
+      ``arrivals`` (packets are stamped with ``src``/``dst``).  Pass a
+      *callable* returning the pairs so every scheduler variant replays an
+      identical fresh stream.
+    """
+
+    src: str
+    dst: str
+    rate_bps: float = 0.0
+    kind: str = "cbr"
+    flow: Optional[str] = None
+    packet_size: int = 1500
+    start_time: float = 0.0
+    duration: Optional[float] = None
+    seed: int = 0
+    fields: Dict[str, Any] = field(default_factory=dict)
+    arrivals: Optional[Iterable[Arrival]] = None
+
+    def flow_name(self) -> str:
+        return self.flow if self.flow is not None else f"{self.src}->{self.dst}"
+
+    def build_arrivals(self, scenario_duration: float) -> Iterable[Arrival]:
+        duration = (self.duration if self.duration is not None
+                    else scenario_duration)
+        if self.kind == "explicit":
+            if self.arrivals is None:
+                raise TrafficError("explicit demand needs an arrivals iterable")
+            arrivals = self.arrivals() if callable(self.arrivals) else self.arrivals
+            return self._address(arrivals)
+        spec = FlowSpec(
+            name=self.flow_name(),
+            rate_bps=self.rate_bps,
+            packet_size=self.packet_size,
+            start_time=self.start_time,
+            fields=dict(self.fields),
+            src=self.src,
+            dst=self.dst,
+        )
+        if self.kind == "cbr":
+            return cbr_arrivals(spec, duration=duration)
+        if self.kind == "poisson":
+            return poisson_arrivals(spec, duration=duration, seed=self.seed)
+        if self.kind == "onoff":
+            return onoff_arrivals(spec, duration=duration, seed=self.seed)
+        if self.kind == "flows":
+            return self._address(flow_arrivals(
+                f"{self.flow_name()}:",
+                load_bps=self.rate_bps,
+                duration=duration,
+                size_distribution=web_search_flow_sizes(),
+                packet_size=self.packet_size,
+                seed=self.seed,
+                src=self.src,
+                dst=self.dst,
+            ), fields=self.fields)
+        raise TrafficError(f"unknown demand kind {self.kind!r}")
+
+    def _address(self, arrivals: Iterable[Arrival],
+                 fields: Optional[Dict[str, Any]] = None) -> Iterable[Arrival]:
+        for time, packet in arrivals:
+            if packet.src is None:
+                packet.src = self.src
+            if packet.dst is None:
+                packet.dst = self.dst
+            if fields:
+                for key, value in fields.items():
+                    packet.fields.setdefault(key, value)
+            yield time, packet
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario variant."""
+
+    scenario: str
+    variant: str
+    duration: float
+    conservation: Dict[str, int]
+    #: flow label -> {packets, bytes, mean/max delay}
+    flow_stats: Dict[str, Dict[str, Any]]
+    #: Per-destination-host FCT summary over completed flows (``"flows"``
+    #: demands only; ``None`` when nothing completed).
+    fct: Optional[FCTSummary]
+    #: FCT summary over short flows (<= :data:`SHORT_FLOW_BYTES`) — the band
+    #: SRPT-style scheduling is judged on.
+    fct_short: Optional[FCTSummary]
+    stats_by_node: Dict[str, Dict]
+
+    def delivered(self) -> int:
+        return self.conservation["delivered"]
+
+    def flow_delay(self, flow: str, which: str = "max") -> Optional[float]:
+        stats = self.flow_stats.get(flow)
+        return None if stats is None else stats.get(f"{which}_delay")
+
+
+@dataclass
+class Scenario:
+    """A runnable fabric experiment description."""
+
+    name: str
+    title: str
+    topology: Callable[[], Network]
+    demands: List[Demand]
+    #: Variant label -> scheduler factory ``(switch, port) -> scheduler``.
+    variants: Mapping[str, SchedulerFactory]
+    duration: float
+    ecmp: bool = False
+    keep_packets: bool = False
+    quick_duration: Optional[float] = None
+    paper_reference: str = ""
+    notes: str = ""
+
+    def run(self, quick: bool = False, pifo_backend=None,
+            variant: Optional[str] = None) -> Dict[str, ScenarioResult]:
+        """Run each scheduler variant on a fresh fabric; results by label."""
+        duration = (self.quick_duration if quick and self.quick_duration
+                    else self.duration)
+        selected = ([variant] if variant is not None else list(self.variants))
+        results: Dict[str, ScenarioResult] = {}
+        for label in selected:
+            factory = self.variants[label]
+            sim = Simulator()
+            fabric = Fabric(
+                sim,
+                self.topology(),
+                factory,
+                ecmp=self.ecmp,
+                pifo_backend=pifo_backend,
+                keep_packets=self.keep_packets,
+            )
+            by_host: Dict[str, List[Iterable[Arrival]]] = {}
+            for demand in self.demands:
+                by_host.setdefault(demand.src, []).append(
+                    demand.build_arrivals(duration)
+                )
+            for host, streams in sorted(by_host.items()):
+                fabric.attach_source(host, lazy_merge_arrivals(*streams))
+            fabric.run(until=duration, drain=True)
+            results[label] = self._collect(fabric, label, duration)
+        return results
+
+    def _collect(self, fabric: Fabric, label: str,
+                 duration: float) -> ScenarioResult:
+        flow_stats: Dict[str, Dict[str, Any]] = {}
+        completions = []
+        for host in sorted(fabric.host_sinks):
+            sink = fabric.host_sinks[host]
+            for flow, aggregate in sorted(sink.aggregates.items()):
+                flow_stats[flow] = {
+                    "dst": host,
+                    "packets": aggregate.packets,
+                    "bytes": aggregate.bytes,
+                    "mean_delay": aggregate.mean_delay,
+                    "max_delay": aggregate.delay_max,
+                }
+            completions.extend(flow_completions_from_sink(sink))
+        short = [c for c in completions if c.size_bytes <= SHORT_FLOW_BYTES]
+        return ScenarioResult(
+            scenario=self.name,
+            variant=label,
+            duration=duration,
+            conservation=fabric.conservation_check(),
+            flow_stats=flow_stats,
+            fct=FCTSummary.from_completions(completions) if completions else None,
+            fct_short=FCTSummary.from_completions(short) if short else None,
+            stats_by_node=fabric.stats_by_node(),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Registry                                                                     #
+# --------------------------------------------------------------------------- #
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (idempotent by name)."""
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(
+            f"unknown scenario {name!r}; known scenarios: {known}"
+        ) from None
+
+
+def list_scenarios() -> List[Scenario]:
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]

@@ -1,0 +1,273 @@
+"""Network topologies: hosts, switches and links as a directed graph.
+
+A :class:`Network` is pure description — no simulator state.  Nodes are
+:class:`Host` and :class:`SwitchNode` objects; edges are :class:`Link`
+objects with a line rate and a propagation delay.  ``add_link`` installs
+both directions by default (full-duplex), each direction being its own
+:class:`Link` so asymmetric rates are expressible.
+
+The fabric layer (:mod:`repro.net.fabric`) instantiates simulation objects
+from a :class:`Network`; the routing pass (:mod:`repro.net.routing`)
+computes next hops over it.  Builders for the three standard evaluation
+shapes — :func:`linear_chain`, :func:`dumbbell`, :func:`leaf_spine` — live
+at the bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..exceptions import TopologyError
+
+#: Default link speed for builders: the paper's per-port line rate scaled
+#: down so behavioural experiments congest quickly.
+DEFAULT_LINK_RATE_BPS = 10e6
+
+
+@dataclass(frozen=True)
+class Host:
+    """An end host: injects traffic and terminates it.  No forwarding."""
+
+    name: str
+    kind: str = field(default="host", init=False)
+
+
+@dataclass(frozen=True)
+class SwitchNode:
+    """A switch: forwards between its links through per-port schedulers."""
+
+    name: str
+    kind: str = field(default="switch", init=False)
+
+
+@dataclass(frozen=True)
+class Link:
+    """One direction of a wire: ``src -> dst`` at ``rate_bps`` with latency."""
+
+    src: str
+    dst: str
+    rate_bps: float
+    propagation_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise TopologyError(f"link {self.src}->{self.dst}: rate must be positive")
+        if self.propagation_delay < 0:
+            raise TopologyError(
+                f"link {self.src}->{self.dst}: propagation delay must be >= 0"
+            )
+
+
+class Network:
+    """A named graph of hosts and switches joined by directed links."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self.nodes: Dict[str, object] = {}
+        #: Directed adjacency: src -> dst -> Link.
+        self.links: Dict[str, Dict[str, Link]] = {}
+
+    # -- construction ------------------------------------------------------
+    def _add_node(self, node) -> None:
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self.links[node.name] = {}
+
+    def add_host(self, name: str) -> Host:
+        host = Host(name)
+        self._add_node(host)
+        return host
+
+    def add_switch(self, name: str) -> SwitchNode:
+        switch = SwitchNode(name)
+        self._add_node(switch)
+        return switch
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        rate_bps: float = DEFAULT_LINK_RATE_BPS,
+        propagation_delay: float = 0.0,
+        bidirectional: bool = True,
+    ) -> Link:
+        """Join two nodes; installs the reverse direction too by default."""
+        for endpoint in (src, dst):
+            if endpoint not in self.nodes:
+                raise TopologyError(f"link references unknown node {endpoint!r}")
+        if src == dst:
+            raise TopologyError(f"self-link on {src!r}")
+        if dst in self.links[src]:
+            raise TopologyError(f"duplicate link {src!r}->{dst!r}")
+        link = Link(src, dst, rate_bps, propagation_delay)
+        self.links[src][dst] = link
+        if bidirectional and src not in self.links[dst]:
+            self.links[dst][src] = Link(dst, src, rate_bps, propagation_delay)
+        return link
+
+    # -- queries -----------------------------------------------------------
+    def hosts(self) -> List[str]:
+        return sorted(n for n, node in self.nodes.items() if node.kind == "host")
+
+    def switches(self) -> List[str]:
+        return sorted(n for n, node in self.nodes.items() if node.kind == "switch")
+
+    def is_host(self, name: str) -> bool:
+        return self.node(name).kind == "host"
+
+    def node(self, name: str):
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def neighbors(self, name: str) -> List[str]:
+        """Downstream neighbours of a node, sorted for determinism."""
+        self.node(name)
+        return sorted(self.links[name])
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self.links[src][dst]
+        except KeyError:
+            raise TopologyError(f"no link {src!r}->{dst!r}") from None
+
+    def iter_links(self) -> Iterator[Link]:
+        for src in sorted(self.links):
+            for dst in sorted(self.links[src]):
+                yield self.links[src][dst]
+
+    def validate(self) -> None:
+        """Check the network is usable: every host attached, graph connected."""
+        if not self.hosts():
+            raise TopologyError(f"network {self.name!r} has no hosts")
+        for host in self.hosts():
+            if not self.links[host]:
+                raise TopologyError(f"host {host!r} has no links")
+        unreached = set(self.nodes) - self._reachable(next(iter(sorted(self.nodes))))
+        if unreached:
+            raise TopologyError(
+                f"network {self.name!r} is disconnected: cannot reach "
+                f"{sorted(unreached)}"
+            )
+
+    def _reachable(self, start: str) -> set:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self.links[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network(name={self.name!r}, hosts={len(self.hosts())}, "
+            f"switches={len(self.switches())})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Builders                                                                     #
+# --------------------------------------------------------------------------- #
+def linear_chain(
+    num_switches: int = 3,
+    link_rate_bps: float = DEFAULT_LINK_RATE_BPS,
+    host_rate_bps: Optional[float] = None,
+    propagation_delay: float = 0.0,
+    cross_hosts: bool = False,
+) -> Network:
+    """``h_src - s1 - s2 - ... - sN - h_dst``: the multi-hop delay topology.
+
+    With ``cross_hosts=True`` every switch additionally gets one local host
+    ``c1..cN`` so cross traffic can be injected at (or drained from) each
+    hop — the setup the multi-hop LSTF experiment needs.
+    Host access links default to the switch-to-switch rate.
+    """
+    if num_switches < 1:
+        raise TopologyError("a chain needs at least one switch")
+    host_rate = host_rate_bps if host_rate_bps is not None else link_rate_bps
+    net = Network(name=f"chain{num_switches}")
+    net.add_host("h_src")
+    net.add_host("h_dst")
+    switches = [f"s{i + 1}" for i in range(num_switches)]
+    for name in switches:
+        net.add_switch(name)
+    net.add_link("h_src", switches[0], host_rate, propagation_delay)
+    for left, right in zip(switches, switches[1:]):
+        net.add_link(left, right, link_rate_bps, propagation_delay)
+    net.add_link(switches[-1], "h_dst", link_rate_bps, propagation_delay)
+    if cross_hosts:
+        for index, name in enumerate(switches):
+            cross = f"c{index + 1}"
+            net.add_host(cross)
+            net.add_link(cross, name, host_rate, propagation_delay)
+    return net
+
+
+def dumbbell(
+    hosts_per_side: int = 2,
+    access_rate_bps: float = DEFAULT_LINK_RATE_BPS,
+    bottleneck_rate_bps: Optional[float] = None,
+    propagation_delay: float = 0.0,
+) -> Network:
+    """Classic congestion topology: N senders, one bottleneck, N receivers.
+
+    Hosts ``l0..l{N-1}`` hang off switch ``s_left``; hosts ``r0..r{N-1}``
+    hang off ``s_right``; the middle link is the (usually slower)
+    bottleneck.
+    """
+    if hosts_per_side < 1:
+        raise TopologyError("dumbbell needs at least one host per side")
+    bottleneck = (bottleneck_rate_bps if bottleneck_rate_bps is not None
+                  else access_rate_bps)
+    net = Network(name=f"dumbbell{hosts_per_side}")
+    net.add_switch("s_left")
+    net.add_switch("s_right")
+    net.add_link("s_left", "s_right", bottleneck, propagation_delay)
+    for index in range(hosts_per_side):
+        left, right = f"l{index}", f"r{index}"
+        net.add_host(left)
+        net.add_host(right)
+        net.add_link(left, "s_left", access_rate_bps, propagation_delay)
+        net.add_link(right, "s_right", access_rate_bps, propagation_delay)
+    return net
+
+
+def leaf_spine(
+    leaves: int = 4,
+    spines: int = 2,
+    hosts_per_leaf: int = 2,
+    host_rate_bps: float = DEFAULT_LINK_RATE_BPS,
+    fabric_rate_bps: Optional[float] = None,
+    propagation_delay: float = 0.0,
+) -> Network:
+    """Two-tier Clos fabric: every leaf connects to every spine.
+
+    Hosts ``h{leaf}_{index}`` hang off leaf ``leaf{leaf}``; leaf-to-spine
+    links default to the host access rate (so the fabric, not the access
+    link, is the bottleneck under incast).  Cross-leaf paths are two hops of
+    switching (leaf -> spine -> leaf) with ``spines``-way ECMP.
+    """
+    if leaves < 2 or spines < 1 or hosts_per_leaf < 1:
+        raise TopologyError("leaf_spine needs >=2 leaves, >=1 spine, >=1 host/leaf")
+    fabric_rate = (fabric_rate_bps if fabric_rate_bps is not None
+                   else host_rate_bps)
+    net = Network(name=f"leafspine{leaves}x{spines}")
+    spine_names = [f"spine{i}" for i in range(spines)]
+    for name in spine_names:
+        net.add_switch(name)
+    for leaf in range(leaves):
+        leaf_name = f"leaf{leaf}"
+        net.add_switch(leaf_name)
+        for spine in spine_names:
+            net.add_link(leaf_name, spine, fabric_rate, propagation_delay)
+        for index in range(hosts_per_leaf):
+            host = f"h{leaf}_{index}"
+            net.add_host(host)
+            net.add_link(host, leaf_name, host_rate_bps, propagation_delay)
+    return net

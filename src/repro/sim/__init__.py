@@ -9,7 +9,7 @@ delay bounds, minimum-rate guarantees) are all built from these pieces.
 from .events import Event, EventQueue
 from .link import OutputPort
 from .simulator import Simulator
-from .sink import PacketSink
+from .sink import FlowAggregate, PacketSink
 from .source import PacketSource, chain_hops
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "EventQueue",
     "Simulator",
     "OutputPort",
+    "FlowAggregate",
     "PacketSink",
     "PacketSource",
     "chain_hops",

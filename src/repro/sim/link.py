@@ -51,6 +51,18 @@ class OutputPort:
     on_departure:
         Optional callback invoked with each packet after transmission; used
         to chain hops (for example the LSTF multi-switch experiment).
+    propagation_delay:
+        Wire latency in seconds between this port and its destination.
+        Transmission finishes (and the link frees up for the next packet)
+        after ``length_bits / rate_bps``; the packet reaches the sink or the
+        delivery hook ``propagation_delay`` later.  Defaults to 0.0 so all
+        single-port experiments are bit-identical to the pre-fabric code.
+    delivery:
+        Optional delivery hook: when set, transmitted packets are handed to
+        ``delivery(packet)`` (after the propagation delay) *instead of* being
+        recorded in this port's sink.  This is how the network fabric layer
+        (:mod:`repro.net`) chains a switch egress port to the next hop's
+        ingress; the terminal hop keeps ``delivery=None`` and sinks locally.
     pifo_backend:
         Optional PIFO backend spec applied to the scheduler's tree (see
         :mod:`repro.core.backend`).  The special value ``"auto"`` lets the
@@ -75,9 +87,13 @@ class OutputPort:
         on_departure: Optional[Callable[[Packet], None]] = None,
         pifo_backend: BackendSpec = None,
         expected_backlog: Optional[int] = None,
+        propagation_delay: float = 0.0,
+        delivery: Optional[Callable[[Packet], None]] = None,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("rate_bps must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
         self.sim = sim
         self.scheduler = scheduler
         self.pifo_backend = self._apply_backend(pifo_backend, expected_backlog)
@@ -85,6 +101,8 @@ class OutputPort:
         self.name = name
         self.sink = sink if sink is not None else PacketSink(name=f"{name}.sink")
         self.on_departure = on_departure
+        self.propagation_delay = propagation_delay
+        self.delivery = delivery
         self.busy = False
         self.transmitted_packets = 0
         self.transmitted_bytes = 0
@@ -159,10 +177,23 @@ class OutputPort:
         self.busy = False
         self.transmitted_packets += 1
         self.transmitted_bytes += packet.length
-        self.sink.record(packet)
+        if self.propagation_delay > 0:
+            # The link frees up immediately (pipelining); the packet lands at
+            # the far end one wire latency later.
+            self.sim.schedule(self.propagation_delay,
+                              lambda p=packet: self._deliver(p),
+                              name=f"{self.name}.prop")
+        else:
+            self._deliver(packet)
         if self.on_departure is not None:
             self.on_departure(packet)
         self._try_transmit()
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.delivery is not None:
+            self.delivery(packet)
+        else:
+            self.sink.record(packet)
 
     def _arm_wakeup(self) -> None:
         """Schedule a retry at the scheduler's next shaping release."""

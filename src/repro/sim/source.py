@@ -44,12 +44,14 @@ class PacketSource:
         self._iterator: Iterator[Tuple[float, Packet]] = iter(arrivals)
         self.generated_packets = 0
         self._last_time = -1.0
+        self._pending = None
         self._schedule_next()
 
     def _schedule_next(self) -> None:
         try:
             time, packet = next(self._iterator)
         except StopIteration:
+            self._pending = None
             return
         if time < self._last_time - 1e-12:
             raise TrafficError(
@@ -57,13 +59,25 @@ class PacketSource:
                 f"({time} after {self._last_time})"
             )
         self._last_time = time
-        self.sim.schedule_at(time, lambda t=time, p=packet: self._emit(p),
-                             name=f"{self.name}.arrival")
+        self._pending = self.sim.schedule_at(
+            time, lambda t=time, p=packet: self._emit(p),
+            name=f"{self.name}.arrival",
+        )
 
     def _emit(self, packet: Packet) -> None:
         self.generated_packets += 1
         self.destination.receive(packet)
         self._schedule_next()
+
+    def stop(self) -> None:
+        """Cancel any not-yet-emitted arrival and drop the rest of the stream.
+
+        Used by the fabric's drain phase so "finish the packets in flight"
+        does not mean "replay the remainder of an arrival stream"."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._iterator = iter(())
 
 
 def chain_hops(

@@ -11,6 +11,8 @@ from .red import REDPolicy
 from .switch import (
     DEFAULT_PORT_COUNT,
     DEFAULT_PORT_RATE_BPS,
+    PortCounters,
+    PortSpec,
     SharedMemorySwitch,
     SwitchStats,
 )
@@ -35,6 +37,8 @@ __all__ = [
     "PFCFilteredScheduler",
     "SharedMemorySwitch",
     "SwitchStats",
+    "PortCounters",
+    "PortSpec",
     "DEFAULT_PORT_COUNT",
     "DEFAULT_PORT_RATE_BPS",
 ]

@@ -12,12 +12,13 @@ scheduling subsystem cares about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.backend import BackendSpec
 from ..core.packet import Packet
-from ..exceptions import BufferError_
+from ..exceptions import BufferError_, RoutingError
 from ..sim.link import OutputPort
 from ..sim.simulator import Simulator
 from .buffer import SharedBuffer
@@ -29,14 +30,63 @@ DEFAULT_PORT_RATE_BPS = 10e9
 
 
 @dataclass
+class PortSpec:
+    """Description of one output port for heterogeneous switches.
+
+    The fabric layer (:mod:`repro.net`) builds switches whose ports differ
+    in rate and wire latency and whose egress feeds the next hop instead of
+    a terminal sink; ``delivery`` is the pluggable hook the
+    :class:`~repro.sim.link.OutputPort` calls with each transmitted packet.
+    """
+
+    name: str
+    rate_bps: float = DEFAULT_PORT_RATE_BPS
+    propagation_delay: float = 0.0
+    delivery: Optional[Callable[[Packet], None]] = None
+
+
+@dataclass
+class PortCounters:
+    """Per-port transmitted/dropped breakdown inside :class:`SwitchStats`."""
+
+    transmitted: int = 0
+    dropped_admission: int = 0
+    dropped_scheduler: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "transmitted": self.transmitted,
+            "dropped_admission": self.dropped_admission,
+            "dropped_scheduler": self.dropped_scheduler,
+        }
+
+
+@dataclass
 class SwitchStats:
-    """Aggregate counters for a switch run."""
+    """Aggregate counters for a switch run, with per-port breakdowns."""
 
     received: int = 0
     admitted: int = 0
     dropped_admission: int = 0
     dropped_scheduler: int = 0
     transmitted: int = 0
+    per_port: Dict[str, PortCounters] = field(default_factory=dict)
+
+    def port(self, name: str) -> PortCounters:
+        counters = self.per_port.get(name)
+        if counters is None:
+            counters = self.per_port[name] = PortCounters()
+        return counters
+
+    @property
+    def dropped(self) -> int:
+        """All drops, whatever the reason."""
+        return self.dropped_admission + self.dropped_scheduler
+
+    def per_port_dict(self) -> Dict[str, Dict[str, int]]:
+        """JSON-friendly per-port breakdown (``repro report --json``)."""
+        return {name: counters.to_dict()
+                for name, counters in sorted(self.per_port.items())}
 
 
 class SharedMemorySwitch:
@@ -57,6 +107,13 @@ class SharedMemorySwitch:
         Optional PIFO backend spec (see :mod:`repro.core.backend`) applied
         to every port's scheduler (``"auto"`` defers to the simulator's
         selection rule; schedulers without a swappable tree are left alone).
+    port_specs:
+        Optional explicit port list (:class:`PortSpec`) overriding
+        ``port_count`` / ``port_rate_bps``; used by the fabric layer to give
+        each egress port its link's rate, wire latency and next-hop delivery
+        hook.
+    name:
+        Switch label (node name inside a fabric).
     """
 
     def __init__(
@@ -68,32 +125,48 @@ class SharedMemorySwitch:
         buffer: Optional[SharedBuffer] = None,
         admission: Optional[AdmissionPolicy] = None,
         pifo_backend: BackendSpec = None,
+        port_specs: Optional[Sequence[PortSpec]] = None,
+        name: str = "switch",
     ) -> None:
-        if port_count <= 0:
-            raise ValueError("port_count must be positive")
+        if port_specs is None:
+            if port_count <= 0:
+                raise ValueError("port_count must be positive")
+            port_specs = [PortSpec(name=f"port{index}", rate_bps=port_rate_bps)
+                          for index in range(port_count)]
+        elif not port_specs:
+            raise ValueError("port_specs must not be empty")
         self.sim = sim
+        self.name = name
         self.buffer = buffer if buffer is not None else SharedBuffer()
         self.admission = admission if admission is not None else AlwaysAdmit()
         self.pifo_backend = pifo_backend
         self.stats = SwitchStats()
         self.ports: Dict[str, OutputPort] = {}
-        for index in range(port_count):
-            name = f"port{index}"
+        #: Forwarding table: destination address -> candidate egress port
+        #: names (several under ECMP).  Installed by the fabric's routing
+        #: pass; single-switch experiments never touch it.
+        self.routes: Dict[str, List[str]] = {}
+        for spec in port_specs:
+            if spec.name in self.ports:
+                raise ValueError(f"duplicate port name {spec.name!r}")
             port = OutputPort(
                 sim=sim,
-                scheduler=scheduler_factory(name),
-                rate_bps=port_rate_bps,
-                name=name,
-                on_departure=self._make_release_callback(name),
+                scheduler=scheduler_factory(spec.name),
+                rate_bps=spec.rate_bps,
+                name=spec.name,
+                on_departure=self._make_release_callback(spec.name),
                 pifo_backend=pifo_backend,
                 expected_backlog=self.buffer.total_cells,
+                propagation_delay=spec.propagation_delay,
+                delivery=spec.delivery,
             )
-            self.ports[name] = port
+            self.ports[spec.name] = port
 
     # -- buffer release on transmit -------------------------------------------------
     def _make_release_callback(self, port_name: str) -> Callable[[Packet], None]:
         def _release(packet: Packet) -> None:
             self.stats.transmitted += 1
+            self.stats.port(port_name).transmitted += 1
             try:
                 self.buffer.release(packet, port=port_name)
             except BufferError_:
@@ -102,6 +175,43 @@ class SharedMemorySwitch:
                 pass
 
         return _release
+
+    # -- forwarding (fabric ingress path) --------------------------------------------
+    def install_route(self, dst: str, ports: Sequence[str]) -> None:
+        """Map a destination address to one or more egress ports (ECMP)."""
+        unknown = [p for p in ports if p not in self.ports]
+        if unknown:
+            raise RoutingError(
+                f"switch {self.name!r}: route to {dst!r} names unknown "
+                f"ports {unknown}"
+            )
+        if not ports:
+            raise RoutingError(f"switch {self.name!r}: empty route to {dst!r}")
+        self.routes[dst] = list(ports)
+
+    def select_port(self, packet: Packet) -> str:
+        """Egress port for a packet, by destination + ECMP flow hash.
+
+        The hash is CRC32 over the flow label — stable across runs and
+        Python processes (unlike the builtin, seeded ``hash``), so ECMP
+        placement is deterministic.
+        """
+        if packet.dst is None:
+            raise RoutingError(
+                f"switch {self.name!r}: packet {packet!r} has no dst address"
+            )
+        candidates = self.routes.get(packet.dst)
+        if not candidates:
+            raise RoutingError(
+                f"switch {self.name!r}: no route to {packet.dst!r}"
+            )
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[zlib.crc32(packet.flow.encode()) % len(candidates)]
+
+    def forward(self, packet: Packet) -> bool:
+        """Fabric ingress: route by ``packet.dst`` and enqueue at egress."""
+        return self.receive(packet, self.select_port(packet))
 
     # -- ingress ------------------------------------------------------------------------
     def receive(self, packet: Packet, output_port: str) -> bool:
@@ -116,12 +226,14 @@ class SharedMemorySwitch:
         self.stats.received += 1
         if not self.admission.admit(self.buffer, packet, port=output_port):
             self.stats.dropped_admission += 1
+            self.stats.port(output_port).dropped_admission += 1
             return False
         self.buffer.allocate(packet, port=output_port)
         accepted = self.ports[output_port].receive(packet)
         if not accepted:
             self.buffer.release(packet, port=output_port)
             self.stats.dropped_scheduler += 1
+            self.stats.port(output_port).dropped_scheduler += 1
             return False
         self.stats.admitted += 1
         return True
@@ -156,6 +268,7 @@ class SharedMemorySwitch:
                 self.stats.received += 1
                 if not self.admission.admit(self.buffer, packet, port=output_port):
                     self.stats.dropped_admission += 1
+                    self.stats.port(output_port).dropped_admission += 1
                     continue
                 self.buffer.allocate(packet, port=output_port)
                 admitted.append(packet)
@@ -168,6 +281,7 @@ class SharedMemorySwitch:
             rejected = [p for p in admitted if p.enqueue_time is None]
             self.buffer.release_many(rejected, port=output_port)
             self.stats.dropped_scheduler += len(rejected)
+            self.stats.port(output_port).dropped_scheduler += len(rejected)
         self.stats.admitted += accepted
         return accepted
 

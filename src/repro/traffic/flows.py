@@ -31,6 +31,11 @@ class FlowSpec:
         Interval during which the flow generates traffic.
     fields:
         Extra metadata copied into every packet (slack, deadline, ...).
+    src / dst:
+        Optional network addresses stamped on every generated packet, so the
+        fabric layer (:mod:`repro.net`) can route the flow from its source
+        host to its destination host.  Single-port experiments leave them
+        unset.
     """
 
     name: str
@@ -42,6 +47,8 @@ class FlowSpec:
     start_time: float = 0.0
     end_time: Optional[float] = None
     fields: Dict[str, Any] = field(default_factory=dict)
+    src: Optional[str] = None
+    dst: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rate_bps < 0:

@@ -44,6 +44,8 @@ def _packet_from_spec(spec: FlowSpec, extra_fields: Optional[Dict[str, Any]] = N
         packet_class=spec.packet_class,
         priority=spec.priority,
         fields=fields,
+        src=spec.src,
+        dst=spec.dst,
     )
 
 
@@ -140,6 +142,8 @@ def flow_arrivals(
     seed: int = 0,
     packet_class: Optional[str] = None,
     tag_fields: bool = True,
+    src: Optional[str] = None,
+    dst: Optional[str] = None,
 ) -> Iterator[Arrival]:
     """Finite flows arriving as a Poisson process, sizes from a distribution.
 
@@ -182,6 +186,8 @@ def flow_arrivals(
                 length=this_size,
                 packet_class=packet_class,
                 fields=fields,
+                src=src,
+                dst=dst,
             )
             sent += this_size
             remaining -= this_size

@@ -13,7 +13,7 @@ class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
         for argv in (["list"], ["run", "table1"], ["report"], ["programs"],
-                     ["show", "stfq"]):
+                     ["scenarios"], ["show", "stfq"]):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
 
@@ -78,6 +78,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "stfq" in out
         assert "token_bucket" in out
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6_chain" in out
+        assert "leaf_spine_fct" in out
+        assert "LSTF" in out
+
+    def test_list_includes_fabric_experiments(self, capsys):
+        assert main(["list"]) == 0
+        assert "leaf_spine_fct" in capsys.readouterr().out
 
     def test_show_command(self, capsys):
         assert main(["show", "token_bucket"]) == 0

@@ -27,6 +27,7 @@ EXAMPLE_LANDMARKS = {
     "hardware_feasibility_report.py": None,
     "transaction_language_tour.py": "deadline-aware-wfq",
     "sp_pifo_approximation.py": "exact PIFO",
+    "fabric_scenarios.py": "end-to-end",
 }
 
 

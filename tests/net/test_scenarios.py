@@ -1,0 +1,139 @@
+"""Tests for the scenario engine and the built-in fabric scenarios.
+
+These assert the two acceptance claims of the fabric layer:
+
+* fig6_chain — LSTF on a 3-switch chain keeps urgent packets inside their
+  20 ms end-to-end slack budget while per-hop FIFO blows it;
+* leaf_spine_fct — SRPT on a 4-leaf/2-spine Clos shortens mean FCT and the
+  short-flow tail against FIFO on the identical workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FIFOTransaction
+from repro.core import Packet, ProgrammableScheduler, single_node_tree
+from repro.exceptions import TrafficError
+from repro.net import Demand, Scenario, get_scenario, linear_chain, list_scenarios
+from repro.net.scenarios import URGENT_SLACK
+
+
+def fifo_factory(switch, port):
+    return ProgrammableScheduler(single_node_tree(FIFOTransaction()))
+
+
+class TestScenarioEngine:
+    def test_registry_contains_builtins(self):
+        names = [scenario.name for scenario in list_scenarios()]
+        assert "fig6_chain" in names
+        assert "leaf_spine_fct" in names
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_demand_kinds_validate(self):
+        with pytest.raises(TrafficError):
+            Demand(src="a", dst="b", kind="explicit").build_arrivals(1.0)
+        with pytest.raises(TrafficError):
+            list(Demand(src="a", dst="b", kind="mystery",
+                        rate_bps=1e6).build_arrivals(1.0))
+
+    def test_demand_addresses_packets(self):
+        demand = Demand(src="h_src", dst="h_dst", kind="cbr", rate_bps=1e6,
+                        packet_size=500)
+        arrivals = list(demand.build_arrivals(0.01))
+        assert arrivals
+        assert all(p.src == "h_src" and p.dst == "h_dst" for _t, p in arrivals)
+
+    def test_scenario_runs_each_variant_on_identical_workload(self):
+        scenario = Scenario(
+            name="tiny",
+            title="tiny",
+            topology=lambda: linear_chain(1, link_rate_bps=1e6),
+            demands=[Demand(src="h_src", dst="h_dst", kind="cbr",
+                            rate_bps=5e5, packet_size=500)],
+            variants={"A": fifo_factory, "B": fifo_factory},
+            duration=0.05,
+        )
+        results = scenario.run()
+        assert set(results) == {"A", "B"}
+        assert (results["A"].conservation["injected"]
+                == results["B"].conservation["injected"] > 0)
+        assert results["A"].flow_stats == results["B"].flow_stats
+
+    def test_single_variant_selection(self):
+        scenario = get_scenario("fig6_chain")
+        results = scenario.run(quick=True, variant="LSTF")
+        assert list(results) == ["LSTF"]
+
+
+class TestFig6Chain:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return get_scenario("fig6_chain").run(quick=True)
+
+    def test_all_packets_accounted_for(self, results):
+        for result in results.values():
+            conservation = result.conservation
+            assert conservation["in_flight"] == 0
+            assert (conservation["delivered"] + conservation["dropped"]
+                    == conservation["injected"])
+
+    def test_lstf_meets_budget_fifo_misses_it(self, results):
+        lstf = results["LSTF"].flow_stats["urgent"]["max_delay"]
+        fifo = results["FIFO"].flow_stats["urgent"]["max_delay"]
+        assert lstf <= URGENT_SLACK
+        assert fifo > URGENT_SLACK
+        assert lstf < fifo
+
+    def test_same_urgent_packets_in_both_variants(self, results):
+        assert (results["LSTF"].flow_stats["urgent"]["packets"]
+                == results["FIFO"].flow_stats["urgent"]["packets"] > 0)
+
+
+class TestLeafSpineFCT:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return get_scenario("leaf_spine_fct").run(quick=True)
+
+    def test_flows_complete_under_both_schedulers(self, results):
+        for result in results.values():
+            assert result.fct is not None
+            assert result.fct.count > 0
+        assert results["SRPT"].fct.count == results["FIFO"].fct.count
+
+    def test_srpt_shortens_mean_and_short_flow_fct(self, results):
+        srpt, fifo = results["SRPT"], results["FIFO"]
+        assert srpt.fct.mean <= fifo.fct.mean
+        assert srpt.fct_short.mean <= fifo.fct_short.mean
+        assert srpt.fct_short.p99 <= fifo.fct_short.p99
+
+    def test_per_port_stats_cover_the_fabric(self, results):
+        stats = results["SRPT"].stats_by_node
+        # Both spine uplinks of leaf0 saw traffic (ECMP spread).
+        leaf0 = stats["leaf0"]["per_port"]
+        assert leaf0["to_spine0"]["transmitted"] > 0
+        assert leaf0["to_spine1"]["transmitted"] > 0
+
+
+class TestExperimentRegistryIntegration:
+    def test_fig6_experiment_runs_on_the_chain(self):
+        from repro.reporting import run_experiment
+
+        result = run_experiment("fig6", quick=True)
+        by_scheduler = {row["scheduler"]: row for row in result.rows}
+        assert by_scheduler["LSTF"]["meets_budget"] is True
+        assert by_scheduler["FIFO"]["meets_budget"] is False
+        assert by_scheduler["LSTF"]["hops"] == 3
+        assert "per_node_stats" in result.details
+
+    def test_leaf_spine_experiment_reports_fct(self):
+        from repro.reporting import run_experiment
+
+        result = run_experiment("leaf_spine_fct", quick=True)
+        by_scheduler = {row["scheduler"]: row for row in result.rows}
+        assert (by_scheduler["SRPT"]["mean_fct_ms"]
+                <= by_scheduler["FIFO"]["mean_fct_ms"])
+        per_node = result.details["per_node_stats"]["SRPT"]
+        assert "spine0" in per_node
+        assert any(port.startswith("to_") for port in per_node["spine0"]["per_port"])

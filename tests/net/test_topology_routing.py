@@ -1,0 +1,179 @@
+"""Tests for the network topology graph and the static routing pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.net import (
+    Network,
+    build_forwarding_tables,
+    dumbbell,
+    hop_distances,
+    leaf_spine,
+    linear_chain,
+    next_hops,
+    path,
+)
+
+
+class TestNetwork:
+    def test_nodes_and_links(self):
+        net = Network()
+        net.add_host("h0")
+        net.add_switch("s0")
+        link = net.add_link("h0", "s0", rate_bps=1e9, propagation_delay=1e-6)
+        assert link.rate_bps == 1e9
+        assert net.hosts() == ["h0"]
+        assert net.switches() == ["s0"]
+        assert net.neighbors("h0") == ["s0"]
+        # Bidirectional by default: the reverse direction exists too.
+        assert net.link("s0", "h0").rate_bps == 1e9
+
+    def test_unidirectional_link(self):
+        net = Network()
+        net.add_switch("a")
+        net.add_switch("b")
+        net.add_link("a", "b", bidirectional=False)
+        assert net.neighbors("a") == ["b"]
+        assert net.neighbors("b") == []
+
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_host("x")
+        with pytest.raises(TopologyError):
+            net.add_switch("x")
+
+    def test_link_validation(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(TopologyError):
+            net.add_link("a", "missing")
+        with pytest.raises(TopologyError):
+            net.add_link("a", "a")
+        net.add_link("a", "b")
+        with pytest.raises(TopologyError):
+            net.add_link("a", "b")
+        with pytest.raises(TopologyError):
+            net.add_link("a", "b", rate_bps=0)
+
+    def test_validate_rejects_disconnected(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_switch("s")
+        net.add_link("a", "s")
+        with pytest.raises(TopologyError, match="no links"):
+            net.validate()
+        net.add_link("b", "s")
+        net.validate()
+        net.add_host("lonely")
+        with pytest.raises(TopologyError):
+            net.validate()
+
+
+class TestBuilders:
+    def test_linear_chain_shape(self):
+        net = linear_chain(3, cross_hosts=True)
+        assert net.switches() == ["s1", "s2", "s3"]
+        assert sorted(net.hosts()) == ["c1", "c2", "c3", "h_dst", "h_src"]
+        net.validate()
+        assert path(net, "h_src", "h_dst") == ["h_src", "s1", "s2", "s3", "h_dst"]
+
+    def test_dumbbell_shape(self):
+        net = dumbbell(hosts_per_side=2, bottleneck_rate_bps=1e6)
+        net.validate()
+        assert net.link("s_left", "s_right").rate_bps == 1e6
+        assert path(net, "l0", "r1") == ["l0", "s_left", "s_right", "r1"]
+
+    def test_leaf_spine_shape(self):
+        net = leaf_spine(leaves=4, spines=2, hosts_per_leaf=2)
+        net.validate()
+        assert len(net.switches()) == 6
+        assert len(net.hosts()) == 8
+        # Cross-leaf traffic goes leaf -> spine -> leaf: 4 node hops.
+        assert len(path(net, "h0_0", "h2_0")) == 5
+
+    def test_builder_validation(self):
+        with pytest.raises(TopologyError):
+            linear_chain(0)
+        with pytest.raises(TopologyError):
+            leaf_spine(leaves=1)
+
+
+class TestRouting:
+    def test_hop_distances(self):
+        net = linear_chain(3)
+        distances = hop_distances(net, "h_dst")
+        assert distances["h_dst"] == 0
+        assert distances["s3"] == 1
+        assert distances["s1"] == 3
+        assert distances["h_src"] == 4
+
+    def test_next_hops_single_path(self):
+        net = linear_chain(2)
+        assert next_hops(net, "s1", "h_dst") == ["s2"]
+        assert next_hops(net, "h_dst", "h_dst") == []
+
+    def test_ecmp_next_hops_in_leaf_spine(self):
+        net = leaf_spine(leaves=2, spines=3, hosts_per_leaf=1)
+        hops = next_hops(net, "leaf0", "h1_0")
+        assert hops == ["spine0", "spine1", "spine2"]
+
+    def test_forwarding_tables_non_ecmp_pick_one(self):
+        net = leaf_spine(leaves=2, spines=3, hosts_per_leaf=1)
+        tables = build_forwarding_tables(net, ecmp=False)
+        assert tables["leaf0"]["h1_0"] == ["spine0"]
+        ecmp_tables = build_forwarding_tables(net, ecmp=True)
+        assert ecmp_tables["leaf0"]["h1_0"] == ["spine0", "spine1", "spine2"]
+
+    def test_tables_are_deterministic(self):
+        net = leaf_spine(leaves=3, spines=2, hosts_per_leaf=2)
+        assert build_forwarding_tables(net, ecmp=True) == build_forwarding_tables(
+            net, ecmp=True
+        )
+
+    def test_hosts_are_never_transit_nodes(self):
+        # A multi-homed host m sits on the 2-hop "shortcut" between s1 and
+        # s2; the switch path runs through s3.  Routing must take the
+        # all-switch detour: end hosts do not forward transit traffic.
+        net = Network()
+        for switch in ("s1", "s2", "s3"):
+            net.add_switch(switch)
+        for host in ("a", "b", "m"):
+            net.add_host(host)
+        net.add_link("a", "s1")
+        net.add_link("b", "s2")
+        net.add_link("m", "s1")
+        net.add_link("m", "s2")
+        net.add_link("s1", "s3")
+        net.add_link("s3", "s2")
+        assert path(net, "a", "b") == ["a", "s1", "s3", "s2", "b"]
+        tables = build_forwarding_tables(net, ecmp=True)
+        assert tables["s1"]["b"] == ["s3"]
+        # ... while m itself remains reachable as a destination.
+        assert path(net, "a", "m") == ["a", "s1", "m"]
+
+    def test_destination_reachable_only_through_a_host_raises(self):
+        net = Network()
+        net.add_switch("s")
+        net.add_host("a")
+        net.add_host("middle")
+        net.add_host("far")
+        net.add_link("a", "s")
+        net.add_link("middle", "s")
+        net.add_link("far", "middle")  # only path to "far" transits a host
+        with pytest.raises(TopologyError):
+            build_forwarding_tables(net, destinations=["far"])
+
+    def test_unreachable_destination_raises(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_switch("s")
+        net.add_link("a", "s")
+        net.add_link("s", "b", bidirectional=False)
+        # b cannot reach anything upstream; routing toward "a" fails from b.
+        with pytest.raises(TopologyError):
+            build_forwarding_tables(net, destinations=["a"])

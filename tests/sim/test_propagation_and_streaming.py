@@ -1,0 +1,154 @@
+"""Tests for OutputPort propagation delay / delivery hooks and the
+streaming (keep_packets=False) PacketSink mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import FIFOTransaction
+from repro.core import Packet, ProgrammableScheduler, single_node_tree
+from repro.metrics import flow_completions_from_sink
+from repro.sim import OutputPort, PacketSink, PacketSource, Simulator
+
+
+def make_port(sim, **kwargs):
+    scheduler = ProgrammableScheduler(single_node_tree(FIFOTransaction()))
+    return OutputPort(sim, scheduler, rate_bps=1e6, **kwargs)
+
+
+class TestPropagationDelay:
+    def test_default_is_bit_identical_to_no_delay(self):
+        def run(**kwargs):
+            sim = Simulator()
+            port = make_port(sim, **kwargs)
+            PacketSource(sim, port, [(0.0, Packet(flow="f", length=1000))])
+            sim.run()
+            return port.sink.packets[0].departure_time
+
+        assert run() == run(propagation_delay=0.0)
+
+    def test_sink_recording_is_deferred_by_the_wire(self):
+        sim = Simulator()
+        port = make_port(sim, propagation_delay=5e-3)
+        PacketSource(sim, port, [(0.0, Packet(flow="f", length=1000))])
+        sim.run(until=8e-3 + 1e-6)
+        # Transmission finished at 8 ms, but the packet is still on the wire.
+        assert port.transmitted_packets == 1
+        assert port.sink.total_packets() == 0
+        sim.run()
+        assert port.sink.total_packets() == 1
+        assert sim.now == pytest.approx(8e-3 + 5e-3)
+
+    def test_link_pipelines_during_propagation(self):
+        sim = Simulator()
+        port = make_port(sim, propagation_delay=50e-3)
+        PacketSource(sim, port, [(0.0, Packet(flow="a", length=1000)),
+                                 (0.0, Packet(flow="b", length=1000))])
+        sim.run()
+        # Back-to-back transmissions (8 ms each) overlap the first packet's
+        # 50 ms propagation: total is 16 + 50, not 2 * 58.
+        assert sim.now == pytest.approx(16e-3 + 50e-3)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make_port(sim, propagation_delay=-1.0)
+
+
+class TestDeliveryHook:
+    def test_delivery_replaces_sink(self):
+        sim = Simulator()
+        delivered = []
+        port = make_port(sim, delivery=delivered.append)
+        PacketSource(sim, port, [(0.0, Packet(flow="f", length=1000))])
+        sim.run()
+        assert len(delivered) == 1
+        assert port.sink.total_packets() == 0
+        assert port.transmitted_packets == 1
+
+    def test_on_departure_still_fires_with_delivery(self):
+        sim = Simulator()
+        departed, delivered = [], []
+        port = make_port(sim, delivery=delivered.append,
+                         on_departure=departed.append)
+        PacketSource(sim, port, [(0.0, Packet(flow="f", length=1000))])
+        sim.run()
+        assert len(departed) == len(delivered) == 1
+
+
+class TestStreamingSink:
+    def make_packet(self, flow, length, arrival, departure, **fields):
+        packet = Packet(flow=flow, length=length, arrival_time=arrival,
+                        fields=fields)
+        packet.departure_time = departure
+        return packet
+
+    def test_counters_match_retained_mode(self):
+        retained = PacketSink()
+        streaming = PacketSink(keep_packets=False)
+        for index in range(100):
+            for sink in (retained, streaming):
+                sink.record(self.make_packet(
+                    flow=f"f{index % 3}", length=500 + index,
+                    arrival=index * 1e-3, departure=index * 1e-3 + 5e-4,
+                ))
+        assert streaming.total_packets() == retained.total_packets() == 100
+        assert streaming.total_bytes() == retained.total_bytes()
+        assert streaming.bytes_by_flow == retained.bytes_by_flow
+        assert streaming.flows() == retained.flows()
+        assert streaming.last_departure == retained.last_departure
+        assert len(streaming) == len(retained) == 100
+        # Whole-run queries agree between modes.
+        assert streaming.throughput_bps() == pytest.approx(
+            retained.throughput_bps()
+        )
+        assert streaming.share_by_flow() == pytest.approx(
+            retained.share_by_flow()
+        )
+        # ... and no packets were retained.
+        assert streaming.packets == []
+
+    def test_delay_stats_aggregate(self):
+        sink = PacketSink(keep_packets=False)
+        for delay in (1e-3, 2e-3, 3e-3):
+            sink.record(self.make_packet("f", 500, 0.0, delay))
+        stats = sink.delay_stats("f")
+        assert stats["count"] == 3
+        assert stats["mean"] == pytest.approx(2e-3)
+        assert stats["min"] == pytest.approx(1e-3)
+        assert stats["max"] == pytest.approx(3e-3)
+        assert sink.delay_stats("missing")["count"] == 0
+
+    def test_windowed_queries_raise_in_streaming_mode(self):
+        sink = PacketSink(keep_packets=False)
+        sink.record(self.make_packet("f", 500, 0.0, 1e-3))
+        with pytest.raises(ValueError, match="keep_packets"):
+            sink.delays()
+        with pytest.raises(ValueError, match="keep_packets"):
+            sink.departure_order()
+        with pytest.raises(ValueError, match="keep_packets"):
+            sink.throughput_bps(start=0.5, end=0.6)
+        with pytest.raises(ValueError, match="keep_packets"):
+            sink.share_by_flow(start=0.5)
+
+    def test_flow_completions_from_streaming_sink(self):
+        sink = PacketSink(keep_packets=False)
+        # Flow "done": 2 packets covering its full 1000-byte size.
+        sink.record(self.make_packet("done", 500, 0.0, 1e-3, flow_size=1000))
+        sink.record(self.make_packet("done", 500, 0.0, 4e-3, flow_size=1000))
+        # Flow "partial": tail packet missing (dropped).
+        sink.record(self.make_packet("partial", 500, 0.0, 2e-3, flow_size=1000))
+        # Flow "untagged": no flow_size metadata, cannot judge completion.
+        sink.record(self.make_packet("untagged", 500, 0.0, 2e-3))
+        completions = flow_completions_from_sink(sink)
+        assert [c.flow for c in completions] == ["done"]
+        assert completions[0].size_bytes == 1000
+        assert completions[0].completion_time == pytest.approx(4e-3)
+
+    def test_memory_stays_flat_in_streaming_mode(self):
+        sink = PacketSink(keep_packets=False)
+        for index in range(10_000):
+            sink.record(self.make_packet("f", 1500, 0.0, index * 1e-6))
+        assert sink.packets == []
+        assert len(sink.aggregates) == 1
+        assert sink.total_packets() == 10_000
