@@ -1,0 +1,93 @@
+"""Campaign engine benchmark: serial vs sharded sweep throughput.
+
+Runs the built-in ``paper_sweep`` campaign (quick durations) serially and
+across a worker pool, verifies the parallel result store is identical to
+the serial one modulo wall-clock fields, and records runs/second plus the
+parallel speed-up to ``BENCH_campaign.json`` at the repo root (the
+artifact CI uploads).  Set ``BENCH_QUICK=1`` to benchmark a fig6-only
+subset for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.campaign import (
+    Campaign,
+    CampaignRunner,
+    ResultStore,
+    get_campaign,
+    strip_timing,
+)
+
+BENCH_QUICK = bool(os.environ.get("BENCH_QUICK"))
+BENCH_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+WORKER_COUNTS = [1, 2] if BENCH_QUICK else [1, 2, 4]
+
+
+def _campaign() -> Campaign:
+    if BENCH_QUICK:
+        return Campaign(
+            name="paper_sweep_smoke",
+            title="fig6 subset of paper_sweep",
+            scenarios=["fig6_chain"],
+            pifo_backends=["sorted", "calendar", "quantized"],
+            lang_backends=["compiled", "interpreted"],
+        )
+    return get_campaign("paper_sweep")
+
+
+def _run(campaign: Campaign, workers: int, tmp_dir: Path):
+    store = ResultStore(tmp_dir / f"store_w{workers}.jsonl")
+    runner = CampaignRunner(campaign, store, workers=workers, quick=True)
+    start = time.perf_counter()
+    runner.run()
+    elapsed = time.perf_counter() - start
+    return store, elapsed
+
+
+def test_campaign_serial_vs_parallel_throughput(tmp_path):
+    """Sharding must preserve results bit-for-bit and not cost throughput."""
+    campaign = _campaign()
+    total = campaign.size()
+    rows = []
+    stores = {}
+    # Speed-up is bounded by the host's cores (a 1-core CI box can only
+    # show the sharding *overhead*); record the context with the numbers.
+    artifact = {"campaign": campaign.name, "runs": total,
+                "cpu_count": os.cpu_count(), "workers": {}}
+    for workers in WORKER_COUNTS:
+        store, elapsed = _run(campaign, workers, tmp_path)
+        stores[workers] = store
+        rate = total / elapsed
+        serial_elapsed = rows[0]["elapsed_s"] if rows else elapsed
+        rows.append({
+            "workers": workers,
+            "runs": total,
+            "elapsed_s": elapsed,
+            "runs_per_second": rate,
+            "speedup_vs_serial": serial_elapsed / elapsed,
+        })
+        artifact["workers"][str(workers)] = {
+            "elapsed_s": elapsed,
+            "runs_per_second": rate,
+        }
+    serial = [strip_timing(r) for r in stores[WORKER_COUNTS[0]].load()]
+    for workers in WORKER_COUNTS[1:]:
+        parallel = [strip_timing(r) for r in stores[workers].load()]
+        assert parallel == serial, f"workers={workers} diverged from serial"
+    artifact["speedup_max_workers_vs_serial"] = (
+        artifact["workers"][str(WORKER_COUNTS[0])]["elapsed_s"]
+        / artifact["workers"][str(WORKER_COUNTS[-1])]["elapsed_s"]
+    )
+    report("Campaign sweep throughput (paper_sweep, quick durations)", rows)
+    BENCH_ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    assert len(serial) == total
+    # Every run must have delivered traffic — an empty result at sweep
+    # scale means a mis-wired factor, not a slow machine.
+    assert all(r["delivered"] > 0 for r in serial)

@@ -16,6 +16,9 @@ The library has four layers:
 * :mod:`repro.hardware` — the cycle-level PIFO-block/mesh model, the
   tree-to-mesh compiler and the chip-area/timing model reproducing the
   paper's Tables 1 and 2.
+* :mod:`repro.campaign` — the sweep engine: declarative campaigns expand
+  into deterministic run tables executed across a worker pool, with a
+  resumable JSONL result store (``repro campaign run|list|report``).
 
 Quickstart::
 
@@ -40,7 +43,7 @@ from .core import (
     single_node_tree,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "exceptions",

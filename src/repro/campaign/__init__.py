@@ -1,0 +1,54 @@
+"""Campaign engine: parallel parameter sweeps over the scenario registry.
+
+The paper's thesis — one PIFO substrate expresses many scheduling
+algorithms — is demonstrated at scale by sweeping algorithms x topologies
+x backends x loads, not by running one scenario at a time.  This package
+is that execution layer:
+
+* :mod:`~repro.campaign.spec` — :class:`Campaign` factor declarations
+  expanding into a deterministic run table of pickle-safe
+  :class:`RunSpec` rows, each with a seed derived from
+  ``(base_seed, workload_id)`` so scheduler/backend factors compare on
+  identical workloads while replicates stay independent;
+* :mod:`~repro.campaign.runner` — :class:`CampaignRunner` shards the run
+  table across a ``multiprocessing`` pool (``workers=1`` is bit-identical
+  to serial execution, modulo wall-clock fields);
+* :mod:`~repro.campaign.store` — append-only JSONL :class:`ResultStore`
+  with per-run config fingerprints, making interrupted campaigns
+  resumable (``--resume`` re-runs exactly the missing set);
+* :mod:`~repro.campaign.builtin` — the campaign registry and the built-in
+  ``paper_sweep`` campaign.
+
+Aggregation of store records into grouped summary tables lives in
+:mod:`repro.reporting.campaign`; the CLI front end is
+``repro campaign run|list|report``.
+"""
+
+from .builtin import (
+    CAMPAIGNS,
+    PAPER_SWEEP,
+    get_campaign,
+    list_campaigns,
+    register_campaign,
+)
+from .runner import CampaignReport, CampaignRunner, execute_spec
+from .spec import FACTOR_KEYS, Campaign, RunSpec
+from .store import TIMING_FIELDS, ResultStore, StoreError, strip_timing
+
+__all__ = [
+    "Campaign",
+    "RunSpec",
+    "FACTOR_KEYS",
+    "CampaignRunner",
+    "CampaignReport",
+    "execute_spec",
+    "ResultStore",
+    "StoreError",
+    "TIMING_FIELDS",
+    "strip_timing",
+    "CAMPAIGNS",
+    "PAPER_SWEEP",
+    "register_campaign",
+    "get_campaign",
+    "list_campaigns",
+]

@@ -1,0 +1,186 @@
+"""Sharded campaign execution with deterministic, resumable results.
+
+:class:`CampaignRunner` executes a campaign's run table either serially
+(``workers=1``) or across a :mod:`multiprocessing` pool.  Three invariants
+make the parallelism safe to trust:
+
+* **Seeds are data, not state.**  Every :class:`~repro.campaign.spec.RunSpec`
+  carries its own derived seed, so a run's result is a pure function of the
+  spec — which worker executed it, and in what order, cannot matter.
+* **Ordered collection.**  Workers may *finish* in any order, but results
+  are collected with ``imap`` (submission order) and appended to the store
+  in run-table order, so a ``workers=N`` store is byte-identical to the
+  serial one modulo the :data:`~repro.campaign.store.TIMING_FIELDS`.
+* **Resume by fingerprint.**  Completed runs are identified by their config
+  fingerprint in the store; ``resume=True`` executes exactly the missing
+  specs and appends them behind the surviving records.
+
+Workers receive plain dict payloads (fork *or* spawn start methods work)
+and resolve scenario names against the registry after import, so nothing
+unpicklable ever crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .spec import Campaign, RunSpec
+from .store import ResultStore
+
+
+def execute_spec(spec: RunSpec) -> Dict:
+    """Execute one run and return its self-describing result record.
+
+    This is the single choke point between the sweep engine and the
+    simulation substrate: it resolves the scenario by name, runs exactly
+    one scheduler variant with the spec's PIFO backend, lang backend, load
+    scale and derived seed, and flattens the
+    :class:`~repro.net.scenario.ScenarioResult` into a JSON-safe record.
+    """
+    from ..net import get_scenario  # imports repro.net.scenarios -> registry
+
+    scenario = get_scenario(spec.scenario)
+    started = time.perf_counter()
+    results = scenario.run(
+        quick=spec.quick,
+        pifo_backend=spec.pifo_backend,
+        variant=spec.variant,
+        lang_backend=spec.lang_backend,
+        load_scale=spec.load_scale,
+        base_seed=spec.seed,
+    )
+    wall_clock_s = time.perf_counter() - started
+    result = results[spec.variant]
+
+    total_packets = sum(stats["packets"] for stats in result.flow_stats.values())
+    delay_weighted = sum(
+        stats["packets"] * stats["mean_delay"]
+        for stats in result.flow_stats.values()
+        if stats["mean_delay"] is not None
+    )
+    record: Dict = dict(spec.to_dict())
+    record.update({
+        "run_id": spec.run_id,
+        "fingerprint": spec.fingerprint(),
+        "duration": result.duration,
+        "injected": result.conservation["injected"],
+        "delivered": result.conservation["delivered"],
+        "dropped": result.conservation["dropped"],
+        "in_flight": result.conservation["in_flight"],
+        "flows_seen": len(result.flow_stats),
+        "mean_delay": (delay_weighted / total_packets) if total_packets else None,
+        "max_delay": max(
+            (stats["max_delay"] for stats in result.flow_stats.values()
+             if stats["max_delay"] is not None),
+            default=None,
+        ),
+        "fct_count": result.fct.count if result.fct else 0,
+        "fct_mean": result.fct.mean if result.fct else None,
+        "fct_p50": result.fct.p50 if result.fct else None,
+        "fct_p99": result.fct.p99 if result.fct else None,
+        "fct_short_count": result.fct_short.count if result.fct_short else 0,
+        "fct_short_mean": result.fct_short.mean if result.fct_short else None,
+        "fct_short_p99": result.fct_short.p99 if result.fct_short else None,
+        "wall_clock_s": wall_clock_s,
+        "worker_pid": os.getpid(),
+    })
+    return record
+
+
+def _execute_payload(payload: Dict) -> Dict:
+    """Pool entry point: dict in, dict out (keeps pickling trivial)."""
+    return execute_spec(RunSpec.from_dict(payload))
+
+
+@dataclass
+class CampaignReport:
+    """Summary of one :meth:`CampaignRunner.run` invocation."""
+
+    campaign: str
+    total_runs: int
+    executed: int
+    skipped: int
+    workers: int
+    wall_clock_s: float
+    store_path: str
+    records: List[Dict] = field(default_factory=list)
+
+
+class CampaignRunner:
+    """Executes a campaign's run table against a result store."""
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        store: ResultStore,
+        workers: int = 1,
+        quick: bool = False,
+        resume: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.campaign = campaign
+        self.store = store
+        self.workers = workers
+        self.quick = quick
+        self.resume = resume
+
+    def pending_specs(self) -> List[RunSpec]:
+        """The ordered run table, minus fingerprint-matched completed runs."""
+        specs = self.campaign.expand(quick=self.quick)
+        if not self.resume:
+            return specs
+        done = self.store.fingerprints()
+        return [spec for spec in specs if spec.fingerprint() not in done]
+
+    def run(self, progress: Optional[Callable[[Dict], None]] = None) -> CampaignReport:
+        """Execute every pending run; append each record to the store.
+
+        ``progress`` (if given) is called with each record as it is
+        committed — the CLI uses it for per-run status lines.
+        """
+        total = self.campaign.size()
+        specs = self.pending_specs()
+        started = time.perf_counter()
+        records: List[Dict] = []
+
+        def commit(record: Dict) -> None:
+            self.store.append(record)
+            records.append(record)
+            if progress is not None:
+                progress(record)
+
+        if self.workers == 1 or len(specs) <= 1:
+            for spec in specs:
+                commit(execute_spec(spec))
+        else:
+            payloads = [spec.to_dict() for spec in specs]
+            context = multiprocessing.get_context(_start_method())
+            with context.Pool(processes=min(self.workers, len(specs))) as pool:
+                # imap (not imap_unordered) yields in submission order, so
+                # the store's record order matches the serial run while
+                # completed results still stream to disk as the head of the
+                # line finishes.
+                for record in pool.imap(_execute_payload, payloads):
+                    commit(record)
+        return CampaignReport(
+            campaign=self.campaign.name,
+            total_runs=total,
+            executed=len(records),
+            skipped=total - len(specs),
+            workers=self.workers,
+            wall_clock_s=time.perf_counter() - started,
+            store_path=str(self.store.path),
+            records=records,
+        )
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, inherits the warm interpreter); fall back to
+    whatever the platform offers (spawn works because payloads are dicts)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]

@@ -1,0 +1,155 @@
+"""Durable JSONL result store for campaign runs.
+
+One line per completed run, appended as soon as the run's record is
+available and flushed to disk immediately — an interrupted campaign loses
+at most the line being written.  Records are plain JSON objects carrying
+the run's full configuration (including its :meth:`RunSpec.fingerprint`)
+next to its measured results, so the store is self-describing: resuming
+needs no side state beyond the file, and reports can group by any factor
+column straight off the records.
+
+A torn trailing line (the classic crash artefact) is tolerated on load and
+simply re-run on resume; corruption anywhere else raises, because silently
+dropping completed results would make reports lie.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Set
+
+from ..exceptions import ReproError
+
+#: Record fields that legitimately differ between two executions of the
+#: same RunSpec (wall-clock measurements and worker identity).  Everything
+#: else must be bit-identical regardless of worker count — the determinism
+#: tests strip exactly these keys before comparing.
+TIMING_FIELDS = ("wall_clock_s", "worker_pid")
+
+
+class StoreError(ReproError):
+    """A result store file is unreadable or corrupt."""
+
+
+def strip_timing(record: Dict) -> Dict:
+    """A copy of ``record`` without the execution-timing fields."""
+    return {key: value for key, value in record.items()
+            if key not in TIMING_FIELDS}
+
+
+class ResultStore:
+    """Append-only JSONL store of one record per completed run."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, record: Dict) -> None:
+        """Append one record and flush it to disk.
+
+        If the file ends in a torn line (interrupted previous append), the
+        torn bytes are truncated first — appending after them would merge
+        two records into one unparseable interior line.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._truncate_torn_tail()
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop trailing bytes after the last newline (a torn append)."""
+        if not self.path.exists():
+            return
+        with self.path.open("rb+") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            # Scan backwards in chunks for the last newline.
+            keep = 0
+            position = size
+            while position > 0:
+                chunk_size = min(4096, position)
+                position -= chunk_size
+                handle.seek(position)
+                chunk = handle.read(chunk_size)
+                newline = chunk.rfind(b"\n")
+                if newline != -1:
+                    keep = position + newline + 1
+                    break
+            handle.truncate(keep)
+
+    def _lines(self) -> Iterator[str]:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            yield from handle
+
+    def load(self) -> List[Dict]:
+        """All records in append order.
+
+        An unparseable *final* line is dropped (interrupted append); an
+        unparseable line anywhere else raises :class:`StoreError`.
+        """
+        lines = [line.rstrip("\n") for line in self._lines()]
+        while lines and not lines[-1].strip():
+            lines.pop()
+        records: List[Dict] = []
+        for index, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    break  # torn tail from an interrupt; resume re-runs it
+                raise StoreError(
+                    f"{self.path}: corrupt record on line {index + 1}: {exc}"
+                ) from exc
+        return records
+
+    def fingerprints(self) -> Set[str]:
+        """Fingerprints of every completed run in the store."""
+        return {record["fingerprint"] for record in self.load()
+                if "fingerprint" in record}
+
+    def latest_by_fingerprint(self) -> Dict[str, Dict]:
+        """Last record per fingerprint (re-runs overwrite logically)."""
+        latest: Dict[str, Dict] = {}
+        for record in self.load():
+            fingerprint = record.get("fingerprint")
+            if fingerprint is not None:
+                latest[fingerprint] = record
+        return latest
+
+    def effective_records(self) -> List[Dict]:
+        """Records with re-runs deduplicated: the last record wins per
+        fingerprint.  This is what reports should aggregate — running a
+        campaign twice into the same store must not double its counts."""
+        records = self.load()
+        last_index: Dict[str, int] = {}
+        for index, record in enumerate(records):
+            fingerprint = record.get("fingerprint")
+            if fingerprint is not None:
+                last_index[fingerprint] = index
+        return [
+            record for index, record in enumerate(records)
+            if (record.get("fingerprint") is None
+                or last_index[record["fingerprint"]] == index)
+        ]
+
+    def clear(self) -> None:
+        if self.path.exists():
+            self.path.unlink()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.path)!r})"

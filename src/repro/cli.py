@@ -4,7 +4,7 @@ Subcommands
 -----------
 ``list``
     List every reproduced experiment (id, paper reference, description).
-``run EXPERIMENT [--quick] [--json]``
+``run EXPERIMENT [--quick] [--json] [--out FILE]``
     Run one experiment and print its paper-vs-measured table.
 ``report [--quick] [EXPERIMENT ...]``
     Run several experiments (all by default) and print the combined report.
@@ -16,8 +16,17 @@ Subcommands
 ``show PROGRAM``
     Print a transaction's source, its state analysis and the Domino-style
     atom pipeline it compiles to.
+``campaign run|list|report``
+    Execute, list and summarise parameter-sweep campaigns
+    (:mod:`repro.campaign`): ``campaign run`` shards a campaign's run
+    table over a worker pool and appends one JSONL record per run to a
+    result store; ``campaign report`` folds a store into summary tables
+    grouped by any factor.
 
-The CLI never writes files; redirect stdout to capture a report.
+Tables print to stdout.  The commands that produce machine-readable
+results (``run --json``, ``campaign report --json``) accept ``--out FILE``
+to write the JSON to a file instead; ``campaign run`` writes its result
+store to ``--store`` (default ``campaign_<name>.jsonl``).
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from . import __version__
 from .hardware.atoms import AtomPipelineAnalyzer
@@ -66,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="shorter simulation durations")
     run_parser.add_argument("--json", action="store_true",
                             help="print the result as JSON instead of a table")
+    run_parser.add_argument("--out", metavar="FILE", default=None,
+                            help="write the --json result to FILE instead of "
+                                 "stdout (implies --json)")
 
     report_parser = subparsers.add_parser(
         "report", help="run several experiments and print the combined report"
@@ -86,6 +98,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     show_parser.add_argument("program", help="program name (see 'programs')")
 
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run and summarise parameter-sweep campaigns"
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command")
+
+    campaign_sub.add_parser("list", help="list registered campaigns")
+
+    crun = campaign_sub.add_parser("run", help="execute a campaign's run table")
+    crun.add_argument("campaign", help="campaign name (see 'campaign list')")
+    crun.add_argument("--quick", action="store_true",
+                      help="shorter simulation durations")
+    crun.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="worker processes (default 1; results are "
+                           "identical for any worker count)")
+    crun.add_argument("--store", metavar="FILE", default=None,
+                      help="result store path (default campaign_<name>.jsonl)")
+    crun.add_argument("--resume", action="store_true",
+                      help="skip runs whose fingerprint is already in the store")
+    crun.add_argument("--json", action="store_true",
+                      help="print the run summary as JSON instead of a table")
+    crun.add_argument("--out", metavar="FILE", default=None,
+                      help="write the --json summary to FILE instead of "
+                           "stdout (implies --json)")
+
+    creport = campaign_sub.add_parser(
+        "report", help="summarise a campaign's result store"
+    )
+    creport.add_argument("campaign", nargs="?", default=None,
+                         help="campaign name (used for the default store path)")
+    creport.add_argument("--store", metavar="FILE", default=None,
+                         help="result store to read (default "
+                              "campaign_<name>.jsonl)")
+    creport.add_argument("--group-by", metavar="FACTORS",
+                         default="scenario,variant",
+                         help="comma-separated factor columns "
+                              "(default scenario,variant)")
+    creport.add_argument("--json", action="store_true",
+                         help="print summary rows as JSON instead of a table")
+    creport.add_argument("--out", metavar="FILE", default=None,
+                         help="write the --json rows to FILE instead of "
+                              "stdout (implies --json)")
+
     return parser
 
 
@@ -105,14 +159,26 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, quick: bool, as_json: bool) -> int:
+def _emit_json(payload, out: Optional[str]) -> None:
+    """Print JSON to stdout or write it to ``--out FILE``."""
+    text = json.dumps(payload, indent=2)
+    if out is None:
+        print(text)
+    else:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out}")
+
+
+def _cmd_run(experiment: str, quick: bool, as_json: bool,
+             out: Optional[str] = None) -> int:
     try:
         result = run_experiment(experiment, quick=quick)
     except KeyError as exc:
         print(str(exc.args[0]), file=sys.stderr)
         return 2
-    if as_json:
-        print(json.dumps(result.to_dict(), indent=2))
+    if as_json or out is not None:
+        _emit_json(result.to_dict(), out)
         return 0
     print(render_table(result.rows, title=result.title))
     if result.notes:
@@ -164,6 +230,119 @@ def _cmd_scenarios() -> int:
         )
     print(render_table(rows, title="Network-fabric scenarios"))
     print("\nRun one with: repro run SCENARIO [--quick] [--json]")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Campaign subcommands                                                          #
+# --------------------------------------------------------------------------- #
+def _default_store_path(campaign_name: str) -> str:
+    return f"campaign_{campaign_name}.jsonl"
+
+
+def _cmd_campaign_list() -> int:
+    from .campaign import list_campaigns
+
+    rows = [
+        {
+            "campaign": campaign.name,
+            "scenarios": ", ".join(campaign.scenarios),
+            "runs": campaign.size(),
+            "title": campaign.title,
+        }
+        for campaign in list_campaigns()
+    ]
+    print(render_table(rows, title="Registered campaigns"))
+    print("\nRun one with: repro campaign run CAMPAIGN [--quick] [--workers N]")
+    return 0
+
+
+def _cmd_campaign_run(name: str, quick: bool, workers: int,
+                      store_path: Optional[str], resume: bool,
+                      as_json: bool, out: Optional[str]) -> int:
+    from .campaign import CampaignRunner, ResultStore, StoreError, get_campaign
+
+    try:
+        campaign = get_campaign(name)
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+    store = ResultStore(store_path or _default_store_path(name))
+    try:
+        runner = CampaignRunner(campaign, store, workers=workers, quick=quick,
+                                resume=resume)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    def progress(record: Dict) -> None:
+        print(f"  [{record['run_id']}] delivered={record['delivered']} "
+              f"dropped={record['dropped']} "
+              f"wall={record['wall_clock_s']:.2f}s")
+
+    machine_readable = as_json or out is not None
+    if not machine_readable:
+        print(f"campaign {campaign.name}: {campaign.size()} runs "
+              f"({workers} worker{'s' if workers != 1 else ''}"
+              f"{', resume' if resume else ''}) -> {store.path}")
+    try:
+        report = runner.run(progress=None if machine_readable else progress)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    summary = {
+        "campaign": report.campaign,
+        "total_runs": report.total_runs,
+        "executed": report.executed,
+        "skipped": report.skipped,
+        "workers": report.workers,
+        "wall_clock_s": report.wall_clock_s,
+        "store": report.store_path,
+    }
+    if machine_readable:
+        _emit_json(summary, out)
+        return 0
+    print(render_kv(summary, title=f"Campaign {report.campaign} finished"))
+    return 0
+
+
+def _cmd_campaign_report(name: Optional[str], store_path: Optional[str],
+                         group_by: str, as_json: bool,
+                         out: Optional[str]) -> int:
+    from .campaign import ResultStore, StoreError
+    from .reporting.campaign import campaign_report_text, summarize_records
+
+    if store_path is None:
+        if name is None:
+            print("campaign report needs a campaign name or --store FILE",
+                  file=sys.stderr)
+            return 2
+        store_path = _default_store_path(name)
+    store = ResultStore(store_path)
+    if not store.exists():
+        print(f"no result store at {store.path} "
+              f"(run 'repro campaign run' first)", file=sys.stderr)
+        return 2
+    try:
+        # Deduplicated view: re-running a campaign into the same store
+        # must not double-count runs (last record wins per fingerprint).
+        records = store.effective_records()
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if name is not None:
+        records = [r for r in records if r.get("campaign") == name]
+    factors = tuple(part.strip() for part in group_by.split(",") if part.strip())
+    try:
+        if as_json or out is not None:
+            _emit_json(summarize_records(records, group_by=factors), out)
+        else:
+            title = (f"Campaign summary ({store.path}, "
+                     f"{len(records)} runs by {', '.join(factors)})")
+            print(campaign_report_text(records, group_by=factors, title=title))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -219,7 +398,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.quick, args.json)
+        return _cmd_run(args.experiment, args.quick, args.json, args.out)
     if args.command == "report":
         return _cmd_report(args.experiments, args.quick)
     if args.command == "programs":
@@ -228,6 +407,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenarios()
     if args.command == "show":
         return _cmd_show(args.program)
+    if args.command == "campaign":
+        if args.campaign_command is None:
+            print("usage: repro campaign {run,list,report} ...",
+                  file=sys.stderr)
+            return 2
+        if args.campaign_command == "list":
+            return _cmd_campaign_list()
+        if args.campaign_command == "run":
+            return _cmd_campaign_run(args.campaign, args.quick, args.workers,
+                                     args.store, args.resume, args.json,
+                                     args.out)
+        if args.campaign_command == "report":
+            return _cmd_campaign_report(args.campaign, args.store,
+                                        args.group_by, args.json, args.out)
     parser.error(f"unhandled command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -34,6 +34,7 @@ from .pifo import (
     CalendarPIFO,
     PIFOBase,
     PIFOEntry,
+    QuantizedBucketedPIFO,
     Rank,
     SortedListPIFO,
 )
@@ -52,6 +53,7 @@ from .predicates import (
     PriorityEquals,
 )
 from .scheduler import ProgrammableScheduler, SchedulerStats, ShapingToken, run_enqueue_dequeue
+from .seeds import derive_seed
 from .transaction import (
     LambdaSchedulingTransaction,
     LambdaShapingTransaction,
@@ -69,6 +71,7 @@ __all__ = [
     "SortedListPIFO",
     "CalendarPIFO",
     "BucketedPIFO",
+    "QuantizedBucketedPIFO",
     "PIFOBase",
     "PIFOEntry",
     "Rank",
@@ -81,6 +84,7 @@ __all__ = [
     "make_pifo",
     "register_backend",
     "resolve_backend",
+    "derive_seed",
     "Predicate",
     "MatchAll",
     "MatchNone",

@@ -11,7 +11,9 @@ Every layer of the stack accepts a *backend spec*:
 
 * ``None`` — the default backend (:data:`DEFAULT_BACKEND`);
 * a registry name: ``"sorted"`` (alias ``"list"``), ``"calendar"``
-  (alias ``"heap"``), ``"bucketed"`` (alias ``"bucket"``);
+  (alias ``"heap"``), ``"bucketed"`` (alias ``"bucket"``), ``"quantized"``
+  (alias ``"quantized_bucket"`` — the bucket queue with real-valued ranks
+  quantised to integer slots);
 * a backend class (anything implementing :class:`PIFOBackend`), or a
   zero-config callable ``f(capacity=..., name=...)`` returning one.
 
@@ -33,6 +35,7 @@ from .pifo import (
     CalendarPIFO,
     PIFOBase,
     PIFOEntry,
+    QuantizedBucketedPIFO,
     Rank,
     SortedListPIFO,
 )
@@ -82,6 +85,8 @@ PIFO_BACKENDS: Dict[str, Type[PIFOBase]] = {
     "heap": CalendarPIFO,
     "bucketed": BucketedPIFO,
     "bucket": BucketedPIFO,
+    "quantized": QuantizedBucketedPIFO,
+    "quantized_bucket": QuantizedBucketedPIFO,
 }
 
 #: Backend used when a spec is ``None``.

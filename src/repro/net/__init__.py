@@ -30,6 +30,7 @@ from .routing import build_forwarding_tables, hop_distances, next_hops, path
 from .scenario import (
     SCENARIOS,
     Demand,
+    ProgramVariantBuilder,
     Scenario,
     ScenarioResult,
     get_scenario,
@@ -66,6 +67,7 @@ __all__ = [
     "Demand",
     "Scenario",
     "ScenarioResult",
+    "ProgramVariantBuilder",
     "SCENARIOS",
     "register",
     "get_scenario",

@@ -17,10 +17,12 @@ the fabric-level analogue of the experiment registry in
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.packet import Packet
+from ..core.seeds import derive_seed
 from ..exceptions import TrafficError
 from ..metrics.fct import FCTSummary, flow_completions_from_sink
 from ..sim.simulator import Simulator
@@ -37,6 +39,19 @@ from .fabric import Fabric, SchedulerFactory
 from .topology import Network
 
 Arrival = Tuple[float, Packet]
+
+
+def _accepts_seed(callable_obj) -> bool:
+    """Whether an explicit-arrivals callable takes a ``seed`` argument."""
+    try:
+        parameters = inspect.signature(callable_obj).parameters
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        return False
+    return "seed" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
 
 #: Flows at or below this size count as "short" in FCT summaries, matching
 #: the band the datacenter-transport literature (and the single-port
@@ -58,7 +73,17 @@ class Demand:
     * ``"explicit"`` — caller-provided ``(time, packet)`` pairs via
       ``arrivals`` (packets are stamped with ``src``/``dst``).  Pass a
       *callable* returning the pairs so every scheduler variant replays an
-      identical fresh stream.
+      identical fresh stream; if the callable accepts a ``seed``
+      parameter it is called with the demand's effective seed, so
+      randomised explicit mixes respond to the scenario base seed (and
+      campaign replicates) like the built-in generators do.
+
+    ``seed`` defaults to ``None``, meaning the effective seed is *derived*
+    from ``(scenario base seed, flow name)`` with
+    :func:`~repro.core.seeds.derive_seed` — several poisson/onoff/flows
+    demands in one scenario get independent streams instead of all sampling
+    the identical sequence.  An explicit ``seed=`` pins the stream
+    regardless of the scenario's base seed.
     """
 
     src: str
@@ -69,24 +94,40 @@ class Demand:
     packet_size: int = 1500
     start_time: float = 0.0
     duration: Optional[float] = None
-    seed: int = 0
+    seed: Optional[int] = None
     fields: Dict[str, Any] = field(default_factory=dict)
     arrivals: Optional[Iterable[Arrival]] = None
 
     def flow_name(self) -> str:
         return self.flow if self.flow is not None else f"{self.src}->{self.dst}"
 
-    def build_arrivals(self, scenario_duration: float) -> Iterable[Arrival]:
+    def effective_seed(self, base_seed: int = 0) -> int:
+        """The RNG seed this demand uses under the given scenario base seed."""
+        if self.seed is not None:
+            return self.seed
+        return derive_seed(base_seed, self.flow_name())
+
+    def build_arrivals(self, scenario_duration: float, base_seed: int = 0,
+                       load_scale: float = 1.0) -> Iterable[Arrival]:
         duration = (self.duration if self.duration is not None
                     else scenario_duration)
+        if load_scale <= 0:
+            raise TrafficError(f"load_scale must be positive, got {load_scale}")
         if self.kind == "explicit":
             if self.arrivals is None:
                 raise TrafficError("explicit demand needs an arrivals iterable")
-            arrivals = self.arrivals() if callable(self.arrivals) else self.arrivals
+            if callable(self.arrivals):
+                if _accepts_seed(self.arrivals):
+                    arrivals = self.arrivals(seed=self.effective_seed(base_seed))
+                else:
+                    arrivals = self.arrivals()
+            else:
+                arrivals = self.arrivals
             return self._address(arrivals)
+        seed = self.effective_seed(base_seed)
         spec = FlowSpec(
             name=self.flow_name(),
-            rate_bps=self.rate_bps,
+            rate_bps=self.rate_bps * load_scale,
             packet_size=self.packet_size,
             start_time=self.start_time,
             fields=dict(self.fields),
@@ -96,17 +137,17 @@ class Demand:
         if self.kind == "cbr":
             return cbr_arrivals(spec, duration=duration)
         if self.kind == "poisson":
-            return poisson_arrivals(spec, duration=duration, seed=self.seed)
+            return poisson_arrivals(spec, duration=duration, seed=seed)
         if self.kind == "onoff":
-            return onoff_arrivals(spec, duration=duration, seed=self.seed)
+            return onoff_arrivals(spec, duration=duration, seed=seed)
         if self.kind == "flows":
             return self._address(flow_arrivals(
                 f"{self.flow_name()}:",
-                load_bps=self.rate_bps,
+                load_bps=self.rate_bps * load_scale,
                 duration=duration,
                 size_distribution=web_search_flow_sizes(),
                 packet_size=self.packet_size,
-                seed=self.seed,
+                seed=seed,
                 src=self.src,
                 dst=self.dst,
             ), fields=self.fields)
@@ -151,6 +192,13 @@ class ScenarioResult:
         return None if stats is None else stats.get(f"{which}_delay")
 
 
+#: Program-variant builder: ``lang_backend -> (switch, port) -> scheduler``.
+#: The outer call fixes the transaction-language execution backend
+#: (``"compiled"`` / ``"interpreted"``), so sweeping engines can compare
+#: both backends of the *same* program on the identical workload.
+ProgramVariantBuilder = Callable[[Optional[str]], SchedulerFactory]
+
+
 @dataclass
 class Scenario:
     """A runnable fabric experiment description."""
@@ -165,18 +213,53 @@ class Scenario:
     ecmp: bool = False
     keep_packets: bool = False
     quick_duration: Optional[float] = None
+    #: Optional lang-program twins of ``variants`` (same labels): used when
+    #: ``run(lang_backend=...)`` selects a transaction-language execution
+    #: backend.  Default runs keep using the native ``variants`` factories.
+    program_variants: Optional[Mapping[str, ProgramVariantBuilder]] = None
+    #: Base seed for derived per-demand seeds (see :meth:`Demand.effective_seed`).
+    base_seed: int = 0
     paper_reference: str = ""
     notes: str = ""
 
+    def scheduler_factory(self, label: str,
+                          lang_backend: Optional[str] = None) -> SchedulerFactory:
+        """Resolve one variant label to a per-port scheduler factory."""
+        if label not in self.variants:
+            known = ", ".join(self.variants)
+            raise KeyError(
+                f"unknown variant {label!r} of scenario {self.name!r}; "
+                f"known variants: {known}"
+            )
+        if lang_backend is None:
+            return self.variants[label]
+        if not self.program_variants or label not in self.program_variants:
+            raise KeyError(
+                f"scenario {self.name!r} has no program variant for "
+                f"{label!r}; cannot run with lang_backend={lang_backend!r}"
+            )
+        return self.program_variants[label](lang_backend)
+
     def run(self, quick: bool = False, pifo_backend=None,
-            variant: Optional[str] = None) -> Dict[str, ScenarioResult]:
-        """Run each scheduler variant on a fresh fabric; results by label."""
+            variant: Optional[str] = None,
+            lang_backend: Optional[str] = None,
+            load_scale: float = 1.0,
+            base_seed: Optional[int] = None) -> Dict[str, ScenarioResult]:
+        """Run each scheduler variant on a fresh fabric; results by label.
+
+        ``lang_backend`` switches to the scenario's transaction-language
+        ``program_variants`` compiled/interpreted twins; ``load_scale``
+        multiplies every rate-driven demand's offered load (explicit
+        arrival lists replay unscaled); ``base_seed`` overrides the
+        scenario's base seed for derived per-demand seeds.
+        """
         duration = (self.quick_duration if quick and self.quick_duration
                     else self.duration)
+        seed = self.base_seed if base_seed is None else base_seed
         selected = ([variant] if variant is not None else list(self.variants))
         results: Dict[str, ScenarioResult] = {}
         for label in selected:
-            factory = self.variants[label]
+            factory = self.scheduler_factory(label, lang_backend)
             sim = Simulator()
             fabric = Fabric(
                 sim,
@@ -189,7 +272,8 @@ class Scenario:
             by_host: Dict[str, List[Iterable[Arrival]]] = {}
             for demand in self.demands:
                 by_host.setdefault(demand.src, []).append(
-                    demand.build_arrivals(duration)
+                    demand.build_arrivals(duration, base_seed=seed,
+                                          load_scale=load_scale)
                 )
             for host, streams in sorted(by_host.items()):
                 fabric.attach_source(host, lazy_merge_arrivals(*streams))

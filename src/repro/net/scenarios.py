@@ -28,6 +28,8 @@ from ..algorithms.lstf import LSTFTransaction
 from ..core.packet import Packet
 from ..core.scheduler import ProgrammableScheduler
 from ..core.tree import single_node_tree
+from ..lang.programs import fifo_program, fine_grained_program
+from ..lang.bridge import compile_scheduling_program
 from .scenario import Demand, Scenario, register
 from .topology import leaf_spine, linear_chain
 
@@ -39,6 +41,44 @@ def _transaction_factory(transaction_class):
         return ProgrammableScheduler(single_node_tree(transaction_class()))
 
     return factory
+
+
+def _program_variant(program_builder, **kwargs):
+    """A :data:`~repro.net.scenario.ProgramVariantBuilder` for one program.
+
+    ``program_builder(backend=..., **kwargs)`` must return a lang-bridge
+    transaction; the campaign engine uses these twins to sweep the
+    compiled-vs-interpreted execution backend over identical workloads.
+    """
+
+    def for_backend(lang_backend):
+        def factory(switch: str, port: str) -> ProgrammableScheduler:
+            transaction = program_builder(backend=lang_backend, **kwargs)
+            return ProgrammableScheduler(single_node_tree(transaction))
+
+        return factory
+
+    return for_backend
+
+
+#: Figure 6's LSTF transaction as program text, adapted to the fabric's
+#: in-band telemetry: the fabric *accumulates* each hop's wait into
+#: ``prev_wait_time`` (see :func:`repro.algorithms.lstf.stamp_wait_time`),
+#: so the transaction consumes it and resets the field — the exact
+#: behaviour of the native :class:`~repro.algorithms.lstf.LSTFTransaction`.
+LSTF_FABRIC_SOURCE = """
+// Figure 6 on a fabric: consume the previous hop's wait, re-rank on slack
+p.slack = p.slack - p.prev_wait_time;
+p.prev_wait_time = 0;
+p.rank = p.slack;
+"""
+
+
+def lstf_fabric_program(backend=None):
+    """Fabric-telemetry LSTF as a compiled/interpreted program."""
+    return compile_scheduling_program(
+        LSTF_FABRIC_SOURCE, name="lstf_fabric", backend=backend
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -92,6 +132,10 @@ def build_fig6_chain() -> Scenario:
             "LSTF": _transaction_factory(LSTFTransaction),
             "FIFO": _transaction_factory(FIFOTransaction),
         },
+        program_variants={
+            "LSTF": _program_variant(lstf_fabric_program),
+            "FIFO": _program_variant(fifo_program),
+        },
         duration=0.2,
         quick_duration=0.12,
         keep_packets=False,
@@ -119,10 +163,12 @@ def build_leaf_spine_fct() -> Scenario:
         ("h0_0", "h2_0"), ("h1_0", "h2_0"),   # incast onto h2_0
         ("h0_1", "h3_0"), ("h1_1", "h3_0"),   # incast onto h3_0
     ]
+    # Seeds are derived per demand from (scenario base seed, flow name), so
+    # the four senders offer independent flow arrival processes.
     demands = [
         Demand(src=src, dst=dst, kind="flows", rate_bps=FCT_LOAD,
-               flow=f"{src}->{dst}", seed=17 + index)
-        for index, (src, dst) in enumerate(pairs)
+               flow=f"{src}->{dst}")
+        for src, dst in pairs
     ]
     return Scenario(
         name="leaf_spine_fct",
@@ -135,6 +181,11 @@ def build_leaf_spine_fct() -> Scenario:
         variants={
             "SRPT": _transaction_factory(SRPTTransaction),
             "FIFO": _transaction_factory(FIFOTransaction),
+        },
+        program_variants={
+            "SRPT": _program_variant(fine_grained_program,
+                                     field="remaining_size"),
+            "FIFO": _program_variant(fifo_program),
         },
         duration=0.15,
         quick_duration=0.05,

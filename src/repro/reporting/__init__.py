@@ -18,6 +18,12 @@ Three layers:
 The command line front end lives in :mod:`repro.cli` (``python -m repro``).
 """
 
+from .campaign import (
+    DEFAULT_GROUP_BY,
+    GROUPABLE_KEYS,
+    campaign_report_text,
+    summarize_records,
+)
 from .experiments import (
     EXPERIMENTS,
     ExperimentResult,
@@ -29,6 +35,10 @@ from .report import generate_report
 from .tables import format_value, render_comparison, render_kv, render_table
 
 __all__ = [
+    "summarize_records",
+    "campaign_report_text",
+    "GROUPABLE_KEYS",
+    "DEFAULT_GROUP_BY",
     "render_table",
     "render_kv",
     "render_comparison",

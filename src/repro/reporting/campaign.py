@@ -1,0 +1,110 @@
+"""Aggregate campaign result stores into grouped summary tables.
+
+Takes the flat JSONL records a
+:class:`~repro.campaign.store.ResultStore` holds and folds them into rows
+grouped by any subset of the campaign factors (scenario, variant,
+pifo_backend, lang_backend, load_scale, replicate): run counts, delivery
+and drop totals, packet-delay means and flow-completion-time statistics.
+The rows render with :func:`~repro.reporting.tables.render_table`, so the
+CLI's ``repro campaign report`` output matches the rest of the report
+suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+GROUPABLE_KEYS = (
+    "campaign",
+    "scenario",
+    "variant",
+    "pifo_backend",
+    "lang_backend",
+    "load_scale",
+    "replicate",
+    "quick",
+)
+
+DEFAULT_GROUP_BY = ("scenario", "variant")
+
+
+def _mean(values: List[float]) -> float | None:
+    return sum(values) / len(values) if values else None
+
+
+def summarize_records(
+    records: Sequence[Mapping],
+    group_by: Sequence[str] = DEFAULT_GROUP_BY,
+) -> List[Dict]:
+    """Fold run records into one summary row per factor-level combination.
+
+    Metric columns are averaged *across runs* in the group (each run
+    already aggregates its own packets/flows); counts are summed.  Rows
+    come back sorted by the group key, so output order is stable no matter
+    the store's append order.
+    """
+    group_by = tuple(group_by)
+    for key in group_by:
+        if key not in GROUPABLE_KEYS:
+            known = ", ".join(GROUPABLE_KEYS)
+            raise ValueError(
+                f"cannot group by {key!r}; groupable factors: {known}"
+            )
+    groups: Dict[Tuple, List[Mapping]] = {}
+    for record in records:
+        group_key = tuple(record.get(key) for key in group_by)
+        groups.setdefault(group_key, []).append(record)
+
+    def sort_key(item):
+        # Type-aware per-component ordering: numerics in numeric order,
+        # then strings, with None last — so load_scale 2.0 sorts before
+        # 10.0 and a None factor level (substrate default) trails the
+        # named levels.
+        return tuple(
+            (part is None, isinstance(part, str), part if part is not None else 0)
+            for part in item[0]
+        )
+
+    rows: List[Dict] = []
+    for group_key, members in sorted(groups.items(), key=sort_key):
+        row: Dict = {
+            key: ("-" if value is None else value)
+            for key, value in zip(group_by, group_key)
+        }
+
+        def metric(name: str) -> List[float]:
+            return [record[name] for record in members
+                    if record.get(name) is not None]
+
+        row.update({
+            "runs": len(members),
+            "delivered": sum(record.get("delivered", 0) for record in members),
+            "dropped": sum(record.get("dropped", 0) for record in members),
+            "mean_delay_ms": _scale(_mean(metric("mean_delay")), 1e3),
+            "max_delay_ms": _scale(_max(metric("max_delay")), 1e3),
+            "fct_mean_ms": _scale(_mean(metric("fct_mean")), 1e3),
+            "fct_p99_ms": _scale(_mean(metric("fct_p99")), 1e3),
+            "wall_clock_s": _mean(metric("wall_clock_s")),
+        })
+        rows.append(row)
+    return rows
+
+
+def _max(values: List[float]) -> float | None:
+    return max(values) if values else None
+
+
+def _scale(value: float | None, factor: float) -> float | None:
+    return None if value is None else value * factor
+
+
+def campaign_report_text(
+    records: Sequence[Mapping],
+    group_by: Sequence[str] = DEFAULT_GROUP_BY,
+    title: str = "Campaign summary",
+) -> str:
+    """Render grouped summary rows as an aligned text table."""
+    from .tables import render_table
+
+    rows = summarize_records(records, group_by=group_by)
+    return render_table(rows, title=title)

@@ -20,7 +20,11 @@ from ..core.packet import Packet
 
 Arrival = Tuple[float, Packet]
 
-_CSV_COLUMNS = ["time", "flow", "length", "packet_class", "priority", "fields"]
+#: Column order of the CSV serialisation.  ``src``/``dst`` joined in the
+#: fabric era (addressed packets); :meth:`PacketTrace.load_csv` still reads
+#: CSVs written before they existed (both default to ``None``).
+_CSV_COLUMNS = ["time", "flow", "length", "packet_class", "priority",
+                "src", "dst", "fields"]
 
 
 @dataclass
@@ -33,6 +37,8 @@ class TraceRecord:
     packet_class: Optional[str]
     priority: int
     fields: dict
+    src: Optional[str] = None
+    dst: Optional[str] = None
 
     def to_packet(self) -> Packet:
         return Packet(
@@ -42,6 +48,8 @@ class TraceRecord:
             packet_class=self.packet_class,
             priority=self.priority,
             fields=dict(self.fields),
+            src=self.src,
+            dst=self.dst,
         )
 
 
@@ -62,6 +70,8 @@ class PacketTrace:
                 packet_class=packet.packet_class,
                 priority=packet.priority,
                 fields=dict(packet.fields),
+                src=packet.src,
+                dst=packet.dst,
             )
             for time, packet in arrivals
         ]
@@ -99,6 +109,8 @@ class PacketTrace:
                         record.length,
                         record.packet_class or "",
                         record.priority,
+                        record.src or "",
+                        record.dst or "",
                         json.dumps(record.fields),
                     ]
                 )
@@ -119,6 +131,10 @@ class PacketTrace:
                         packet_class=row["packet_class"] or None,
                         priority=int(row["priority"]),
                         fields=json.loads(row["fields"] or "{}"),
+                        # Traces written before packets carried addresses
+                        # have no src/dst columns; DictReader yields None.
+                        src=row.get("src") or None,
+                        dst=row.get("dst") or None,
                     )
                 )
         return cls(records)

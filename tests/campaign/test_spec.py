@@ -1,0 +1,141 @@
+"""Tests for campaign declarations and run-table expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    RunSpec,
+    get_campaign,
+    list_campaigns,
+    register_campaign,
+)
+from repro.core import derive_seed
+
+
+def tiny_campaign(**overrides) -> Campaign:
+    params = dict(
+        name="tiny",
+        title="tiny",
+        scenarios=["fig6_chain"],
+        pifo_backends=["sorted", "calendar"],
+        lang_backends=[None],
+        load_scales=[1.0],
+        replicates=2,
+    )
+    params.update(overrides)
+    return Campaign(**params)
+
+
+class TestExpansion:
+    def test_deterministic_order_and_size(self):
+        campaign = tiny_campaign()
+        first = campaign.expand(quick=True)
+        second = campaign.expand(quick=True)
+        assert first == second
+        assert len(first) == campaign.size() == 2 * 2 * 2  # variants x pifo x reps
+
+    def test_variants_default_to_scenario_registry(self):
+        labels = {spec.variant for spec in tiny_campaign().expand()}
+        assert labels == {"LSTF", "FIFO"}
+
+    def test_explicit_variants_respected(self):
+        specs = tiny_campaign(variants=["FIFO"]).expand()
+        assert {spec.variant for spec in specs} == {"FIFO"}
+
+    def test_seed_derived_from_base_seed_and_workload_id(self):
+        campaign = tiny_campaign()
+        for spec in campaign.expand():
+            assert spec.seed == derive_seed(campaign.base_seed,
+                                            spec.workload_id)
+
+    def test_substrate_factors_share_the_workload_seed(self):
+        # Runs differing only in variant/pifo_backend/lang_backend must
+        # replay the identical workload: paired comparisons.
+        specs = tiny_campaign().expand()
+        by_workload = {}
+        for spec in specs:
+            by_workload.setdefault(spec.workload_id, set()).add(spec.seed)
+        assert all(len(seeds) == 1 for seeds in by_workload.values())
+
+    def test_replicates_get_independent_seeds(self):
+        specs = tiny_campaign().expand()
+        replicate_seeds = {spec.replicate: spec.seed for spec in specs}
+        assert replicate_seeds[0] != replicate_seeds[1]
+
+    def test_base_seed_changes_every_seed(self):
+        seeds_a = [s.seed for s in tiny_campaign().expand()]
+        seeds_b = [s.seed for s in tiny_campaign(base_seed=1).expand()]
+        assert all(a != b for a, b in zip(seeds_a, seeds_b))
+
+    def test_quick_flag_recorded_and_fingerprinted(self):
+        quick = tiny_campaign().expand(quick=True)
+        full = tiny_campaign().expand(quick=False)
+        assert all(spec.quick for spec in quick)
+        assert {s.fingerprint() for s in quick}.isdisjoint(
+            {s.fingerprint() for s in full})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiny_campaign(scenarios=[])
+        with pytest.raises(ValueError):
+            tiny_campaign(replicates=0)
+        with pytest.raises(ValueError):
+            tiny_campaign(pifo_backends=[])
+        with pytest.raises(ValueError, match="variants"):
+            tiny_campaign(variants=[])
+
+
+class TestRunSpec:
+    def spec(self) -> RunSpec:
+        return RunSpec(campaign="c", scenario="fig6_chain", variant="LSTF",
+                       pifo_backend=None, lang_backend="compiled",
+                       load_scale=1.5, replicate=3, quick=True, seed=42)
+
+    def test_run_id_encodes_factors(self):
+        assert self.spec().run_id == "fig6_chain/LSTF/default/compiled/x1.5/r3"
+
+    def test_dict_round_trip(self):
+        spec = self.spec()
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fingerprint_stable_and_sensitive(self):
+        spec = self.spec()
+        assert spec.fingerprint() == RunSpec.from_dict(spec.to_dict()).fingerprint()
+        changed = RunSpec.from_dict({**spec.to_dict(), "seed": 43})
+        assert changed.fingerprint() != spec.fingerprint()
+
+    def test_pickles(self):
+        import pickle
+
+        spec = self.spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestRegistry:
+    def test_paper_sweep_registered(self):
+        campaign = get_campaign("paper_sweep")
+        assert campaign.size() == 24
+        assert campaign.name in [c.name for c in list_campaigns()]
+
+    def test_unknown_campaign(self):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            get_campaign("nope")
+
+    def test_register_is_idempotent_by_name(self):
+        campaign = tiny_campaign(name="tiny_registry_test")
+        register_campaign(campaign)
+        register_campaign(campaign)
+        assert get_campaign("tiny_registry_test") is campaign
+
+    def test_paper_sweep_quick_expansion_is_stable(self):
+        sweep = get_campaign("paper_sweep")
+        table = sweep.expand(quick=True)
+        assert len(table) == 24
+        assert table == sweep.expand(quick=True)
+        # Every factor level appears.
+        assert {s.pifo_backend for s in table} == {"sorted", "calendar",
+                                                   "quantized"}
+        assert {s.lang_backend for s in table} == {"compiled", "interpreted"}
+        assert {s.scenario for s in table} == {"fig6_chain", "leaf_spine_fct"}

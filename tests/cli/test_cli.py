@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.campaign import CAMPAIGNS, Campaign, register_campaign
 from repro.cli import build_parser, main
 
 
@@ -100,3 +101,132 @@ class TestCommands:
     def test_show_unknown_program(self, capsys):
         assert main(["show", "bogus"]) == 2
         assert "unknown program" in capsys.readouterr().err
+
+    def test_run_json_out_writes_file(self, capsys, tmp_path):
+        out = tmp_path / "result.json"
+        assert main(["run", "sec5.4", "--json", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "wrote" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["experiment_id"] == "sec5.4"
+
+    def test_run_out_implies_json(self, tmp_path):
+        out = tmp_path / "result.json"
+        assert main(["run", "sec5.4", "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["rows"]
+
+
+@pytest.fixture()
+def cli_campaign():
+    campaign = register_campaign(Campaign(
+        name="cli_probe",
+        title="one-run campaign for CLI tests",
+        scenarios=["fig6_chain"],
+        variants=["FIFO"],
+        pifo_backends=["sorted"],
+    ))
+    yield campaign
+    CAMPAIGNS.pop("cli_probe", None)
+
+
+class TestCampaignCommands:
+    def test_campaign_without_subcommand(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "campaign" in capsys.readouterr().err
+
+    def test_campaign_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_sweep" in out
+        assert "24" in out
+
+    def test_campaign_run_unknown(self, capsys):
+        assert main(["campaign", "run", "bogus"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_campaign_run_and_report(self, capsys, tmp_path, cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "fig6_chain/FIFO/sorted/native/x1/r0" in out
+        assert store.exists()
+
+        assert main(["campaign", "report", "cli_probe",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "FIFO" in out
+        assert "mean_delay_ms" in out
+
+    def test_campaign_run_resume_skips_everything(self, capsys, tmp_path,
+                                                  cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", "cli_probe", "--quick", "--resume",
+                     "--store", str(store), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["executed"] == 0
+        assert summary["skipped"] == 1
+
+    def test_campaign_run_json_summary(self, capsys, tmp_path, cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick", "--json",
+                     "--store", str(store)]) == 0
+        # --json emits pure JSON on stdout (no banner, pipeable to jq).
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executed"] == 1
+        assert payload["campaign"] == "cli_probe"
+
+    def test_campaign_report_group_by_and_out(self, capsys, tmp_path,
+                                              cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        out_file = tmp_path / "rows.json"
+        assert main(["campaign", "report", "--store", str(store),
+                     "--group-by", "scenario,pifo_backend",
+                     "--out", str(out_file)]) == 0
+        rows = json.loads(out_file.read_text())
+        assert rows[0]["pifo_backend"] == "sorted"
+        assert rows[0]["runs"] == 1
+
+    def test_campaign_report_bad_group_key(self, capsys, tmp_path,
+                                           cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--store", str(store),
+                     "--group-by", "bogus"]) == 2
+        assert "cannot group by" in capsys.readouterr().err
+
+    def test_campaign_run_invalid_workers(self, capsys, tmp_path,
+                                          cli_campaign):
+        assert main(["campaign", "run", "cli_probe", "--quick", "--workers",
+                     "0", "--store", str(tmp_path / "s.jsonl")]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_campaign_report_dedupes_reruns(self, capsys, tmp_path,
+                                            cli_campaign):
+        store = tmp_path / "store.jsonl"
+        for _ in range(2):  # same campaign twice, no --resume
+            assert main(["campaign", "run", "cli_probe", "--quick",
+                         "--store", str(store)]) == 0
+        capsys.readouterr()
+        out_file = tmp_path / "rows.json"
+        assert main(["campaign", "report", "--store", str(store),
+                     "--out", str(out_file)]) == 0
+        rows = json.loads(out_file.read_text())
+        assert rows[0]["runs"] == 1  # last record wins, not doubled
+
+    def test_campaign_report_missing_store(self, capsys, tmp_path):
+        assert main(["campaign", "report", "--store",
+                     str(tmp_path / "none.jsonl")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_campaign_report_needs_name_or_store(self, capsys):
+        assert main(["campaign", "report"]) == 2
+        assert "needs a campaign name or --store" in capsys.readouterr().err

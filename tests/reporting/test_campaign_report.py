@@ -1,0 +1,77 @@
+"""Tests for campaign result aggregation into summary tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import campaign_report_text, summarize_records
+
+
+def make_record(scenario, variant, pifo="sorted", lang="compiled",
+                delivered=100, dropped=0, mean_delay=0.010, fct_mean=0.020,
+                fct_p99=0.050, wall=1.0):
+    return {
+        "campaign": "c", "scenario": scenario, "variant": variant,
+        "pifo_backend": pifo, "lang_backend": lang, "load_scale": 1.0,
+        "replicate": 0, "quick": True,
+        "delivered": delivered, "dropped": dropped,
+        "mean_delay": mean_delay, "max_delay": mean_delay * 3,
+        "fct_mean": fct_mean, "fct_p99": fct_p99,
+        "wall_clock_s": wall,
+    }
+
+
+RECORDS = [
+    make_record("fig6", "LSTF", delivered=100, mean_delay=0.010),
+    make_record("fig6", "LSTF", pifo="calendar", delivered=110, mean_delay=0.030),
+    make_record("fig6", "FIFO", delivered=90, dropped=5, mean_delay=0.040),
+    make_record("clos", "SRPT", delivered=200, fct_mean=0.002, fct_p99=0.004),
+]
+
+
+class TestSummarize:
+    def test_groups_and_sorts_by_key(self):
+        rows = summarize_records(RECORDS, group_by=("scenario", "variant"))
+        keys = [(row["scenario"], row["variant"]) for row in rows]
+        assert keys == [("clos", "SRPT"), ("fig6", "FIFO"), ("fig6", "LSTF")]
+
+    def test_counts_sum_and_metrics_average(self):
+        rows = summarize_records(RECORDS, group_by=("scenario", "variant"))
+        lstf = next(r for r in rows if r["variant"] == "LSTF")
+        assert lstf["runs"] == 2
+        assert lstf["delivered"] == 210
+        assert lstf["mean_delay_ms"] == pytest.approx(20.0)
+
+    def test_group_by_any_factor(self):
+        rows = summarize_records(RECORDS, group_by=("pifo_backend",))
+        assert {row["pifo_backend"] for row in rows} == {"sorted", "calendar"}
+
+    def test_numeric_factors_sort_numerically(self):
+        records = [
+            {**make_record("s", "v"), "load_scale": scale}
+            for scale in (10.0, 0.5, 2.0)
+        ]
+        rows = summarize_records(records, group_by=("load_scale",))
+        assert [row["load_scale"] for row in rows] == [0.5, 2.0, 10.0]
+
+    def test_missing_metrics_render_as_none(self):
+        rows = summarize_records([
+            {**make_record("s", "v"), "fct_mean": None, "fct_p99": None},
+        ])
+        assert rows[0]["fct_mean_ms"] is None
+
+    def test_unknown_group_key_raises(self):
+        with pytest.raises(ValueError, match="cannot group by"):
+            summarize_records(RECORDS, group_by=("nonsense",))
+
+    def test_empty_records(self):
+        assert summarize_records([], group_by=("scenario",)) == []
+
+
+class TestReportText:
+    def test_renders_table(self):
+        text = campaign_report_text(RECORDS, group_by=("scenario", "variant"),
+                                    title="Sweep")
+        assert "Sweep" in text
+        assert "LSTF" in text
+        assert "mean_delay_ms" in text

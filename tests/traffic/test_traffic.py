@@ -183,3 +183,38 @@ class TestTrace:
         assert len(loaded) == len(trace)
         assert loaded.records[0].fields == {"x": 3}
         assert loaded.duration() == pytest.approx(trace.duration())
+
+    def test_trace_preserves_packet_addressing(self, tmp_path):
+        # Addressed packets must replay addressed, or a recorded trace
+        # cannot drive a fabric (packets with dst=None are unroutable).
+        spec = FlowSpec(name="A", rate_bps=8e6, packet_size=1000,
+                        src="h0", dst="h1")
+        trace = PacketTrace.from_arrivals(cbr_arrivals(spec, duration=0.002))
+        _, packet = next(trace.replay())
+        assert (packet.src, packet.dst) == ("h0", "h1")
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        _, loaded = next(PacketTrace.load_csv(path).replay())
+        assert (loaded.src, loaded.dst) == ("h0", "h1")
+
+    def test_load_csv_accepts_pre_addressing_traces(self, tmp_path):
+        # CSVs written before the src/dst columns existed must still load.
+        path = tmp_path / "old.csv"
+        path.write_text(
+            "time,flow,length,packet_class,priority,fields\n"
+            '0.001,A,1000,,0,"{""x"": 3}"\n'
+        )
+        trace = PacketTrace.load_csv(path)
+        record = trace.records[0]
+        assert (record.src, record.dst) == (None, None)
+        assert record.fields == {"x": 3}
+        _, packet = next(trace.replay())
+        assert packet.src is None and packet.dst is None
+
+    def test_unaddressed_packets_round_trip_as_none(self, tmp_path):
+        spec = FlowSpec(name="A", rate_bps=8e6, packet_size=1000)
+        trace = PacketTrace.from_arrivals(cbr_arrivals(spec, duration=0.002))
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        record = PacketTrace.load_csv(path).records[0]
+        assert (record.src, record.dst) == (None, None)
