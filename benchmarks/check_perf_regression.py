@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: fresh benchmark numbers vs committed baselines.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        --baseline-dir baselines/ --current-dir . [--tolerance 0.20]
+
+Compares every throughput metric in the committed ``BENCH_*.json``
+artifacts (saved to ``--baseline-dir`` *before* the benchmarks overwrite
+them) against the freshly measured files in ``--current-dir`` and exits
+non-zero if any metric dropped more than ``--tolerance`` (default 20%)
+below its baseline.  All gated metrics are *rates* (packets/second,
+runs/second), which are workload-size independent, so the quick-mode CI
+run is comparable against the committed full-size baselines.
+
+Only throughput-like metrics gate the build (higher is better); wall-clock
+style metrics are ignored.  Missing files or metrics fail loudly: a
+benchmark silently not producing its artifact is itself a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+#: Benchmark artifacts gated by this script, with extractors yielding
+#: ``(metric_name, packets_or_runs_per_second)`` pairs.
+GATED_ARTIFACTS = ("BENCH_network_fabric.json", "BENCH_campaign.json")
+
+
+def _fabric_metrics(payload: Dict) -> Iterator[Tuple[str, float]]:
+    for topology, data in sorted(payload.get("topologies", {}).items()):
+        for backend, rate in sorted(data.get("backends", {}).items()):
+            yield f"fabric/{topology}/{backend} pkt/s", float(rate)
+
+
+def _campaign_metrics(payload: Dict) -> Iterator[Tuple[str, float]]:
+    for workers, data in sorted(payload.get("workers", {}).items()):
+        yield (f"campaign/workers={workers} runs/s",
+               float(data["runs_per_second"]))
+
+
+EXTRACTORS = {
+    "BENCH_network_fabric.json": _fabric_metrics,
+    "BENCH_campaign.json": _campaign_metrics,
+}
+
+
+def load_metrics(directory: Path, artifact: str) -> Dict[str, float]:
+    path = directory / artifact
+    if not path.is_file():
+        raise FileNotFoundError(f"missing benchmark artifact {path}")
+    payload = json.loads(path.read_text())
+    metrics = dict(EXTRACTORS[artifact](payload))
+    if not metrics:
+        raise ValueError(f"artifact {path} contains no gated metrics")
+    return metrics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", type=Path, required=True,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current-dir", type=Path, default=Path("."),
+                        help="directory holding the fresh BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="maximum allowed fractional drop (default 0.20)")
+    args = parser.parse_args(argv)
+
+    failures = []
+    rows = []
+    for artifact in GATED_ARTIFACTS:
+        try:
+            baseline = load_metrics(args.baseline_dir, artifact)
+            current = load_metrics(args.current_dir, artifact)
+        except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        for metric, base_value in baseline.items():
+            if metric not in current:
+                failures.append(f"{metric}: missing from current run")
+                continue
+            value = current[metric]
+            ratio = value / base_value if base_value > 0 else float("inf")
+            status = "ok" if ratio >= 1.0 - args.tolerance else "REGRESSION"
+            rows.append((metric, base_value, value, ratio, status))
+            if status != "ok":
+                failures.append(
+                    f"{metric}: {value:,.0f} vs baseline {base_value:,.0f} "
+                    f"({ratio:.2f}x, floor {1.0 - args.tolerance:.2f}x)"
+                )
+
+    width = max(len(metric) for metric, *_ in rows) if rows else 10
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>6}  status")
+    for metric, base_value, value, ratio, status in rows:
+        print(f"{metric:<{width}}  {base_value:>12,.1f}  {value:>12,.1f}  "
+              f"{ratio:>5.2f}x  {status}")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,26 +4,29 @@ Measures end-to-end packets/second sustained by the :mod:`repro.net` fabric
 on the two canonical topologies — a 3-hop linear chain and a 4-leaf /
 2-spine Clos with ECMP — parametrized over every swappable PIFO backend, so
 regressions in the multi-hop forwarding path (per-hop delivery hooks, hop
-stamping, routing lookups) show up directly.  Writes the measured rates to
-``BENCH_network_fabric.json`` at the repo root (the artifact CI uploads).
-Set ``BENCH_QUICK=1`` to shrink the workloads for smoke runs.
+stamping, routing lookups) show up directly.  The workloads are the
+:data:`repro.perf.WORKLOADS` the ``repro perf`` CLI drives — one
+definition, so the profiled simulation and the gated numbers can never
+drift apart.  Fabrics run in the sweep configuration (``telemetry=False``,
+streaming sinks, packet recycling) — the same settings the campaign engine
+uses, and the configuration the hot path is tuned for; the lockstep suite
+(tests/net/test_telemetry_lockstep.py) proves results are identical with
+telemetry on.  Writes the measured rates to ``BENCH_network_fabric.json``
+at the repo root (the artifact CI uploads, and the committed baseline the
+perf-regression CI job gates on).  Set ``BENCH_QUICK=1`` to shrink the
+workloads for smoke runs.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
 import pytest
 from conftest import report
 
-from repro.algorithms import ArrivalSequenceTransaction
-from repro.core import ProgrammableScheduler, single_node_tree
-from repro.net import Fabric, leaf_spine, linear_chain
-from repro.sim import Simulator
-from repro.traffic import FlowSpec, cbr_arrivals
+from repro.perf import PACKET_SIZE, run_workload
 
 BENCH_QUICK = bool(os.environ.get("BENCH_QUICK"))
 #: Packets pushed end to end through each topology, per backend.
@@ -32,84 +35,36 @@ CLOS_PACKETS = 2_000 if BENCH_QUICK else 10_000
 BACKENDS = ["sorted", "calendar", "bucketed"]
 BENCH_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_network_fabric.json"
 
-PACKET_SIZE = 500
-LINK_RATE = 1e9
-
-
-def _fifo_factory(switch, port):
-    # Arrival-sequence ranks are monotone integers, so every backend
-    # (including the integer-only bucket queue) runs the same workload.
-    return ProgrammableScheduler(single_node_tree(ArrivalSequenceTransaction()))
-
-
-def _drive_chain(backend, packet_count):
-    """CBR overload h_src -> h_dst across 3 switches; returns elapsed wall
-    time once every packet has drained out of the fabric."""
-    sim = Simulator()
-    net = linear_chain(3, link_rate_bps=LINK_RATE)
-    fabric = Fabric(sim, net, _fifo_factory, pifo_backend=backend,
-                    keep_packets=False)
-    duration = packet_count * PACKET_SIZE * 8.0 / (0.9 * LINK_RATE)
-    spec = FlowSpec(name="load", rate_bps=0.9 * LINK_RATE,
-                    packet_size=PACKET_SIZE, dst="h_dst")
-    fabric.attach_source("h_src", cbr_arrivals(spec, duration=duration))
-    start = time.perf_counter()
-    fabric.run(drain=True)
-    elapsed = time.perf_counter() - start
-    assert fabric.delivered_packets >= packet_count * 0.99
-    assert fabric.in_flight_packets() == 0
-    return fabric.delivered_packets, elapsed
-
-
-def _drive_clos(backend, packet_count):
-    """Four cross-leaf CBR senders over a 4x2 leaf-spine with ECMP."""
-    sim = Simulator()
-    net = leaf_spine(leaves=4, spines=2, hosts_per_leaf=1,
-                     host_rate_bps=LINK_RATE)
-    fabric = Fabric(sim, net, _fifo_factory, ecmp=True, pifo_backend=backend,
-                    keep_packets=False)
-    pairs = [("h0_0", "h2_0"), ("h1_0", "h3_0"),
-             ("h2_0", "h0_0"), ("h3_0", "h1_0")]
-    per_sender = packet_count // len(pairs)
-    duration = per_sender * PACKET_SIZE * 8.0 / (0.9 * LINK_RATE)
-    for src, dst in pairs:
-        spec = FlowSpec(name=f"{src}->{dst}", rate_bps=0.9 * LINK_RATE,
-                        packet_size=PACKET_SIZE, src=src, dst=dst)
-        fabric.attach_source(src, cbr_arrivals(spec, duration=duration))
-    start = time.perf_counter()
-    fabric.run(drain=True)
-    elapsed = time.perf_counter() - start
-    assert fabric.delivered_packets >= 4 * per_sender * 0.99
-    assert fabric.in_flight_packets() == 0
-    return fabric.delivered_packets, elapsed
-
 
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_fabric_chain_throughput(benchmark, backend):
     """Every PIFO backend pushes the chain workload through unmodified."""
-    delivered, _ = benchmark.pedantic(
-        lambda: _drive_chain(backend, CHAIN_PACKETS), rounds=1, iterations=1
+    result = benchmark.pedantic(
+        lambda: run_workload("chain3", packets=CHAIN_PACKETS,
+                             pifo_backend=backend),
+        rounds=1, iterations=1,
     )
-    assert delivered >= CHAIN_PACKETS * 0.99
+    assert result.delivered >= CHAIN_PACKETS * 0.99
 
 
 def test_fabric_throughput_summary():
     """Consolidated packets/second table; writes the CI artifact."""
     rows = []
-    artifact = {"packet_size_bytes": PACKET_SIZE, "topologies": {}}
-    for topology, driver, count in (
-        ("chain3", _drive_chain, CHAIN_PACKETS),
-        ("leaf_spine4x2", _drive_clos, CLOS_PACKETS),
-    ):
+    artifact = {"packet_size_bytes": PACKET_SIZE, "telemetry": False,
+                "topologies": {}}
+    for topology, count in (("chain3", CHAIN_PACKETS),
+                            ("leaf_spine4x2", CLOS_PACKETS)):
         artifact["topologies"][topology] = {"packets": count, "backends": {}}
         for backend in BACKENDS:
-            delivered, elapsed = driver(backend, count)
-            rate = delivered / elapsed
+            result = run_workload(topology, packets=count,
+                                  pifo_backend=backend)
+            assert result.delivered >= count * 0.99
+            rate = result.packets_per_second
             rows.append(
                 {
                     "topology": topology,
                     "backend": backend,
-                    "delivered": delivered,
+                    "delivered": result.delivered,
                     "packets_per_second": rate,
                 }
             )

@@ -15,7 +15,7 @@ stamps it automatically when a packet traverses multiple hops
 
 from __future__ import annotations
 
-from ..core.packet import Packet
+from ..core.packet import EMPTY_FIELDS, Packet
 from ..core.pifo import Rank
 from ..core.transaction import SchedulingTransaction, TransactionContext
 from ..exceptions import TransactionError
@@ -65,6 +65,12 @@ def stamp_wait_time(packet: Packet, wait_time: float) -> None:
 
     The simulator calls this when a packet departs a switch so the next hop's
     LSTF transaction can decrement the slack, emulating the timestamp
-    tagging described in Section 3.1.
+    tagging described in Section 3.1.  Runs once per packet per hop, so the
+    lazy ``fields`` allocation is inlined rather than going through
+    :meth:`Packet.set`.
     """
-    packet.set(PREV_WAIT_FIELD, packet.get(PREV_WAIT_FIELD, 0.0) + wait_time)
+    fields = packet.fields
+    if fields is EMPTY_FIELDS:
+        packet.fields = {PREV_WAIT_FIELD: wait_time}
+        return
+    fields[PREV_WAIT_FIELD] = fields.get(PREV_WAIT_FIELD, 0.0) + wait_time

@@ -52,6 +52,7 @@ def execute_spec(spec: RunSpec) -> Dict:
         lang_backend=spec.lang_backend,
         load_scale=spec.load_scale,
         base_seed=spec.seed,
+        telemetry=spec.telemetry,
     )
     wall_clock_s = time.perf_counter() - started
     result = results[spec.variant]
@@ -89,6 +90,21 @@ def execute_spec(spec: RunSpec) -> Dict:
         "worker_pid": os.getpid(),
     })
     return record
+
+
+def _worker_init() -> None:
+    """Pool initializer: warm each worker before its first run.
+
+    Imports :mod:`repro.net` (which populates the scenario registry) and
+    pre-compiles the built-in lang programs' factories lazily imported by
+    the scenarios, so the first run a worker executes pays none of the
+    import/registry cost.  Under ``fork`` the parent's warm interpreter is
+    inherited and this is nearly free; under ``spawn`` it moves the entire
+    import cost out of the measured per-run path.
+    """
+    from .. import net  # noqa: F401  (import side effect: scenario registry)
+
+    net.list_scenarios()
 
 
 def _execute_payload(payload: Dict) -> Dict:
@@ -159,8 +175,13 @@ class CampaignRunner:
                 commit(execute_spec(spec))
         else:
             payloads = [spec.to_dict() for spec in specs]
+            # Warm the parent first: with the fork start method every worker
+            # inherits the imported scenario registry instead of rebuilding
+            # it on its first task.
+            _worker_init()
             context = multiprocessing.get_context(_start_method())
-            with context.Pool(processes=min(self.workers, len(specs))) as pool:
+            with context.Pool(processes=min(self.workers, len(specs)),
+                              initializer=_worker_init) as pool:
                 # imap (not imap_unordered) yields in submission order, so
                 # the store's record order matches the serial run while
                 # completed results still stream to disk as the head of the

@@ -60,6 +60,10 @@ class RunSpec:
     quick: bool
     #: Derived RNG seed for this run (see :meth:`Campaign.expand`).
     seed: int
+    #: Record per-hop / per-port telemetry during the run.  Off by default
+    #: in sweeps: results are provably identical (the lockstep equivalence
+    #: suite), only the optional observability output differs.
+    telemetry: bool = False
 
     @property
     def run_id(self) -> str:
@@ -96,13 +100,15 @@ class RunSpec:
             "replicate": self.replicate,
             "quick": self.quick,
             "seed": self.seed,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "RunSpec":
-        return cls(**{key: payload[key] for key in (
+        return cls(**{key: payload.get(key, False) if key == "telemetry"
+                      else payload[key] for key in (
             "campaign", "scenario", "variant", "pifo_backend", "lang_backend",
-            "load_scale", "replicate", "quick", "seed",
+            "load_scale", "replicate", "quick", "seed", "telemetry",
         )})
 
     def fingerprint(self) -> str:
@@ -110,9 +116,15 @@ class RunSpec:
 
         Two runs with identical fingerprints would execute the identical
         simulation, which is exactly the predicate ``--resume`` needs to
-        skip already-completed work.
+        skip already-completed work.  ``telemetry`` is deliberately
+        excluded: it is pure observability (the lockstep equivalence suite
+        proves results are identical either way), so toggling it must not
+        invalidate completed runs — and stores written before the flag
+        existed keep resuming cleanly.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
+        payload = self.to_dict()
+        del payload["telemetry"]
+        canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
@@ -133,6 +145,10 @@ class Campaign:
     load_scales: Sequence[float] = (1.0,)
     replicates: int = 1
     base_seed: int = 0
+    #: Per-hop / per-port telemetry during runs.  Off by default: sweeps
+    #: consume aggregate records, and the hot path is ~25% faster without
+    #: the per-packet bookkeeping.  Results are identical either way.
+    telemetry: bool = False
     description: str = ""
     notes: str = ""
 
@@ -186,6 +202,7 @@ class Campaign:
                                     replicate=replicate,
                                     quick=quick,
                                     seed=0,
+                                    telemetry=self.telemetry,
                                 )
                                 specs.append(replace(
                                     spec,

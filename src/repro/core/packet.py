@@ -8,12 +8,29 @@ flow size used by SRPT, or the service received so far used by LAS).
 
 The scheduler never inspects payloads; only the metadata matters, exactly as
 in the paper where transactions operate on ``p.x`` packet fields.
+
+Hot-path design
+---------------
+The simulator allocates one :class:`Packet` per simulated packet, so the
+class is tuned for allocation throughput rather than convenience:
+
+* ``__slots__`` — no per-instance ``__dict__``; attribute access and
+  construction are both measurably faster and each packet is ~3x smaller.
+* **Lazy metadata** — ``fields`` starts as a shared immutable empty mapping
+  (:data:`EMPTY_FIELDS`) and ``hops`` as ``None``; a real ``dict`` / ``list``
+  is only allocated on first write (:meth:`Packet.set`,
+  :meth:`Packet.record_hop`).  Zero-metadata packets — the vast majority in
+  throughput runs — allocate neither.
+* **Free-list pool** — :meth:`Packet.acquire` reuses packets returned via
+  :meth:`Packet.recycle` instead of allocating.  Recycling is *opt-in*: only
+  owners that know no live reference remains (a streaming
+  :class:`~repro.sim.sink.PacketSink` at the edge of a fabric) may recycle.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Dict, List, Optional
 
 #: Monotonic packet identifier source.  Used only for debugging and for
@@ -21,8 +38,18 @@ from typing import Any, Dict, List, Optional
 #: enqueue order, not by packet id.
 _packet_ids = itertools.count()
 
+#: Shared immutable empty metadata mapping.  Every packet constructed without
+#: explicit fields references this single object; :meth:`Packet.set` swaps in
+#: a private ``dict`` on first write.  Read-only by construction, so a stray
+#: direct mutation fails loudly instead of corrupting every packet.
+EMPTY_FIELDS: Dict[str, Any] = MappingProxyType({})
 
-@dataclass
+#: Free list of recycled packets (bounded so pathological workloads cannot
+#: hoard memory).
+_pool: List["Packet"] = []
+_POOL_LIMIT = 8192
+
+
 class Packet:
     """A packet as seen by the scheduling subsystem.
 
@@ -49,34 +76,103 @@ class Packet:
     fields:
         Algorithm-specific metadata: ``slack``, ``deadline``,
         ``remaining_size``, ``flow_size``, ``attained_service`` and so on.
+        Mutate only through :meth:`set`; packets without metadata share one
+        immutable empty mapping.
     """
 
-    flow: str
-    length: int
-    arrival_time: float = 0.0
-    packet_class: Optional[str] = None
-    priority: int = 0
-    fields: Dict[str, Any] = field(default_factory=dict)
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    src: Optional[str] = None
-    dst: Optional[str] = None
+    __slots__ = (
+        "flow", "length", "arrival_time", "packet_class", "priority",
+        "fields", "packet_id", "src", "dst",
+        "enqueue_time", "dequeue_time", "departure_time", "injection_time",
+        "_hops",
+    )
 
-    # Filled in by the switch / simulator as the packet moves through.
-    enqueue_time: Optional[float] = None
-    dequeue_time: Optional[float] = None
-    departure_time: Optional[float] = None
-    #: Time the packet was first injected into a network fabric (set once by
-    #: :class:`repro.net.Fabric`; ``arrival_time`` is re-stamped at every hop).
-    injection_time: Optional[float] = None
-    #: Per-hop trace across a fabric: ``(node, arrival, queueing, departure)``
-    #: tuples appended as the packet leaves each hop.  Empty outside
-    #: :mod:`repro.net` runs, so single-port experiments pay only an empty
-    #: list per packet.
-    hops: List[tuple] = field(default_factory=list)
+    def __init__(
+        self,
+        flow: str,
+        length: int,
+        arrival_time: float = 0.0,
+        packet_class: Optional[str] = None,
+        priority: int = 0,
+        fields: Optional[Dict[str, Any]] = None,
+        packet_id: Optional[int] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+    ) -> None:
+        if length <= 0:
+            raise ValueError(f"packet length must be positive, got {length}")
+        self.flow = flow
+        self.length = length
+        self.arrival_time = arrival_time
+        self.packet_class = packet_class
+        self.priority = priority
+        self.fields = EMPTY_FIELDS if fields is None else fields
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self.src = src
+        self.dst = dst
+        # Filled in by the switch / simulator as the packet moves through.
+        self.enqueue_time: Optional[float] = None
+        self.dequeue_time: Optional[float] = None
+        self.departure_time: Optional[float] = None
+        #: Time the packet was first injected into a network fabric (set once
+        #: by :class:`repro.net.Fabric`; ``arrival_time`` is re-stamped at
+        #: every hop).
+        self.injection_time: Optional[float] = None
+        self._hops: Optional[List[tuple]] = None
 
-    def __post_init__(self) -> None:
-        if self.length <= 0:
-            raise ValueError(f"packet length must be positive, got {self.length}")
+    # -- pooling -----------------------------------------------------------
+    @classmethod
+    def acquire(
+        cls,
+        flow: str,
+        length: int,
+        arrival_time: float = 0.0,
+        packet_class: Optional[str] = None,
+        priority: int = 0,
+        fields: Optional[Dict[str, Any]] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+    ) -> "Packet":
+        """Return a packet from the free list, or a fresh one.
+
+        Semantically identical to calling the constructor (a new
+        ``packet_id`` is always assigned); only the allocation is saved.
+        """
+        if not _pool:
+            return cls(flow, length, arrival_time, packet_class, priority,
+                       fields, None, src, dst)
+        if length <= 0:
+            raise ValueError(f"packet length must be positive, got {length}")
+        self = _pool.pop()
+        self.flow = flow
+        self.length = length
+        self.arrival_time = arrival_time
+        self.packet_class = packet_class
+        self.priority = priority
+        self.fields = EMPTY_FIELDS if fields is None else fields
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.enqueue_time = None
+        self.dequeue_time = None
+        self.departure_time = None
+        self.injection_time = None
+        self._hops = None
+        return self
+
+    def recycle(self) -> None:
+        """Return this packet to the free list.
+
+        Only call when no other live reference to the packet remains (the
+        streaming sinks at the edge of a fabric are the canonical owner).
+        The packet's attributes stay readable until the next
+        :meth:`acquire` reuses it, so same-event readers downstream of the
+        recycling call (buffer release accounting) remain correct.
+        """
+        if len(_pool) < _POOL_LIMIT:
+            self.fields = EMPTY_FIELDS
+            self._hops = None
+            _pool.append(self)
 
     # -- field helpers -----------------------------------------------------
     def get(self, name: str, default: Any = None) -> Any:
@@ -84,8 +180,11 @@ class Packet:
         return self.fields.get(name, default)
 
     def set(self, name: str, value: Any) -> None:
-        """Set a metadata field."""
-        self.fields[name] = value
+        """Set a metadata field (allocates the dict on first write)."""
+        fields = self.fields
+        if fields is EMPTY_FIELDS:
+            self.fields = fields = {}
+        fields[name] = value
 
     @property
     def length_bits(self) -> int:
@@ -108,15 +207,35 @@ class Packet:
         return self.departure_time - self.arrival_time
 
     # -- fabric (multi-hop) helpers ----------------------------------------
+    @property
+    def hops(self) -> List[tuple]:
+        """Per-hop trace across a fabric: ``(node, arrival, queueing,
+        departure)`` tuples appended as the packet leaves each hop.
+
+        Allocated lazily — packets that never traverse a fabric (or run
+        with fabric telemetry disabled) share nothing and pay nothing.
+        """
+        hops = self._hops
+        if hops is None:
+            self._hops = hops = []
+        return hops
+
+    @hops.setter
+    def hops(self, value: List[tuple]) -> None:
+        self._hops = value
+
     def record_hop(self, node: str, arrival: float, queueing: float,
                    departure: float) -> None:
         """Append one hop's timestamps as the packet leaves ``node``."""
-        self.hops.append((node, arrival, queueing, departure))
+        hops = self._hops
+        if hops is None:
+            self._hops = hops = []
+        hops.append((node, arrival, queueing, departure))
 
     def per_hop_delays(self) -> Dict[str, float]:
         """Arrival-to-departure delay at each traversed hop, by node name."""
         return {node: departure - arrival
-                for node, arrival, _queueing, departure in self.hops}
+                for node, arrival, _queueing, departure in (self._hops or ())}
 
     @property
     def end_to_end_delay(self) -> Optional[float]:
@@ -138,7 +257,7 @@ class Packet:
             arrival_time=self.arrival_time,
             packet_class=self.packet_class,
             priority=self.priority,
-            fields=dict(self.fields),
+            fields=dict(self.fields) if self.fields else None,
             src=self.src,
             dst=self.dst,
         )
@@ -149,6 +268,16 @@ class Packet:
             f"Packet(id={self.packet_id}, flow={self.flow!r}, "
             f"len={self.length}B{extra})"
         )
+
+
+def pool_size() -> int:
+    """Number of packets currently on the free list (introspection)."""
+    return len(_pool)
+
+
+def clear_pool() -> None:
+    """Drop every pooled packet (tests that count allocations use this)."""
+    _pool.clear()
 
 
 def make_packets(
@@ -189,7 +318,7 @@ def make_packets(
                 length=length,
                 arrival_time=start_time + i * spacing,
                 packet_class=packet_class,
-                fields=dict(fields),
+                fields=dict(fields) if fields else None,
             )
         )
     return packets

@@ -293,11 +293,43 @@ class SortedListPIFO(PIFOBase[T]):
         self._keys: List[Tuple[Rank, int]] = []
         self._front = 0
 
+    def push(self, element: T, rank: Rank) -> None:
+        """Fused push: capacity check + entry + insert without the base
+        class's extra dispatch (this runs once per packet per hop)."""
+        entries = self._entries
+        if (self.capacity is not None
+                and len(entries) - self._front >= self.capacity):
+            self.drops += 1
+            raise PIFOFullError(
+                f"PIFO {self.name!r} is full (capacity={self.capacity})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        entry = PIFOEntry(rank, seq, element)
+        key = (rank, seq)
+        keys = self._keys
+        if not keys or key >= keys[-1]:
+            # Monotone ranks (FIFO, arrival-sequence, virtual times under
+            # light load) append; the common case costs no bisect or shift.
+            keys.append(key)
+            entries.append(entry)
+        else:
+            index = bisect.bisect_right(keys, key, lo=self._front)
+            keys.insert(index, key)
+            entries.insert(index, entry)
+        self.pushes += 1
+
     def _insert(self, entry: PIFOEntry[T]) -> None:
         # bisect_right on (rank, seq): seq is strictly increasing so an equal
         # rank always lands after previously pushed equal ranks (FIFO ties).
-        index = bisect.bisect_right(self._keys, entry.key(), lo=self._front)
-        self._keys.insert(index, entry.key())
+        key = (entry.rank, entry.seq)
+        keys = self._keys
+        if not keys or key >= keys[-1]:
+            keys.append(key)
+            self._entries.append(entry)
+            return
+        index = bisect.bisect_right(keys, key, lo=self._front)
+        keys.insert(index, key)
         self._entries.insert(index, entry)
 
     def _pop_head(self) -> PIFOEntry[T]:

@@ -28,7 +28,7 @@ from .packet import Packet
 from .pifo import Rank
 
 
-@dataclass
+@dataclass(slots=True)
 class TransactionContext:
     """Read-only inputs a transaction may use besides the packet itself.
 

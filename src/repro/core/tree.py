@@ -31,7 +31,16 @@ from .backend import (
 )
 from .packet import Packet
 from .predicates import MatchAll, Predicate
-from .transaction import SchedulingTransaction, ShapingTransaction
+from .transaction import SchedulingTransaction, ShapingTransaction, Transaction
+
+
+def _packet_flow(packet: Packet) -> str:
+    """Default flow function: the packet's own flow label.
+
+    A module-level function (not a per-node lambda) so the scheduler can
+    recognise the default by identity and read ``packet.flow`` directly.
+    """
+    return packet.flow
 
 
 class TreeNode:
@@ -78,7 +87,13 @@ class TreeNode:
         self.predicate: Predicate = predicate if predicate is not None else MatchAll()
         self.scheduling = scheduling
         self.shaping = shaping
-        self.flow_fn = flow_fn or (lambda packet: packet.flow)
+        self.flow_fn = flow_fn or _packet_flow
+        #: Whether the scheduling transaction overrides ``on_dequeue``.  The
+        #: dequeue engine skips the context bookkeeping entirely for the
+        #: (common) transactions that ignore dequeues.
+        self.needs_dequeue_hook = (
+            type(scheduling).on_dequeue is not Transaction.on_dequeue
+        )
         self.parent: Optional["TreeNode"] = None
         self.children: List["TreeNode"] = []
         self.pifo_capacity = pifo_capacity
@@ -216,6 +231,14 @@ class ScheduleTree:
         self.pifo_backend: BackendSpec = pifo_backend
         if pifo_backend is not None:
             self.use_backend(pifo_backend)
+        # Single match-all node (the most common tree in throughput runs):
+        # every packet matches the same one-element path, so compute it once.
+        # The cached list is shared — callers must not mutate match_path()'s
+        # result (none do; the walk only reads it).
+        self._trivial_path: Optional[List[TreeNode]] = (
+            [root] if not root.children and isinstance(root.predicate, MatchAll)
+            else None
+        )
 
     def use_backend(self, backend: BackendSpec) -> None:
         """Swap every node's PIFOs onto ``backend`` (entries migrate)."""
@@ -272,6 +295,13 @@ class ScheduleTree:
         ambiguous trees (two sibling predicates matching the same packet)
         raise :class:`~repro.exceptions.TreeConfigurationError`.
         """
+        trivial = self._trivial_path
+        if trivial is not None:
+            if not self.root.children:
+                return trivial
+            # A child was attached after construction; drop the stale cache
+            # and fall through to the generic walk.
+            self._trivial_path = None
         if not self.root.predicate(packet):
             raise TreeConfigurationError(
                 f"packet {packet!r} does not match the root predicate"

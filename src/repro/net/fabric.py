@@ -81,6 +81,15 @@ class Fabric:
     keep_packets:
         Whether host sinks retain every delivered packet (default) or run in
         streaming-aggregate mode for large workloads.
+    telemetry:
+        Record per-hop traces (``packet.hops``) and per-port switch-stat
+        breakdowns (default).  Sweeps disable this to strip the per-packet
+        per-hop bookkeeping from the forwarding path; aggregate counters,
+        per-flow sink aggregates and the in-band ``prev_wait_time`` stamp
+        consumed by LSTF are always maintained, so scheduling decisions —
+        and therefore results — are identical either way.  With telemetry
+        off and streaming sinks, delivered packets are recycled into the
+        packet pool.
     host_scheduler_factory:
         Scheduler for host egress (NIC) ports; FIFO by default.
     """
@@ -95,19 +104,22 @@ class Fabric:
         buffer_factory: Optional[Callable[[str], SharedBuffer]] = None,
         admission_factory: Optional[Callable[[str], AdmissionPolicy]] = None,
         keep_packets: bool = True,
+        telemetry: bool = True,
         host_scheduler_factory: SchedulerFactory = _default_host_scheduler,
     ) -> None:
         network.validate()
         self.sim = sim
         self.network = network
         self.ecmp = ecmp
+        self.telemetry = telemetry
         self.injected_packets = 0
         self.delivered_packets = 0
         #: One SharedMemorySwitch per node (hosts get a FIFO NIC switch).
         self.node_switches: Dict[str, SharedMemorySwitch] = {}
         #: Terminal sink per host for traffic addressed to it.
         self.host_sinks: Dict[str, PacketSink] = {
-            host: PacketSink(name=f"{host}.sink", keep_packets=keep_packets)
+            host: PacketSink(name=f"{host}.sink", keep_packets=keep_packets,
+                             recycle_packets=not keep_packets and not telemetry)
             for host in network.hosts()
         }
         self._sources: list = []
@@ -137,6 +149,7 @@ class Fabric:
                 buffer=buffer,
                 admission=admission_factory(name) if admission_factory else None,
                 pifo_backend=None if is_host else pifo_backend,
+                telemetry=telemetry,
                 name=name,
             )
 
@@ -158,11 +171,18 @@ class Fabric:
 
     def _make_delivery(self, node: str, neighbor: str) -> Callable[[Packet], None]:
         to_host = self.network.is_host(neighbor)
+        telemetry = self.telemetry
 
         def deliver(packet: Packet) -> None:
-            wait = packet.queueing_delay or 0.0
-            packet.record_hop(node, packet.arrival_time, wait,
-                              packet.departure_time)
+            # ``prev_wait_time`` is in-band data the paper's LSTF transaction
+            # consumes downstream — it is stamped regardless of the telemetry
+            # flag so scheduling semantics never depend on observability.
+            enq = packet.enqueue_time
+            deq = packet.dequeue_time
+            wait = deq - enq if (enq is not None and deq is not None) else 0.0
+            if telemetry:
+                packet.record_hop(node, packet.arrival_time, wait,
+                                  packet.departure_time)
             stamp_wait_time(packet, wait)
             if to_host:
                 if packet.dst != neighbor:

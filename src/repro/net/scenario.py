@@ -162,7 +162,10 @@ class Demand:
                 packet.dst = self.dst
             if fields:
                 for key, value in fields.items():
-                    packet.fields.setdefault(key, value)
+                    # Packet.set (not a direct fields write): zero-metadata
+                    # packets share an immutable empty mapping.
+                    if key not in packet.fields:
+                        packet.set(key, value)
             yield time, packet
 
 
@@ -244,7 +247,8 @@ class Scenario:
             variant: Optional[str] = None,
             lang_backend: Optional[str] = None,
             load_scale: float = 1.0,
-            base_seed: Optional[int] = None) -> Dict[str, ScenarioResult]:
+            base_seed: Optional[int] = None,
+            telemetry: bool = True) -> Dict[str, ScenarioResult]:
         """Run each scheduler variant on a fresh fabric; results by label.
 
         ``lang_backend`` switches to the scenario's transaction-language
@@ -252,6 +256,13 @@ class Scenario:
         multiplies every rate-driven demand's offered load (explicit
         arrival lists replay unscaled); ``base_seed`` overrides the
         scenario's base seed for derived per-demand seeds.
+
+        ``telemetry=False`` (campaign sweeps) skips per-hop traces and
+        per-port stat breakdowns; departure order, per-flow aggregates,
+        FCT summaries and conservation counters are identical either way
+        (the in-band ``prev_wait_time`` stamp LSTF consumes is always
+        maintained) — only ``stats_by_node``'s ``per_port`` maps come back
+        empty.
         """
         duration = (self.quick_duration if quick and self.quick_duration
                     else self.duration)
@@ -268,6 +279,7 @@ class Scenario:
                 ecmp=self.ecmp,
                 pifo_backend=pifo_backend,
                 keep_packets=self.keep_packets,
+                telemetry=telemetry,
             )
             by_host: Dict[str, List[Iterable[Arrival]]] = {}
             for demand in self.demands:

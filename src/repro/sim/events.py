@@ -1,65 +1,118 @@
 """Event primitives for the discrete-event simulator.
 
-The simulator processes :class:`Event` objects in non-decreasing time order;
-events scheduled for the same instant run in the order they were scheduled
-(a monotonically increasing sequence number breaks ties), which keeps runs
-deterministic.
+The simulator processes events in non-decreasing time order; events scheduled
+for the same instant run in the order they were scheduled (a monotonically
+increasing sequence number breaks ties), which keeps runs deterministic.
+
+Hot-path design
+---------------
+An event is a bare ``(time, seq, callback)`` tuple — no wrapper object, no
+dataclass ``__lt__``: the heap compares tuples in C, and since ``seq`` is
+unique the callback is never compared.  Cancellation marks the event's
+sequence number in a *tombstone set*; tombstoned entries are skipped on pop.
+When tombstones outnumber half the heap the queue **compacts** — rebuilds
+the heap without the dead entries — so a workload that arms and cancels many
+wake-ups (shaped ports) cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Set, Tuple
 
 from ..exceptions import SimulationError
 
-
-@dataclass(order=True)
-class Event:
-    """A scheduled callback.
-
-    Ordering compares ``(time, seq)`` only; the callback itself is excluded
-    from comparisons.
-    """
-
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-    def cancel(self) -> None:
-        """Mark the event so the simulator skips it when its time comes."""
-        self.cancelled = True
+#: A scheduled callback: ``(time, seq, callback)``.  Returned by
+#: :meth:`EventQueue.push` as the cancellation handle.
+Event = Tuple[float, int, Callable[[], Any]]
 
 
 class EventQueue:
-    """A priority queue of events ordered by (time, scheduling order)."""
+    """A priority queue of ``(time, seq, callback)`` events.
+
+    Ordered by (time, scheduling order).  ``push`` returns the raw entry
+    tuple, which doubles as the handle for :meth:`cancel`.
+    """
+
+    __slots__ = ("_heap", "_tombstones", "_next_seq")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._tombstones: Set[int] = set()
+        self._next_seq = 0
 
-    def push(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
-        """Schedule ``callback`` at ``time`` and return the event handle."""
-        event = Event(time=time, seq=next(self._seq), callback=callback, name=name)
-        heapq.heappush(self._heap, event)
-        return event
+    def push(self, time: float, callback: Callable[[], Any],
+             name: str = "") -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle.
+
+        ``name`` is accepted for API compatibility and ignored — per-event
+        labels cost an allocation on the hottest path in the simulator.
+        """
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = (time, seq, callback)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry: Event) -> None:
+        """Mark an event so the simulator skips it when its time comes.
+
+        Idempotent.  Compacts the heap when tombstones pile up past half
+        its size.
+        """
+        self._tombstones.add(entry[1])
+        if len(self._tombstones) * 2 > len(self._heap):
+            self.compact()
+
+    def cancelled(self, entry: Event) -> bool:
+        """Whether the entry has been cancelled (and not yet collected)."""
+        return entry[1] in self._tombstones
+
+    def compact(self) -> None:
+        """Rebuild the heap without tombstoned entries.
+
+        In-place (``heap[:] = ...``) so callers holding a reference to the
+        underlying list — the flattened :meth:`Simulator.run` loop — stay
+        valid.  Also drops tombstones for entries already popped, keeping
+        the set from leaking under cancel-after-fire misuse.
+        """
+        tombstones = self._tombstones
+        if tombstones:
+            heap = self._heap
+            heap[:] = [entry for entry in heap if entry[1] not in tombstones]
+            heapq.heapify(heap)
+            tombstones.clear()
 
     def pop(self) -> Event:
-        """Remove and return the earliest event."""
-        if not self._heap:
-            raise SimulationError("pop from an empty event queue")
-        return heapq.heappop(self._heap)
+        """Remove and return the earliest live (non-cancelled) event."""
+        heap = self._heap
+        tombstones = self._tombstones
+        while heap:
+            entry = heapq.heappop(heap)
+            if tombstones and entry[1] in tombstones:
+                tombstones.discard(entry[1])
+                continue
+            return entry
+        raise SimulationError("pop from an empty event queue")
 
     def peek_time(self) -> Optional[float]:
-        """Time of the earliest event, or ``None`` when empty."""
-        return self._heap[0].time if self._heap else None
+        """Time of the earliest live event, or ``None`` when empty.
+
+        Lazily discards cancelled entries sitting at the head.
+        """
+        heap = self._heap
+        tombstones = self._tombstones
+        while heap:
+            entry = heap[0]
+            if tombstones and entry[1] in tombstones:
+                heapq.heappop(heap)
+                tombstones.discard(entry[1])
+                continue
+            return entry[0]
+        return None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - len(self._tombstones)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return len(self._heap) > len(self._tombstones)

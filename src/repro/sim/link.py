@@ -13,10 +13,21 @@ Work conservation and shaping both fall out naturally:
 * if the scheduler has buffered packets but none eligible (a shaping
   transaction is holding them back), the port schedules a wake-up at the
   scheduler's next release time instead of spinning.
+
+Hot-path design
+---------------
+The port is a **self-rescheduling transmit loop**: the in-flight packet is
+stored on the port and the completion event calls the *bound method*
+``self._on_tx_complete`` — no per-packet closure is ever allocated.
+Packets propagating on the wire sit in a FIFO deque drained by a second
+bound-method event; since every packet on one port shares the port's
+propagation delay, delivery order equals transmit order and the queue needs
+no per-packet state.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Iterable, Optional
 
 from ..core.backend import BackendSpec
@@ -77,6 +88,13 @@ class OutputPort:
         only by ``pifo_backend="auto"``.
     """
 
+    __slots__ = (
+        "sim", "scheduler", "pifo_backend", "rate_bps", "name", "sink",
+        "on_departure", "propagation_delay", "delivery", "busy",
+        "transmitted_packets", "transmitted_bytes", "dropped_packets",
+        "_wakeup", "_tx_packet", "_wire", "_inv_rate", "_has_release",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -98,6 +116,7 @@ class OutputPort:
         self.scheduler = scheduler
         self.pifo_backend = self._apply_backend(pifo_backend, expected_backlog)
         self.rate_bps = rate_bps
+        self._inv_rate = 8.0 / rate_bps  # seconds per byte
         self.name = name
         self.sink = sink if sink is not None else PacketSink(name=f"{name}.sink")
         self.on_departure = on_departure
@@ -108,6 +127,13 @@ class OutputPort:
         self.transmitted_bytes = 0
         self.dropped_packets = 0
         self._wakeup = None
+        #: Packet currently on the transmitter (None when idle).
+        self._tx_packet: Optional[Packet] = None
+        #: Packets in flight on the wire (propagation_delay > 0), FIFO.
+        self._wire: deque = deque()
+        #: Whether the scheduler can report shaping releases (cached; the
+        #: hasattr probe is too expensive to repeat after every dequeue).
+        self._has_release = hasattr(scheduler, "next_shaping_release")
 
     def _apply_backend(
         self, pifo_backend: BackendSpec, expected_backlog: Optional[int]
@@ -127,12 +153,13 @@ class OutputPort:
     # -- ingress ---------------------------------------------------------------
     def receive(self, packet: Packet) -> bool:
         """Hand a packet to the scheduler and kick the transmitter."""
-        packet.arrival_time = self.sim.now
-        accepted = self.scheduler.enqueue(packet, now=self.sim.now)
-        if not accepted:
+        now = self.sim.now
+        packet.arrival_time = now
+        if not self.scheduler.enqueue(packet, now=now):
             self.dropped_packets += 1
             return False
-        self._try_transmit()
+        if not self.busy:
+            self._try_transmit()
         return True
 
     def receive_many(self, packets: Iterable[Packet]) -> int:
@@ -155,7 +182,7 @@ class OutputPort:
                     accepted += 1
                 else:
                     self.dropped_packets += 1
-        if accepted:
+        if accepted and not self.busy:
             self._try_transmit()
         return accepted
 
@@ -163,33 +190,52 @@ class OutputPort:
     def _try_transmit(self) -> None:
         if self.busy:
             return
-        packet = self.scheduler.dequeue(now=self.sim.now)
+        sim = self.sim
+        packet = self.scheduler.dequeue(now=sim.now)
         if packet is None:
             self._arm_wakeup()
             return
         self.busy = True
-        duration = packet.length_bits / self.rate_bps
-        self.sim.schedule(duration, lambda p=packet: self._complete(p),
-                          name=f"{self.name}.tx")
+        self._tx_packet = packet
+        sim.schedule(packet.length * self._inv_rate, self._on_tx_complete)
 
-    def _complete(self, packet: Packet) -> None:
-        packet.departure_time = self.sim.now
+    def _on_tx_complete(self) -> None:
+        sim = self.sim
+        packet = self._tx_packet
+        self._tx_packet = None
+        packet.departure_time = sim.now
         self.busy = False
         self.transmitted_packets += 1
         self.transmitted_bytes += packet.length
-        if self.propagation_delay > 0:
+        if self.propagation_delay > 0.0:
             # The link frees up immediately (pipelining); the packet lands at
-            # the far end one wire latency later.
-            self.sim.schedule(self.propagation_delay,
-                              lambda p=packet: self._deliver(p),
-                              name=f"{self.name}.prop")
+            # the far end one wire latency later.  FIFO: same delay per port.
+            self._wire.append(packet)
+            sim.schedule(self.propagation_delay, self._on_wire_arrival)
+        elif self.delivery is not None:
+            self.delivery(packet)
         else:
-            self._deliver(packet)
+            self.sink.record(packet)
         if self.on_departure is not None:
             self.on_departure(packet)
-        self._try_transmit()
+        # Self-reschedule: pull the next packet without leaving the event.
+        next_packet = self.scheduler.dequeue(now=sim.now)
+        if next_packet is None:
+            self._arm_wakeup()
+            return
+        self.busy = True
+        self._tx_packet = next_packet
+        sim.schedule(next_packet.length * self._inv_rate, self._on_tx_complete)
+
+    def _on_wire_arrival(self) -> None:
+        packet = self._wire.popleft()
+        if self.delivery is not None:
+            self.delivery(packet)
+        else:
+            self.sink.record(packet)
 
     def _deliver(self, packet: Packet) -> None:
+        """Immediate delivery (kept for subclass/test hooks)."""
         if self.delivery is not None:
             self.delivery(packet)
         else:
@@ -197,16 +243,14 @@ class OutputPort:
 
     def _arm_wakeup(self) -> None:
         """Schedule a retry at the scheduler's next shaping release."""
-        next_release = None
-        if hasattr(self.scheduler, "next_shaping_release"):
-            next_release = self.scheduler.next_shaping_release()
+        if not self._has_release:
+            return
+        next_release = self.scheduler.next_shaping_release()
         if next_release is None or next_release <= self.sim.now:
             return
-        if self._wakeup is not None and not self._wakeup.cancelled:
-            self._wakeup.cancel()
-        self._wakeup = self.sim.schedule_at(
-            next_release, self._on_wakeup, name=f"{self.name}.wakeup"
-        )
+        if self._wakeup is not None:
+            self.sim.cancel(self._wakeup)
+        self._wakeup = self.sim.schedule_at(next_release, self._on_wakeup)
 
     def _on_wakeup(self) -> None:
         self._wakeup = None

@@ -15,10 +15,17 @@ Design notes
   take explicit seeds.
 * Components register themselves via :meth:`Simulator.schedule` /
   :meth:`Simulator.schedule_at`; there is no global registry.
+* The :meth:`Simulator.run` loop is deliberately *flat*: it operates on the
+  event queue's raw tuple heap with the hot names bound to locals, because
+  at fabric scale the per-event dispatch overhead dominates the simulation.
+  Events are bare ``(time, seq, callback)`` tuples (see
+  :mod:`repro.sim.events`); cancellation goes through
+  :meth:`Simulator.cancel`.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from ..exceptions import SimulationError
@@ -27,6 +34,8 @@ from .events import Event, EventQueue
 
 class Simulator:
     """Discrete-event simulation kernel."""
+
+    __slots__ = ("now", "_queue", "events_processed", "_running")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -39,15 +48,32 @@ class Simulator:
         """Run ``callback`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        return self._queue.push(self.now + delay, callback, name=name)
+        # Inlined EventQueue.push: one event per simulated packet per hop
+        # makes even the single extra call measurable.
+        queue = self._queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        entry = (self.now + delay, seq, callback)
+        heappush(queue._heap, entry)
+        return entry
 
     def schedule_at(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
         """Run ``callback`` at absolute simulated time ``time``."""
-        if time < self.now - 1e-12:
+        now = self.now
+        if time < now - 1e-12:
             raise SimulationError(
-                f"cannot schedule at {time} (now is {self.now}): time must not go backwards"
+                f"cannot schedule at {time} (now is {now}): time must not go backwards"
             )
-        return self._queue.push(max(time, self.now), callback, name=name)
+        queue = self._queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        entry = (time if time > now else now, seq, callback)
+        heappush(queue._heap, entry)
+        return entry
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (handle returned by ``schedule*``)."""
+        self._queue.cancel(event)
 
     # -- execution ------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -56,33 +82,41 @@ class Simulator:
         Returns the simulation time when the run stopped.  Events scheduled
         exactly at ``until`` are processed.
         """
+        queue = self._queue
+        # Bind the queue internals once: entries pushed by callbacks land in
+        # the same list objects, and EventQueue.compact rebuilds in place.
+        heap = queue._heap
+        tombstones = queue._tombstones
+        pop = heappop
         self._running = True
         processed = 0
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                assert next_time is not None
-                if until is not None and next_time > until:
+            while heap:
+                entry = heap[0]
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                event = self._queue.pop()
-                if event.cancelled:
+                pop(heap)
+                if tombstones and entry[1] in tombstones:
+                    tombstones.discard(entry[1])
                     continue
-                if event.time < self.now - 1e-12:  # pragma: no cover - defensive
-                    raise SimulationError("event queue produced an event in the past")
-                self.now = max(self.now, event.time)
-                event.callback()
-                self.events_processed += 1
+                if time > self.now:
+                    self.now = time
+                entry[2]()
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break
         finally:
             self._running = False
-        if until is not None and (not self._queue or self._queue.peek_time() is None
-                                  or self._queue.peek_time() > until):
-            # Advance the clock to the requested horizon so rate measurements
-            # over [0, until] use the intended window even if the last packet
-            # departed earlier.
-            self.now = max(self.now, until)
+            self.events_processed += processed
+        if until is not None:
+            next_time = queue.peek_time()
+            if next_time is None or next_time > until:
+                # Advance the clock to the requested horizon so rate
+                # measurements over [0, until] use the intended window even
+                # if the last packet departed earlier.
+                if until > self.now:
+                    self.now = until
         return self.now
 
     @property

@@ -80,9 +80,17 @@ class PacketSink:
     keep working off the aggregates.
     """
 
-    def __init__(self, name: str = "sink", keep_packets: bool = True) -> None:
+    def __init__(self, name: str = "sink", keep_packets: bool = True,
+                 recycle_packets: bool = False) -> None:
+        if recycle_packets and keep_packets:
+            raise ValueError("recycle_packets requires keep_packets=False")
         self.name = name
         self.keep_packets = keep_packets
+        #: Return recorded packets to the :class:`~repro.core.packet.Packet`
+        #: free list after folding them into the aggregates.  Only safe when
+        #: this sink is the packet's terminal owner (fabric edge sinks in
+        #: streaming mode); never combined with ``keep_packets``.
+        self.recycle_packets = recycle_packets
         self.packets: List[Packet] = []
         self.recorded_packets = 0
         self.aggregates: Dict[str, FlowAggregate] = {}
@@ -102,6 +110,8 @@ class PacketSink:
             if self.first_departure is None:
                 self.first_departure = packet.departure_time
             self.last_departure = packet.departure_time
+        if self.recycle_packets:
+            packet.recycle()
 
     # The per-flow byte/packet counters are views over the aggregates (one
     # source of truth; ``record`` stays a single update on the hot path).

@@ -4,15 +4,29 @@ A source pulls ``(time, packet)`` pairs from an iterator (typically built by
 :mod:`repro.traffic.generators`) and schedules each arrival in the
 simulator.  Arrivals are scheduled lazily — one event in flight per source —
 so even very long workloads do not pre-materialise the whole event list.
+
+Hot-path design
+---------------
+The source prefetches arrivals from the iterator in chunks
+(:data:`PREFETCH_CHUNK` at a time) so the generator machinery runs once per
+chunk rather than once per packet, and the single in-flight event calls the
+bound method ``self._on_arrival`` with the pending packet stored on the
+source — no per-packet closure.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional, Tuple
+from itertools import islice
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.packet import Packet
 from ..exceptions import TrafficError
 from .simulator import Simulator
+
+#: Arrivals pulled from the stream per refill.  Large enough to amortise
+#: generator resumption, small enough that stopping a source mid-run wastes
+#: almost nothing.
+PREFETCH_CHUNK = 256
 
 
 class PacketSource:
@@ -31,6 +45,9 @@ class PacketSource:
         Label for debugging.
     """
 
+    __slots__ = ("sim", "destination", "name", "_iterator", "generated_packets",
+                 "_last_time", "_pending", "_pending_packet", "_batch", "_index")
+
     def __init__(
         self,
         sim: Simulator,
@@ -45,26 +62,42 @@ class PacketSource:
         self.generated_packets = 0
         self._last_time = -1.0
         self._pending = None
+        self._pending_packet: Optional[Packet] = None
+        #: Prefetched (time, packet) pairs and the cursor into them.
+        self._batch: List[Tuple[float, Packet]] = []
+        self._index = 0
         self._schedule_next()
 
-    def _schedule_next(self) -> None:
-        try:
-            time, packet = next(self._iterator)
-        except StopIteration:
-            self._pending = None
-            return
-        if time < self._last_time - 1e-12:
-            raise TrafficError(
-                f"source {self.name!r} produced arrivals out of order "
-                f"({time} after {self._last_time})"
-            )
-        self._last_time = time
-        self._pending = self.sim.schedule_at(
-            time, lambda t=time, p=packet: self._emit(p),
-            name=f"{self.name}.arrival",
-        )
+    def _refill(self) -> bool:
+        """Pull the next chunk of arrivals; returns False at end of stream."""
+        batch = list(islice(self._iterator, PREFETCH_CHUNK))
+        if not batch:
+            return False
+        last = self._last_time
+        for time, _packet in batch:
+            if time < last - 1e-12:
+                raise TrafficError(
+                    f"source {self.name!r} produced arrivals out of order "
+                    f"({time} after {last})"
+                )
+            last = time
+        self._batch = batch
+        self._index = 0
+        return True
 
-    def _emit(self, packet: Packet) -> None:
+    def _schedule_next(self) -> None:
+        if self._index >= len(self._batch) and not self._refill():
+            self._pending = None
+            self._pending_packet = None
+            return
+        time, packet = self._batch[self._index]
+        self._index += 1
+        self._last_time = time
+        self._pending_packet = packet
+        self._pending = self.sim.schedule_at(time, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        packet = self._pending_packet
         self.generated_packets += 1
         self.destination.receive(packet)
         self._schedule_next()
@@ -75,9 +108,12 @@ class PacketSource:
         Used by the fabric's drain phase so "finish the packets in flight"
         does not mean "replay the remainder of an arrival stream"."""
         if self._pending is not None:
-            self._pending.cancel()
+            self.sim.cancel(self._pending)
             self._pending = None
+            self._pending_packet = None
         self._iterator = iter(())
+        self._batch = []
+        self._index = 0
 
 
 def chain_hops(

@@ -14,7 +14,6 @@ occupancy counters; admission policies live in
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Sequence
 
@@ -75,7 +74,10 @@ class SharedBuffer:
     # -- accounting -----------------------------------------------------------
     def cells_for(self, packet: Packet) -> int:
         """Number of cells a packet occupies."""
-        return max(1, math.ceil(packet.length / self.cell_bytes))
+        # Integer ceiling division: packet lengths are positive ints, so this
+        # is exact and avoids the float round-trip of math.ceil on a path
+        # executed several times per packet per hop.
+        return (packet.length + self.cell_bytes - 1) // self.cell_bytes
 
     def occupancy(self) -> BufferOccupancy:
         return BufferOccupancy(

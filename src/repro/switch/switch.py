@@ -112,6 +112,12 @@ class SharedMemorySwitch:
         ``port_count`` / ``port_rate_bps``; used by the fabric layer to give
         each egress port its link's rate, wire latency and next-hop delivery
         hook.
+    telemetry:
+        Maintain per-port transmitted/dropped breakdowns in
+        :class:`SwitchStats` (default).  Sweeps that only consume aggregate
+        results disable this to drop two dict updates per packet; the
+        aggregate counters (received / admitted / dropped / transmitted)
+        are always maintained.
     name:
         Switch label (node name inside a fabric).
     """
@@ -126,6 +132,7 @@ class SharedMemorySwitch:
         admission: Optional[AdmissionPolicy] = None,
         pifo_backend: BackendSpec = None,
         port_specs: Optional[Sequence[PortSpec]] = None,
+        telemetry: bool = True,
         name: str = "switch",
     ) -> None:
         if port_specs is None:
@@ -140,12 +147,22 @@ class SharedMemorySwitch:
         self.buffer = buffer if buffer is not None else SharedBuffer()
         self.admission = admission if admission is not None else AlwaysAdmit()
         self.pifo_backend = pifo_backend
+        self.telemetry = telemetry
+        # Occupancy-only buffer accounting: with telemetry off and the
+        # threshold-free AlwaysAdmit policy, nothing ever reads the per-flow
+        # / per-port occupancy maps, so the ingress/egress paths skip their
+        # four dict updates per packet and track only used cells/bytes.
+        self._untracked_buffer = (
+            not telemetry and type(self.admission) is AlwaysAdmit
+        )
         self.stats = SwitchStats()
         self.ports: Dict[str, OutputPort] = {}
         #: Forwarding table: destination address -> candidate egress port
         #: names (several under ECMP).  Installed by the fabric's routing
         #: pass; single-switch experiments never touch it.
         self.routes: Dict[str, List[str]] = {}
+        #: Flow label -> CRC32 hash, so ECMP hashes each flow string once.
+        self._flow_hashes: Dict[str, int] = {}
         for spec in port_specs:
             if spec.name in self.ports:
                 raise ValueError(f"duplicate port name {spec.name!r}")
@@ -164,15 +181,43 @@ class SharedMemorySwitch:
 
     # -- buffer release on transmit -------------------------------------------------
     def _make_release_callback(self, port_name: str) -> Callable[[Packet], None]:
-        def _release(packet: Packet) -> None:
-            self.stats.transmitted += 1
-            self.stats.port(port_name).transmitted += 1
-            try:
-                self.buffer.release(packet, port=port_name)
-            except BufferError_:
-                # The packet was admitted before accounting existed (e.g. a
-                # test feeding ports directly); ignore rather than crash.
-                pass
+        stats = self.stats
+        buffer = self.buffer
+        if self._untracked_buffer:
+
+            def _release(packet: Packet) -> None:
+                stats.transmitted += 1
+                cells = (packet.length + buffer.cell_bytes - 1) // buffer.cell_bytes
+                if buffer.used_cells >= cells:
+                    buffer.used_cells -= cells
+                    buffer.used_bytes -= packet.length
+                else:
+                    # Fed directly without ingress accounting (tests); clamp.
+                    buffer.used_cells = 0
+                    buffer.used_bytes = max(0, buffer.used_bytes - packet.length)
+
+            return _release
+        if self.telemetry:
+            port_counters = stats.port(port_name)
+
+            def _release(packet: Packet) -> None:
+                stats.transmitted += 1
+                port_counters.transmitted += 1
+                try:
+                    buffer.release(packet, port=port_name)
+                except BufferError_:
+                    # The packet was admitted before accounting existed (e.g.
+                    # a test feeding ports directly); ignore, don't crash.
+                    pass
+
+        else:
+
+            def _release(packet: Packet) -> None:
+                stats.transmitted += 1
+                try:
+                    buffer.release(packet, port=port_name)
+                except BufferError_:
+                    pass
 
         return _release
 
@@ -207,7 +252,11 @@ class SharedMemorySwitch:
             )
         if len(candidates) == 1:
             return candidates[0]
-        return candidates[zlib.crc32(packet.flow.encode()) % len(candidates)]
+        flow_hashes = self._flow_hashes
+        digest = flow_hashes.get(packet.flow)
+        if digest is None:
+            digest = flow_hashes[packet.flow] = zlib.crc32(packet.flow.encode())
+        return candidates[digest % len(candidates)]
 
     def forward(self, packet: Packet) -> bool:
         """Fabric ingress: route by ``packet.dst`` and enqueue at egress."""
@@ -223,19 +272,39 @@ class SharedMemorySwitch:
         """
         if output_port not in self.ports:
             raise KeyError(f"unknown output port {output_port!r}")
-        self.stats.received += 1
-        if not self.admission.admit(self.buffer, packet, port=output_port):
-            self.stats.dropped_admission += 1
-            self.stats.port(output_port).dropped_admission += 1
+        stats = self.stats
+        stats.received += 1
+        buffer = self.buffer
+        if self._untracked_buffer:
+            cells = (packet.length + buffer.cell_bytes - 1) // buffer.cell_bytes
+            if buffer.used_cells + cells > buffer.total_cells:
+                # Mirrors the tracked path's AlwaysAdmit rejection exactly
+                # (which never reaches allocate(), so no drops_no_space).
+                stats.dropped_admission += 1
+                return False
+            buffer.used_cells += cells
+            buffer.used_bytes += packet.length
+            if self.ports[output_port].receive(packet):
+                stats.admitted += 1
+                return True
+            buffer.used_cells -= cells
+            buffer.used_bytes -= packet.length
+            stats.dropped_scheduler += 1
             return False
-        self.buffer.allocate(packet, port=output_port)
+        if not self.admission.admit(buffer, packet, port=output_port):
+            stats.dropped_admission += 1
+            if self.telemetry:
+                stats.port(output_port).dropped_admission += 1
+            return False
+        buffer.allocate(packet, port=output_port)
         accepted = self.ports[output_port].receive(packet)
         if not accepted:
-            self.buffer.release(packet, port=output_port)
-            self.stats.dropped_scheduler += 1
-            self.stats.port(output_port).dropped_scheduler += 1
+            buffer.release(packet, port=output_port)
+            stats.dropped_scheduler += 1
+            if self.telemetry:
+                stats.port(output_port).dropped_scheduler += 1
             return False
-        self.stats.admitted += 1
+        stats.admitted += 1
         return True
 
     def receive_many(self, packets: Iterable[Packet], output_port: str) -> int:
@@ -251,6 +320,36 @@ class SharedMemorySwitch:
         """
         if output_port not in self.ports:
             raise KeyError(f"unknown output port {output_port!r}")
+        if self._untracked_buffer:
+            # Occupancy-only twin of the tracked batch path below: admit
+            # packet by packet against free cells, hand the whole burst to
+            # the port in one receive_many, kick the transmitter once —
+            # identical service order to the telemetry-on batch path.
+            stats = self.stats
+            buffer = self.buffer
+            cell_bytes = buffer.cell_bytes
+            admitted = []
+            for packet in packets:
+                stats.received += 1
+                cells = (packet.length + cell_bytes - 1) // cell_bytes
+                if buffer.used_cells + cells > buffer.total_cells:
+                    stats.dropped_admission += 1
+                    continue
+                buffer.used_cells += cells
+                buffer.used_bytes += packet.length
+                packet.enqueue_time = None
+                admitted.append(packet)
+            accepted = self.ports[output_port].receive_many(admitted)
+            if accepted < len(admitted):
+                for packet in admitted:
+                    if packet.enqueue_time is None:
+                        buffer.used_cells -= (
+                            (packet.length + cell_bytes - 1) // cell_bytes
+                        )
+                        buffer.used_bytes -= packet.length
+                        stats.dropped_scheduler += 1
+            stats.admitted += accepted
+            return accepted
         port = self.ports[output_port]
         packets = list(packets)
         if isinstance(self.admission, AlwaysAdmit) and (
@@ -268,7 +367,8 @@ class SharedMemorySwitch:
                 self.stats.received += 1
                 if not self.admission.admit(self.buffer, packet, port=output_port):
                     self.stats.dropped_admission += 1
-                    self.stats.port(output_port).dropped_admission += 1
+                    if self.telemetry:
+                        self.stats.port(output_port).dropped_admission += 1
                     continue
                 self.buffer.allocate(packet, port=output_port)
                 admitted.append(packet)
@@ -281,7 +381,8 @@ class SharedMemorySwitch:
             rejected = [p for p in admitted if p.enqueue_time is None]
             self.buffer.release_many(rejected, port=output_port)
             self.stats.dropped_scheduler += len(rejected)
-            self.stats.port(output_port).dropped_scheduler += len(rejected)
+            if self.telemetry:
+                self.stats.port(output_port).dropped_scheduler += len(rejected)
         self.stats.admitted += accepted
         return accepted
 

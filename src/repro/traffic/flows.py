@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from ..core.packet import EMPTY_FIELDS
+
 
 @dataclass
 class FlowSpec:
@@ -31,6 +33,10 @@ class FlowSpec:
         Interval during which the flow generates traffic.
     fields:
         Extra metadata copied into every packet (slack, deadline, ...).
+        Defaults to the shared immutable empty mapping
+        (:data:`~repro.core.packet.EMPTY_FIELDS`) so zero-metadata specs —
+        and the packets generated from them — allocate no dict; pass a real
+        dict to attach metadata.
     src / dst:
         Optional network addresses stamped on every generated packet, so the
         fabric layer (:mod:`repro.net`) can route the flow from its source
@@ -46,7 +52,10 @@ class FlowSpec:
     weight: float = 1.0
     start_time: float = 0.0
     end_time: Optional[float] = None
-    fields: Dict[str, Any] = field(default_factory=dict)
+    # default_factory returning the shared immutable mapping: dataclasses
+    # reject unhashable defaults, but the factory hands every zero-metadata
+    # spec the same EMPTY_FIELDS object — no dict is allocated.
+    fields: Dict[str, Any] = field(default_factory=lambda: EMPTY_FIELDS)
     src: Optional[str] = None
     dst: Optional[str] = None
 

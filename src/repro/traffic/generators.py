@@ -35,10 +35,16 @@ Arrival = Tuple[float, Packet]
 
 
 def _packet_from_spec(spec: FlowSpec, extra_fields: Optional[Dict[str, Any]] = None) -> Packet:
-    fields = dict(spec.fields)
+    # Packets without metadata share the immutable empty mapping (fields=None)
+    # instead of allocating a dict each — see repro.core.packet.
     if extra_fields:
+        fields = dict(spec.fields)
         fields.update(extra_fields)
-    return Packet(
+    elif spec.fields:
+        fields = dict(spec.fields)
+    else:
+        fields = None
+    return Packet.acquire(
         flow=spec.name,
         length=spec.packet_size,
         packet_class=spec.packet_class,
@@ -181,11 +187,11 @@ def flow_arrivals(
                     "remaining_size": remaining,
                     "attained_service": sent,
                 }
-            yield time, Packet(
+            yield time, Packet.acquire(
                 flow=flow_name,
                 length=this_size,
                 packet_class=packet_class,
-                fields=fields,
+                fields=fields if tag_fields else None,
                 src=src,
                 dst=dst,
             )

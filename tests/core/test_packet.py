@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import Packet, make_packets
+from repro.core.packet import EMPTY_FIELDS, clear_pool, pool_size
 
 
 class TestPacket:
@@ -55,6 +56,82 @@ class TestPacket:
         packet = Packet(flow="A", length=64)
         assert packet.packet_class is None
         assert packet.priority == 0
+
+
+class TestLazyFields:
+    def test_zero_metadata_packets_share_empty_mapping(self):
+        first = Packet(flow="A", length=100)
+        second = Packet(flow="B", length=100)
+        assert first.fields is EMPTY_FIELDS
+        assert first.fields is second.fields
+
+    def test_shared_mapping_rejects_direct_writes(self):
+        packet = Packet(flow="A", length=100)
+        with pytest.raises(TypeError):
+            packet.fields["x"] = 1
+
+    def test_first_write_allocates_private_dict(self):
+        first = Packet(flow="A", length=100)
+        second = Packet(flow="B", length=100)
+        first.set("slack", 2.0)
+        assert first.fields == {"slack": 2.0}
+        assert second.get("slack") is None
+        assert second.fields is EMPTY_FIELDS
+
+    def test_hops_allocated_lazily(self):
+        packet = Packet(flow="A", length=100)
+        assert packet._hops is None
+        assert packet.per_hop_delays() == {}
+        packet.record_hop("s1", 0.0, 0.1, 0.2)
+        assert packet.hops == [("s1", 0.0, 0.1, 0.2)]
+
+
+class TestPacketPool:
+    def test_acquire_reuses_recycled_packets(self):
+        clear_pool()
+        packet = Packet.acquire("A", 100)
+        packet.set("slack", 1.0)
+        packet.record_hop("s1", 0.0, 0.0, 0.1)
+        old_id = packet.packet_id
+        packet.recycle()
+        assert pool_size() == 1
+        reused = Packet.acquire("B", 200)
+        assert reused is packet
+        assert pool_size() == 0
+        # Fully reinitialised: fresh id, no stale metadata or hops.
+        assert reused.flow == "B"
+        assert reused.length == 200
+        assert reused.packet_id > old_id
+        assert reused.fields is EMPTY_FIELDS
+        assert reused.hops == []
+        assert reused.enqueue_time is None
+        assert reused.departure_time is None
+
+    def test_acquire_validates_length(self):
+        clear_pool()
+        Packet.acquire("A", 100).recycle()
+        with pytest.raises(ValueError):
+            Packet.acquire("A", 0)
+        with pytest.raises(ValueError):
+            Packet.acquire("B", -5)  # pool hit path validates too
+
+    def test_streaming_fabric_sink_recycles(self):
+        from repro.sim import PacketSink, Simulator
+
+        clear_pool()
+        sink = PacketSink(keep_packets=False, recycle_packets=True)
+        packet = Packet.acquire("A", 100)
+        packet.departure_time = 1.0
+        sink.record(packet)
+        assert sink.recorded_packets == 1
+        assert pool_size() == 1
+        clear_pool()
+
+    def test_recycle_requires_streaming_mode(self):
+        from repro.sim import PacketSink
+
+        with pytest.raises(ValueError):
+            PacketSink(keep_packets=True, recycle_packets=True)
 
 
 class TestMakePackets:

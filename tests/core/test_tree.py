@@ -103,6 +103,22 @@ class TestPacketClassification:
         tree = build_two_level_tree()
         assert tree.leaf_for(Packet(flow="D", length=100)).name == "Right"
 
+    def test_trivial_path_cache_invalidated_by_add_child(self):
+        # The single-node fast path must not survive post-construction
+        # structural changes: a child attached after ScheduleTree() is
+        # built has to show up in match_path.
+        from repro.core.transaction import LambdaSchedulingTransaction
+
+        root = TreeNode("Root", LambdaSchedulingTransaction(
+            lambda p, ctx, state: 0.0))
+        tree = ScheduleTree(root)
+        assert [n.name for n in tree.match_path(Packet(flow="A", length=10))] \
+            == ["Root"]
+        root.add_child(TreeNode("Leaf", LambdaSchedulingTransaction(
+            lambda p, ctx, state: 0.0)))
+        path = tree.match_path(Packet(flow="A", length=10))
+        assert [n.name for n in path] == ["Leaf", "Root"]
+
     def test_unmatched_packet_stops_at_interior_node(self):
         tree = build_two_level_tree()
         path = tree.match_path(Packet(flow="Z", length=100))

@@ -11,16 +11,16 @@ from repro.sim import EventQueue, Simulator
 class TestEventQueue:
     def test_time_ordering(self):
         queue = EventQueue()
-        queue.push(2.0, lambda: None, name="b")
-        queue.push(1.0, lambda: None, name="a")
-        assert queue.pop().name == "a"
-        assert queue.pop().name == "b"
+        b = queue.push(2.0, lambda: "b")
+        a = queue.push(1.0, lambda: "a")
+        assert queue.pop() is a
+        assert queue.pop() is b
 
     def test_same_time_fifo(self):
         queue = EventQueue()
-        queue.push(1.0, lambda: None, name="first")
-        queue.push(1.0, lambda: None, name="second")
-        assert queue.pop().name == "first"
+        first = queue.push(1.0, lambda: "first")
+        queue.push(1.0, lambda: "second")
+        assert queue.pop() is first
 
     def test_pop_empty_raises(self):
         with pytest.raises(SimulationError):
@@ -31,6 +31,56 @@ class TestEventQueue:
         assert queue.peek_time() is None
         queue.push(3.0, lambda: None)
         assert queue.peek_time() == 3.0
+
+    def test_cancelled_events_skipped_on_pop(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: "first")
+        second = queue.push(2.0, lambda: "second")
+        queue.cancel(first)
+        assert queue.cancelled(first)
+        assert len(queue) == 1
+        assert queue.pop() is second
+
+    def test_peek_time_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        queue.cancel(head)
+        assert queue.peek_time() == 5.0
+
+    def test_compaction_removes_tombstones(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        # Cancel six of ten: the compaction threshold (tombstones > half the
+        # heap) trips during the cancels and rebuilds the heap in place.
+        for event in events[:6]:
+            queue.cancel(event)
+        assert len(queue._heap) == 4
+        assert not queue._tombstones
+        assert len(queue) == 4
+        # Survivors drain in time order.
+        assert [entry[0] for entry in
+                (queue.pop(), queue.pop(), queue.pop(), queue.pop())] == [
+                    6.0, 7.0, 8.0, 9.0]
+
+    def test_compaction_preserves_heap_aliases(self):
+        # Simulator.run binds the heap list once; compaction must rebuild
+        # in place rather than rebind a fresh list.
+        queue = EventQueue()
+        heap_alias = queue._heap
+        events = [queue.push(float(i), lambda: None) for i in range(8)]
+        for event in events[:5]:
+            queue.cancel(event)
+        assert queue._heap is heap_alias
+        assert len(heap_alias) == 3
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 1
 
 
 class TestSimulator:
@@ -89,9 +139,10 @@ class TestSimulator:
         log = []
         event = sim.schedule(0.1, lambda: log.append("cancelled"))
         sim.schedule(0.2, lambda: log.append("kept"))
-        event.cancel()
+        sim.cancel(event)
         sim.run()
         assert log == ["kept"]
+        assert sim.events_processed == 1
 
     def test_max_events_cap(self):
         sim = Simulator()
