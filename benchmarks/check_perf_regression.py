@@ -34,8 +34,21 @@ GATED_ARTIFACTS = ("BENCH_network_fabric.json", "BENCH_campaign.json")
 
 def _fabric_metrics(payload: Dict) -> Iterator[Tuple[str, float]]:
     for topology, data in sorted(payload.get("topologies", {}).items()):
+        # Fused-datapath rates (the default configuration).
         for backend, rate in sorted(data.get("backends", {}).items()):
             yield f"fabric/{topology}/{backend} pkt/s", float(rate)
+        # Interpreted reference rates: the fallback path is gated too, so
+        # a scheduler that silently stops fusing (and rides the fallback)
+        # cannot also let the fallback itself rot.
+        for backend, rate in sorted(data.get("interpreted", {}).items()):
+            yield (f"fabric/{topology}/{backend} interpreted pkt/s",
+                   float(rate))
+        # The fused-over-interpreted ratio is a rate-of-rates: gating it
+        # catches the fused path regressing even if machine-wide noise
+        # moves both absolute numbers together.
+        speedup = data.get("speedup_fused_vs_interpreted")
+        if speedup is not None:
+            yield f"fabric/{topology} fused speedup", float(speedup)
 
 
 def _campaign_metrics(payload: Dict) -> Iterator[Tuple[str, float]]:

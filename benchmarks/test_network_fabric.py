@@ -48,27 +48,62 @@ def test_fabric_chain_throughput(benchmark, backend):
 
 
 def test_fabric_throughput_summary():
-    """Consolidated packets/second table; writes the CI artifact."""
+    """Consolidated packets/second table; writes the CI artifact.
+
+    ``backends`` rows run the default datapath — fused whole-tree kernels
+    (:mod:`repro.lang.treekernel`) plus fused fabric delivery — and are
+    what the perf-regression gate holds the build to.  ``interpreted``
+    rows re-measure the same workloads with both fusions disabled (the
+    pre-kernel reference path, also gated so the fallback never rots),
+    and ``speedup_fused_vs_interpreted`` records the ratio the tree-kernel
+    compiler buys end to end.  The lockstep suite
+    (tests/net/test_treekernel_lockstep.py) proves the two configurations
+    deliver identical packets in identical order.
+    """
     rows = []
     artifact = {"packet_size_bytes": PACKET_SIZE, "telemetry": False,
-                "topologies": {}}
+                "tree_kernel": True, "topologies": {}}
     for topology, count in (("chain3", CHAIN_PACKETS),
                             ("leaf_spine4x2", CLOS_PACKETS)):
-        artifact["topologies"][topology] = {"packets": count, "backends": {}}
+        entry = {"packets": count, "backends": {}, "interpreted": {}}
+        artifact["topologies"][topology] = entry
         for backend in BACKENDS:
             result = run_workload(topology, packets=count,
                                   pifo_backend=backend)
             assert result.delivered >= count * 0.99
+            assert result.kernel_installs > 0
+            assert result.kernel_fallbacks == 0
             rate = result.packets_per_second
             rows.append(
                 {
                     "topology": topology,
                     "backend": backend,
+                    "datapath": "fused",
                     "delivered": result.delivered,
                     "packets_per_second": rate,
                 }
             )
-            artifact["topologies"][topology]["backends"][backend] = rate
+            entry["backends"][backend] = rate
+        # Interpreted reference on the default backend only: one row per
+        # topology bounds the benchmark's runtime while still gating the
+        # fallback path end to end.
+        reference = run_workload(topology, packets=count,
+                                 pifo_backend="sorted", tree_kernel=False)
+        assert reference.delivered >= count * 0.99
+        assert reference.kernel_installs == 0
+        entry["interpreted"]["sorted"] = reference.packets_per_second
+        entry["speedup_fused_vs_interpreted"] = (
+            entry["backends"]["sorted"] / reference.packets_per_second
+        )
+        rows.append(
+            {
+                "topology": topology,
+                "backend": "sorted",
+                "datapath": "interpreted",
+                "delivered": reference.delivered,
+                "packets_per_second": reference.packets_per_second,
+            }
+        )
     report("Fabric throughput (end-to-end packets/second)", rows)
     BENCH_ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
     # A Python fabric should comfortably sustain thousands of packets/s on

@@ -112,6 +112,19 @@ def _execute_payload(payload: Dict) -> Dict:
     return execute_spec(RunSpec.from_dict(payload))
 
 
+def _chunk_size(runs: int, workers: int) -> int:
+    """Runs batched per pool task.
+
+    One-task-per-run loses to serial on small campaigns: each run pays a
+    pickle/IPC round trip that rivals the run itself (the
+    ``speedup_max_workers_vs_serial < 1`` regime in ``BENCH_campaign.json``).
+    Batching amortises that overhead; capping at four waves per worker
+    keeps enough tasks in flight that an unlucky long run cannot idle the
+    rest of the pool behind it.
+    """
+    return max(1, runs // (workers * 4))
+
+
 @dataclass
 class CampaignReport:
     """Summary of one :meth:`CampaignRunner.run` invocation."""
@@ -185,8 +198,11 @@ class CampaignRunner:
                 # imap (not imap_unordered) yields in submission order, so
                 # the store's record order matches the serial run while
                 # completed results still stream to disk as the head of the
-                # line finishes.
-                for record in pool.imap(_execute_payload, payloads):
+                # line finishes.  The chunksize batches several runs per
+                # pool task; yield order (and thus the store) is unchanged.
+                chunk = _chunk_size(len(payloads), self.workers)
+                for record in pool.imap(_execute_payload, payloads,
+                                        chunksize=chunk):
                     commit(record)
         return CampaignReport(
             campaign=self.campaign.name,

@@ -101,6 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="show a program's source, analysis and atom pipeline"
     )
     show_parser.add_argument("program", help="program name (see 'programs')")
+    show_parser.add_argument("--tree-kernel", action="store_true",
+                             dest="tree_kernel",
+                             help="also print the fused whole-tree kernel "
+                                  "generated for a single-node tree running "
+                                  "this program")
+    show_parser.add_argument("--pifo-backend", default="sorted",
+                             dest="pifo_backend", metavar="BACKEND",
+                             help="PIFO backend to specialise the "
+                                  "--tree-kernel source for")
 
     perf_parser = subparsers.add_parser(
         "perf", help="measure or profile the simulation hot path"
@@ -115,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--telemetry", action="store_true",
                              help="measure with per-hop telemetry enabled "
                                   "(the figure-run configuration)")
+    perf_parser.add_argument("--no-tree-kernel", action="store_false",
+                             dest="tree_kernel",
+                             help="measure the interpreted reference datapath "
+                                  "(fused kernels and fused delivery off)")
     perf_parser.add_argument("--profile", action="store_true",
                              help="run under cProfile and print the hottest "
                                   "functions")
@@ -375,7 +388,7 @@ def _cmd_campaign_report(name: Optional[str], store_path: Optional[str],
 
 
 def _cmd_perf(workload: str, packets: int, pifo_backend: str,
-              telemetry: bool, profile: bool, top: int,
+              telemetry: bool, tree_kernel: bool, profile: bool, top: int,
               as_json: bool, out: Optional[str]) -> int:
     from .perf import profile_workload, run_workload
 
@@ -383,12 +396,14 @@ def _cmd_perf(workload: str, packets: int, pifo_backend: str,
         if profile:
             result = profile_workload(workload, packets=packets,
                                       pifo_backend=pifo_backend,
-                                      telemetry=telemetry, top=top)
+                                      telemetry=telemetry,
+                                      tree_kernel=tree_kernel, top=top)
             perf = result.perf
         else:
             perf = run_workload(workload, packets=packets,
                                 pifo_backend=pifo_backend,
-                                telemetry=telemetry)
+                                telemetry=telemetry,
+                                tree_kernel=tree_kernel)
             result = None
     except KeyError as exc:
         print(str(exc.args[0]), file=sys.stderr)
@@ -408,10 +423,14 @@ def _cmd_perf(workload: str, packets: int, pifo_backend: str,
             "workload": perf.workload,
             "pifo backend": perf.pifo_backend,
             "telemetry": "on" if perf.telemetry else "off",
+            "tree kernel": "fused" if perf.tree_kernel else "interpreted",
             "delivered packets": perf.delivered,
             "elapsed (s)": f"{perf.elapsed_s:.3f}",
             "packets/second": f"{perf.packets_per_second:,.0f}",
             "events/second": f"{perf.events_per_second:,.0f}",
+            "kernel cache hits": perf.kernel_cache_hits,
+            "kernel compiles": perf.kernel_compiles,
+            "kernel installs": perf.kernel_installs,
         },
         title=f"Hot-path throughput ({perf.workload})",
     ))
@@ -433,7 +452,8 @@ def _cmd_perf(workload: str, packets: int, pifo_backend: str,
     return 0
 
 
-def _cmd_show(program: str) -> int:
+def _cmd_show(program: str, tree_kernel: bool = False,
+              pifo_backend: str = "sorted") -> int:
     if program not in PROGRAM_SOURCES:
         known = ", ".join(sorted(PROGRAM_SOURCES))
         print(f"unknown program {program!r}; known programs: {known}",
@@ -471,6 +491,24 @@ def _cmd_show(program: str) -> int:
         print("Generated Python (repro.lang.compiler)")
         print("======================================")
         print(generated.rstrip())
+    if tree_kernel:
+        from .core.scheduler import ProgrammableScheduler
+        from .core.tree import single_node_tree
+
+        scheduler = ProgrammableScheduler(
+            single_node_tree(DEFAULT_FACTORIES[program]()),
+            pifo_backend=pifo_backend,
+        )
+        print()
+        print("Fused tree kernel (repro.lang.treekernel)")
+        print("=========================================")
+        kernel = scheduler.tree_kernel
+        if kernel is None:
+            print(f"not fused: {scheduler.kernel_fallback_reason}")
+        else:
+            print(f"# cached as {kernel.filename} "
+                  f"(backend={pifo_backend})")
+            print(kernel.source.rstrip())
     return 0
 
 
@@ -493,11 +531,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "scenarios":
         return _cmd_scenarios()
     if args.command == "show":
-        return _cmd_show(args.program)
+        return _cmd_show(args.program, args.tree_kernel, args.pifo_backend)
     if args.command == "perf":
         return _cmd_perf(args.workload, args.packets, args.pifo_backend,
-                         args.telemetry, args.profile, args.top,
-                         args.json, args.out)
+                         args.telemetry, args.tree_kernel, args.profile,
+                         args.top, args.json, args.out)
     if args.command == "campaign":
         if args.campaign_command is None:
             print("usage: repro campaign {run,list,report} ...",

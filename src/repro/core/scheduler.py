@@ -24,6 +24,7 @@ ground truth against which the cycle-level hardware model
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
@@ -76,6 +77,14 @@ class SchedulerStats:
     per_flow_dequeued: dict = field(default_factory=dict)
 
 
+def _tree_kernel_default(flag: Optional[bool]) -> bool:
+    """Resolve the fused-kernel switch against ``REPRO_TREE_KERNEL``."""
+    if flag is not None:
+        return flag
+    value = os.environ.get("REPRO_TREE_KERNEL", "").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
 class ProgrammableScheduler:
     """Reference implementation of a PIFO-programmed packet scheduler.
 
@@ -91,6 +100,13 @@ class ProgrammableScheduler:
     pifo_backend:
         Optional backend spec (see :mod:`repro.core.backend`) applied to
         every PIFO in the tree before the run starts.
+    tree_kernel:
+        Whether to fuse the whole tree into a generated per-shape kernel
+        (:mod:`repro.lang.treekernel`) replacing :meth:`enqueue` /
+        :meth:`dequeue` with specialised straight-line code.  Defaults to
+        on (overridable per process via ``REPRO_TREE_KERNEL=0``); trees the
+        kernel cannot fuse (shaping transactions) automatically stay on the
+        interpreted path, with the reason in ``kernel_fallback_reason``.
 
     Shaping releases are driven by a single **global shaping calendar**: a
     heap of ``(release_time, seq, token)`` shared by the whole tree.  The
@@ -105,6 +121,7 @@ class ProgrammableScheduler:
         tree: ScheduleTree,
         drop_on_full: bool = True,
         pifo_backend: BackendSpec = None,
+        tree_kernel: Optional[bool] = None,
     ) -> None:
         self.tree = tree
         self.drop_on_full = drop_on_full
@@ -122,11 +139,129 @@ class ProgrammableScheduler:
         # identical while removing two allocations per packet per node.
         self._enq_ctx = TransactionContext()
         self._deq_ctx = TransactionContext()
+        #: The installed fused kernel (None when running interpreted).
+        self.tree_kernel = None
+        #: Why the fused kernel is not installed (None when it is).
+        self.kernel_fallback_reason: Optional[str] = None
+        # Fused kernels bind per-instance enqueue/dequeue, which would
+        # shadow overrides in subclasses — only enable for this exact class.
+        self._tree_kernel_enabled = (
+            _tree_kernel_default(tree_kernel)
+            and type(self) is ProgrammableScheduler
+        )
+        self._install_kernel()
 
     def use_backend(self, backend: BackendSpec) -> None:
         """Swap every PIFO in the tree onto ``backend`` (entries migrate)."""
         self.tree.use_backend(backend)
         self.pifo_backend = backend
+        self._install_kernel()
+
+    # ------------------------------------------------------------------ #
+    # Fused tree kernel                                                   #
+    # ------------------------------------------------------------------ #
+    def _install_kernel(self) -> None:
+        """(Re)build and bind the fused kernel, or fall back interpreted.
+
+        Called from every sanctioned mutation point (construction,
+        :meth:`reset`, :meth:`use_backend`) and from the kernel's own
+        staleness guard when the tree was changed behind the scheduler's
+        back (``tree.use_backend``, ``add_child``, direct transaction
+        resets).
+        """
+        if not self._tree_kernel_enabled:
+            self._uninstall_kernel()
+            return
+        from ..lang.treekernel import TreeKernelError, compile_tree_kernel
+
+        try:
+            kernel = compile_tree_kernel(self)
+        except TreeKernelError as exc:
+            self._uninstall_kernel()
+            self.kernel_fallback_reason = str(exc)
+            return
+        self.tree_kernel = kernel
+        self.kernel_fallback_reason = None
+        # Instance-attribute binding: reads shadow the class methods, so
+        # ports and fabrics call the fused closures with zero dispatch.
+        self.enqueue = kernel.enqueue
+        self.dequeue = kernel.dequeue
+        self.transfer = kernel.transfer
+
+    def _uninstall_kernel(self) -> None:
+        self.tree_kernel = None
+        self.kernel_fallback_reason = "disabled"
+        self.__dict__.pop("enqueue", None)
+        self.__dict__.pop("dequeue", None)
+        self.__dict__.pop("transfer", None)
+
+    def set_tree_kernel(self, enabled: bool) -> None:
+        """Enable/disable the fused kernel on a live (idle) scheduler."""
+        self._tree_kernel_enabled = (
+            enabled and type(self) is ProgrammableScheduler
+        )
+        self._install_kernel()
+
+    def _kernel_stale_enqueue(self, packet: Packet, now: Optional[float]) -> bool:
+        """Guard trip on enqueue: re-specialise, then retry the call."""
+        self._install_kernel()
+        return self.enqueue(packet, now=now)
+
+    def _kernel_stale_dequeue(self, now: float) -> Optional[Packet]:
+        """Guard trip on dequeue: re-specialise, then retry the call."""
+        self._install_kernel()
+        return self.dequeue(now=now)
+
+    def _kernel_stale_transfer(self, packet: Packet, now: float) -> Optional[Packet]:
+        """Guard trip on transfer: re-specialise, then retry (or compose)."""
+        self._install_kernel()
+        kernel = self.tree_kernel
+        if kernel is not None:
+            return kernel.transfer(packet, now)
+        if not self.enqueue(packet, now=now):
+            return None
+        return self.dequeue(now=now)
+
+    def _dequeue_descend(self, node: TreeNode, now: float) -> Packet:
+        """Continue a dequeue below a reference popped by the fused kernel.
+
+        Replicates the class :meth:`dequeue` descent loop from the point
+        where the interpreted engine would have set ``node = element`` —
+        the kernel handles the (overwhelmingly common) root level inline
+        and delegates deeper levels here.
+        """
+        ctx = self._deq_ctx
+        ctx.now = now
+        extras = ctx.extras
+        while True:
+            if node.scheduling_pifo.is_empty:
+                raise SchedulerError(
+                    f"dangling reference: node {node.name!r} was referenced "
+                    "by its parent but its scheduling PIFO is empty"
+                )
+            entry = node.scheduling_pifo.pop_entry()
+            element = entry.element
+            is_ref = isinstance(element, TreeNode)
+            if node.needs_dequeue_hook:
+                ctx.node = node.name
+                ctx.element_flow = element.name if is_ref else element.flow
+                ctx.element_length = 0 if is_ref else element.length
+                extras["rank"] = entry.rank
+                node.scheduling.on_dequeue(element, ctx)
+            if is_ref:
+                node = element
+                continue
+            packet: Packet = element
+            packet.dequeue_time = now
+            self._buffered_packets -= 1
+            stats = self.stats
+            stats.dequeued += 1
+            per_flow = stats.per_flow_dequeued
+            try:
+                per_flow[packet.flow] += 1
+            except KeyError:
+                per_flow[packet.flow] = 1
+            return packet
 
     # ------------------------------------------------------------------ #
     # Enqueue path                                                        #
@@ -432,6 +567,9 @@ class ProgrammableScheduler:
         self._buffered_packets = 0
         self._shaping_calendar.clear()
         self._calendar_seq = 0
+        # Fresh stats / transaction state invalidate the fused kernel's
+        # hoisted cells; rebuild (cache hit: the shape is unchanged).
+        self._install_kernel()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -96,6 +96,10 @@ class TreeNode:
         )
         self.parent: Optional["TreeNode"] = None
         self.children: List["TreeNode"] = []
+        #: Bumped (on the subtree's root) whenever a child is attached below
+        #: this node.  The fused tree kernel (:mod:`repro.lang.treekernel`)
+        #: reads the root's counter as a cheap structural staleness guard.
+        self._subtree_version = 0
         self.pifo_capacity = pifo_capacity
         self.pifo_backend: BackendSpec = pifo_backend
 
@@ -155,6 +159,10 @@ class TreeNode:
             )
         child.parent = self
         self.children.append(child)
+        root = self
+        while root.parent is not None:
+            root = root.parent
+        root._subtree_version += 1
         return child
 
     @property

@@ -1,0 +1,721 @@
+"""Whole-tree kernel compilation: fuse a scheduling hierarchy into one
+generated per-shape kernel.
+
+:mod:`repro.lang.compiler` removes the per-packet AST walk from individual
+transaction programs, but the end-to-end datapath still pays interpreted
+glue *between* the compiled fragments: the tree walk, predicate matching,
+context bookkeeping, ``on_dequeue`` dispatch and the PIFO backend's virtual
+calls.  This module removes that glue the same way the paper's compiler
+specialises a whole scheduling tree into hardware: given a
+:class:`~repro.core.scheduler.ProgrammableScheduler`, it emits a single
+generated-Python **kernel** — one ``enqueue`` and one ``dequeue`` closure —
+with the full per-packet path inlined into straight-line code:
+
+* the leaf-to-root transaction walk is unrolled per matching leaf (the
+  predicate descent becomes an ``if``/``elif`` chain over the static tree
+  shape, including the paper's disjointness check);
+* rank computation is specialised per transaction class — FIFO, arrival
+  sequence, LSTF and lang-backed programs are inlined; anything else falls
+  back to a plain call, still inside the fused walk;
+* PIFO pushes and the head pop are inlined per backend (sorted list,
+  calendar heap, bucket queue, quantised bucket queue);
+* the reused :class:`~repro.core.transaction.TransactionContext` is only
+  populated on paths whose transactions can observe it, and the
+  ``on_dequeue`` hook dispatch disappears entirely for hook-less trees.
+
+**Caching.**  Kernels are compiled once per *shape signature* — the tree
+structure plus, per node, the transaction class (and, for lang-backed
+transactions, the program-AST signature reused from
+:func:`repro.lang.compiler.compile_cached`), the PIFO backend class, the
+predicate class and the hook/flow-fn flags.  Two schedulers with the same
+shape share one code object; each instantiates its own closures over its
+own node state, so state stays fully independent.
+
+**Staleness guards.**  The closures hoist node PIFOs, transaction state and
+the stats object into cells.  Sanctioned mutation points
+(``scheduler.reset()`` / ``use_backend()``) rebuild the kernel explicitly;
+everything else — ``tree.use_backend()`` behind the scheduler's back, a
+direct ``transaction.reset()``, ``add_child`` after construction — is caught
+by a per-call identity guard that re-specialises on the next packet, so a
+stale kernel can never produce wrong results.
+
+**Fallback.**  Trees carrying shaping transactions (the suspend/resume walk
+with the global shaping calendar) stay on the interpreted hot path:
+:func:`compile_tree_kernel` raises :class:`TreeKernelError` and the
+scheduler records the reason in ``kernel_fallback_reason``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import linecache
+from bisect import bisect_right
+from collections import deque
+from heapq import heappop, heappush
+from math import floor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.packet import EMPTY_FIELDS, Packet
+from ..core.pifo import (
+    BucketedPIFO,
+    CalendarPIFO,
+    PIFOEntry,
+    QuantizedBucketedPIFO,
+    SortedListPIFO,
+)
+from ..core.predicates import ClassEquals, FlowEquals, MatchAll, MatchNone
+from ..core.tree import TreeNode, _packet_flow
+from ..exceptions import PIFOFullError, TreeConfigurationError
+from .compiler import CompileError, _signature as _program_signature
+from .errors import RuntimeLangError
+
+
+class TreeKernelError(CompileError):
+    """The scheduler's tree cannot be fused into a generated kernel."""
+
+
+class TreeKernel:
+    """A compiled whole-tree kernel: fused enqueue/dequeue closures.
+
+    ``transfer(packet, now)`` is the third entry point: enqueue followed by
+    an immediate dequeue, for callers (an idle output port) that transmit
+    the packet in the same instant.  On a single-node tree that is known to
+    be empty it runs *cut-through*: every counter, stamp and hook fires
+    exactly as the enqueue/dequeue pair would, but the PIFO's backing data
+    structure is never touched — the packet goes straight from rank
+    computation to the transmitter.  Returns the head packet, or ``None``
+    when the enqueue was rejected.
+    """
+
+    __slots__ = ("enqueue", "dequeue", "transfer", "signature", "source",
+                 "filename")
+
+    def __init__(self, enqueue, dequeue, transfer, signature, source,
+                 filename) -> None:
+        self.enqueue = enqueue
+        self.dequeue = dequeue
+        self.transfer = transfer
+        self.signature = signature
+        self.source = source
+        self.filename = filename
+
+
+#: signature -> (factory, source, filename).  Bounded like the program cache.
+_CACHE: Dict[Tuple, Tuple[Callable, str, str]] = {}
+_CACHE_CAPACITY = 256
+_stats = {"hits": 0, "misses": 0, "installs": 0, "fallbacks": 0}
+_filename_counter = itertools.count()
+
+
+def kernel_cache_info() -> Dict[str, int]:
+    """Cache and install counters (reported by ``repro perf``)."""
+    return dict(_stats, size=len(_CACHE))
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached kernel factory and reset the counters."""
+    _CACHE.clear()
+    for key in _stats:
+        _stats[key] = 0
+
+
+# --------------------------------------------------------------------------- #
+# Shape signature                                                             #
+# --------------------------------------------------------------------------- #
+
+_PIFO_TAGS = {
+    SortedListPIFO: "sorted",
+    CalendarPIFO: "calendar",
+    BucketedPIFO: "bucketed",
+    QuantizedBucketedPIFO: "quantized",
+}
+
+# Imported lazily: the bridge pulls in the hardware analyser, which this
+# module must not require just to fuse hand-written transaction trees.
+_lang_tx_types: Optional[tuple] = None
+
+
+def _lang_types() -> tuple:
+    global _lang_tx_types
+    if _lang_tx_types is None:
+        from .bridge import CompiledSchedulingTransaction
+
+        _lang_tx_types = (CompiledSchedulingTransaction,)
+    return _lang_tx_types
+
+
+def _tx_tag(tx) -> Tuple:
+    """Specialisation tag for a scheduling transaction (part of the key)."""
+    from ..algorithms.fifo import ArrivalSequenceTransaction, FIFOTransaction
+    from ..algorithms.lstf import LSTFTransaction
+
+    cls = type(tx)
+    if cls is FIFOTransaction:
+        return ("fifo",)
+    if cls is ArrivalSequenceTransaction:
+        return ("arrival_seq",)
+    if cls is LSTFTransaction:
+        return ("lstf", tx.slack_field, tx.prev_wait_field)
+    if cls in _lang_types():
+        # Reuse the program-compiler's cache keying: same program AST and
+        # environment signature -> same generated rank code.
+        try:
+            program_key = _program_signature(
+                tx.program, tx._initial_state, tx.params, ()
+            )
+        except TypeError:
+            # Unhashable parameter value: key on the instance instead (the
+            # kernel is still correct, just not shared across schedulers).
+            program_key = id(tx)
+        return ("lang", tx.program_name, program_key)
+    return ("generic", cls.__qualname__)
+
+
+def _pred_tag(pred) -> Tuple:
+    cls = type(pred)
+    if cls is MatchAll:
+        return ("all",)
+    if cls is MatchNone:
+        return ("none",)
+    if cls is ClassEquals:
+        return ("class_eq", pred.label)
+    if cls is FlowEquals:
+        return ("flow_eq", pred.flow)
+    return ("generic", cls.__qualname__)
+
+
+def _node_signature(node: TreeNode) -> Tuple:
+    pifo = node.scheduling_pifo
+    return (
+        _tx_tag(node.scheduling),
+        _PIFO_TAGS.get(type(pifo), "generic"),
+        pifo.capacity is not None,
+        node.needs_dequeue_hook,
+        node.flow_fn is _packet_flow,
+        _pred_tag(node.predicate),
+        len(node.children),
+    )
+
+
+def tree_signature(scheduler) -> Tuple:
+    """Shape signature of a scheduler's tree; raises on unsupported trees."""
+    nodes = scheduler.tree.nodes()
+    for node in nodes:
+        if node.shaping is not None:
+            raise TreeKernelError(
+                f"node {node.name!r} carries a shaping transaction; the "
+                "suspend/resume walk stays on the interpreted path"
+            )
+    return tuple(_node_signature(node) for node in nodes)
+
+
+# --------------------------------------------------------------------------- #
+# Code generation                                                             #
+# --------------------------------------------------------------------------- #
+
+
+class _Emitter:
+    """Indentation-tracked line sink for the generated factory source."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def w(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _ctx_needed(tag: Tuple) -> bool:
+    """Whether the node's rank code reads the shared enqueue context."""
+    return tag[0] in ("lang", "generic")
+
+
+def _emit_rank(em: _Emitter, ind: int, i: int, tag: Tuple) -> None:
+    """Emit statements computing ``rank`` for node ``i`` (element = packet)."""
+    kind = tag[0]
+    if kind == "fifo":
+        em.w(ind, f"tx{i}.executions += 1")
+        em.w(ind, "rank = time_now")
+    elif kind == "arrival_seq":
+        em.w(ind, f"tx{i}.executions += 1")
+        em.w(ind, f"rank = st{i}['counter']")
+        em.w(ind, f"st{i}['counter'] = rank + 1")
+    elif kind == "lstf":
+        slack, prev = tag[1], tag[2]
+        em.w(ind, f"tx{i}.executions += 1")
+        em.w(ind, "fields = packet.fields")
+        em.w(ind, f"slack = fields.get({slack!r})")
+        em.w(ind, "if slack is None:")
+        em.w(ind + 1, f"tx{i}.compute_rank(packet, None)")
+        em.w(ind, f"rank = slack - fields.get({prev!r}, 0.0)")
+        em.w(ind, "if fields is _EMPTY_FIELDS:")
+        em.w(ind + 1, f"packet.fields = {{{slack!r}: rank, {prev!r}: 0.0}}")
+        em.w(ind, "else:")
+        em.w(ind + 1, f"fields[{slack!r}] = rank")
+        em.w(ind + 1, f"fields[{prev!r}] = 0.0")
+    elif kind == "lang":
+        name = tag[1]
+        msg = (
+            f"scheduling program {name!r} finished without assigning p.rank"
+        )
+        em.w(ind, f"tx{i}.executions += 1")
+        em.w(ind, f"env = tx{i}._env")
+        em.w(ind, f"if env is None or env.state is not tx{i}.state:")
+        em.w(ind + 1, f"env = tx{i}._environment()")
+        em.w(ind, f"res = x{i}(packet, ectx, env)")
+        em.w(ind, "for fname, value in res.packet_writes.items():")
+        em.w(ind + 1, "if fname != 'rank' and fname != 'send_time':")
+        em.w(ind + 2, "packet.set(fname, value)")
+        em.w(ind, f"tx{i}.last_result = res")
+        em.w(ind, "rank = res.rank")
+        em.w(ind, "if rank is None:")
+        em.w(ind + 1, f"raise _RuntimeLangError({msg!r})")
+    else:
+        em.w(ind, f"rank = tx{i}(packet, ectx)")
+
+
+def _emit_push(em: _Emitter, ind: int, i: int, sig: Tuple, element: str) -> None:
+    """Emit a fused ``p{i}.push(element, rank)`` for the node's backend."""
+    backend, has_cap = sig[1], sig[2]
+    full = (
+        f"PIFO %r is full (capacity=%s)' % (p{i}.name, p{i}.capacity)"
+    )
+    if backend == "sorted":
+        em.w(ind, f"entries = p{i}._entries")
+        if has_cap:
+            em.w(ind, f"if len(entries) - p{i}._front >= c{i}:")
+            em.w(ind + 1, f"p{i}.drops += 1")
+            em.w(ind + 1, f"raise _PIFOFullError('{full})")
+        em.w(ind, f"seq = p{i}._seq")
+        em.w(ind, f"p{i}._seq = seq + 1")
+        em.w(ind, "key = (rank, seq)")
+        em.w(ind, f"keys = p{i}._keys")
+        em.w(ind, "if not keys or key >= keys[-1]:")
+        em.w(ind + 1, "keys.append(key)")
+        em.w(ind + 1, f"entries.append(_PIFOEntry(rank, seq, {element}))")
+        em.w(ind, "else:")
+        em.w(ind + 1, f"idx = _bisect_right(keys, key, lo=p{i}._front)")
+        em.w(ind + 1, "keys.insert(idx, key)")
+        em.w(ind + 1, f"entries.insert(idx, _PIFOEntry(rank, seq, {element}))")
+        em.w(ind, f"p{i}.pushes += 1")
+    elif backend in ("bucketed", "quantized"):
+        if has_cap:
+            em.w(ind, f"if p{i}._size >= c{i}:")
+            em.w(ind + 1, f"p{i}.drops += 1")
+            em.w(ind + 1, f"raise _PIFOFullError('{full})")
+        if backend == "bucketed":
+            em.w(ind, "key = int(rank)")
+            em.w(ind, "if key != rank:")
+            em.w(
+                ind + 1,
+                f"raise ValueError('BucketedPIFO %r requires integer ranks, "
+                f"got %r' % (p{i}.name, rank))",
+            )
+        else:
+            em.w(ind, f"key = _floor(rank / qm{i})")
+        em.w(ind, f"bks = p{i}._buckets")
+        em.w(ind, "bucket = bks.get(key)")
+        em.w(ind, "if bucket is None:")
+        em.w(ind + 1, "bucket = bks[key] = _deque()")
+        em.w(ind + 1, f"_heappush(p{i}._rank_heap, key)")
+        em.w(ind, f"seq = p{i}._seq")
+        em.w(ind, f"p{i}._seq = seq + 1")
+        em.w(ind, f"bucket.append(_PIFOEntry(rank, seq, {element}))")
+        em.w(ind, f"p{i}._size += 1")
+        em.w(ind, f"p{i}.pushes += 1")
+    elif backend == "calendar":
+        if has_cap:
+            em.w(ind, f"if len(p{i}._heap) >= c{i}:")
+            em.w(ind + 1, f"p{i}.drops += 1")
+            em.w(ind + 1, f"raise _PIFOFullError('{full})")
+        em.w(ind, f"seq = p{i}._seq")
+        em.w(ind, f"p{i}._seq = seq + 1")
+        em.w(ind, f"_heappush(p{i}._heap, (rank, seq, _PIFOEntry(rank, seq, {element})))")
+        em.w(ind, f"p{i}.pushes += 1")
+    else:
+        em.w(ind, f"p{i}.push({element}, rank)")
+
+
+def _emit_root_pop(em: _Emitter, ind: int, sig: Tuple) -> None:
+    """Emit the root head pop into ``entry`` (or ``return None`` if empty)."""
+    backend = sig[1]
+    if backend == "sorted":
+        em.w(ind, "entries = p0._entries")
+        em.w(ind, "front = p0._front")
+        em.w(ind, "if front >= len(entries):")
+        em.w(ind + 1, "return None")
+        em.w(ind, "entry = entries[front]")
+        em.w(ind, "entries[front] = None")
+        em.w(ind, "front += 1")
+        em.w(ind, "if front == len(entries):")
+        em.w(ind + 1, "entries.clear()")
+        em.w(ind + 1, "p0._keys.clear()")
+        em.w(ind + 1, "p0._front = 0")
+        em.w(ind, f"elif front >= {SortedListPIFO._COMPACT_MIN} and front * 2 >= len(entries):")
+        em.w(ind + 1, "del entries[:front]")
+        em.w(ind + 1, "del p0._keys[:front]")
+        em.w(ind + 1, "p0._front = 0")
+        em.w(ind, "else:")
+        em.w(ind + 1, "p0._front = front")
+        em.w(ind, "p0.pops += 1")
+    elif backend in ("bucketed", "quantized"):
+        em.w(ind, "if not p0._size:")
+        em.w(ind + 1, "return None")
+        em.w(ind, "rh = p0._rank_heap")
+        em.w(ind, "bks = p0._buckets")
+        em.w(ind, "while True:")
+        em.w(ind + 1, "key = rh[0]")
+        em.w(ind + 1, "bucket = bks.get(key)")
+        em.w(ind + 1, "if bucket:")
+        em.w(ind + 2, "break")
+        em.w(ind + 1, "_heappop(rh)")
+        em.w(ind + 1, "bks.pop(key, None)")
+        em.w(ind, "entry = bucket.popleft()")
+        em.w(ind, "p0._size -= 1")
+        em.w(ind, "if not bucket:")
+        em.w(ind + 1, "del bks[key]")
+        em.w(ind, "p0.pops += 1")
+    elif backend == "calendar":
+        em.w(ind, "heap = p0._heap")
+        em.w(ind, "if not heap:")
+        em.w(ind + 1, "return None")
+        em.w(ind, "entry = _heappop(heap)[2]")
+        em.w(ind, "p0.pops += 1")
+    else:
+        em.w(ind, "if p0.is_empty:")
+        em.w(ind + 1, "return None")
+        em.w(ind, "entry = p0.pop_entry()")
+
+
+def _pred_expr(i: int, tag: Tuple) -> str:
+    kind = tag[0]
+    if kind == "all":
+        return "True"
+    if kind == "none":
+        return "False"
+    if kind == "class_eq":
+        return f"packet.packet_class == {tag[1]!r}"
+    if kind == "flow_eq":
+        return f"packet.flow == {tag[1]!r}"
+    return f"q{i}(packet)"
+
+
+def _generate(signature: Tuple, nodes: List[TreeNode]) -> str:
+    """Emit the factory source for a tree shape.
+
+    The factory — ``_factory(S, nodes)`` — hoists every node's PIFO,
+    transaction and state into locals (closure cells of the returned
+    ``enqueue``/``dequeue``) and is shared by every scheduler with the same
+    signature.
+    """
+    sigs = list(signature)
+    names = [node.name for node in nodes]
+    children_of: List[List[int]] = []
+    index_of = {id(node): i for i, node in enumerate(nodes)}
+    for node in nodes:
+        children_of.append([index_of[id(child)] for child in node.children])
+
+    em = _Emitter()
+    w = em.w
+    w(0, "def _factory(S, nodes):")
+    w(1, "stats = S.stats")
+    w(1, "pfe = stats.per_flow_enqueued")
+    w(1, "pfd = stats.per_flow_dequeued")
+    w(1, "ectx = S._enq_ctx")
+    w(1, "dctx = S._deq_ctx")
+    w(1, "extras = dctx.extras")
+    w(1, "root = nodes[0]")
+    w(1, "version = root._subtree_version")
+    for i, sig in enumerate(sigs):
+        w(1, f"n{i} = nodes[{i}]")
+        w(1, f"p{i} = n{i}.scheduling_pifo")
+        w(1, f"tx{i} = n{i}.scheduling")
+        if sig[0][0] == "arrival_seq":
+            w(1, f"st{i} = tx{i}.state")
+        if sig[0][0] == "lang":
+            w(1, f"x{i} = tx{i}._execute")
+        if not sig[4]:  # custom flow_fn
+            w(1, f"f{i} = n{i}.flow_fn")
+        if sig[5][0] == "generic":
+            w(1, f"q{i} = n{i}.predicate")
+        if sig[2]:  # capacity bound
+            w(1, f"c{i} = p{i}.capacity")
+        if sig[1] == "quantized":
+            w(1, f"qm{i} = p{i}.quantum")
+
+    guard_terms = ["stats is not S.stats", "root._subtree_version != version"]
+    for i, sig in enumerate(sigs):
+        guard_terms.append(f"p{i} is not n{i}.scheduling_pifo")
+        if sig[0][0] == "arrival_seq":
+            guard_terms.append(f"st{i} is not tx{i}.state")
+    guard = " or ".join(guard_terms)
+
+    # ---- enqueue ----------------------------------------------------------
+    w(1, "def enqueue(packet, now=None):")
+    w(2, f"if {guard}:")
+    w(3, "return S._kernel_stale_enqueue(packet, now)")
+    w(2, "time_now = packet.arrival_time if now is None else now")
+    w(2, "try:")
+
+    def emit_walk(ind: int, path: List[int]) -> None:
+        """Inline the leaf-to-root transaction walk for a static path."""
+        needs_ctx = any(_ctx_needed(sigs[i][0]) for i in path)
+        if needs_ctx:
+            w(ind, "ectx.now = time_now")
+            w(ind, "ectx.element_length = packet.length")
+        for pos, i in enumerate(path):
+            sig = sigs[i]
+            if _ctx_needed(sig[0]):
+                w(ind, f"ectx.node = {names[i]!r}")
+                if pos == 0:
+                    flow = "packet.flow" if sig[4] else f"f{i}(packet)"
+                else:
+                    flow = repr(names[path[pos - 1]])
+                w(ind, f"ectx.element_flow = {flow}")
+            _emit_rank(em, ind, i, sig[0])
+            element = "packet" if pos == 0 else f"n{path[pos - 1]}"
+            _emit_push(em, ind, i, sig, element)
+            w(ind, "stats.transactions_executed += 1")
+
+    def emit_descent(ind: int, i: int, down_path: List[int]) -> None:
+        """Unroll the predicate descent; each outcome gets an inline walk."""
+        kids = children_of[i]
+        if not kids:
+            emit_walk(ind, list(reversed(down_path)))
+            return
+        live = []
+        for ci in kids:
+            tag = sigs[ci][5]
+            if tag[0] == "none":
+                continue  # statically never matches
+            w(ind, f"m{ci} = {_pred_expr(ci, tag)}")
+            live.append(ci)
+        if len(live) > 1:
+            total = " + ".join(f"m{ci}" for ci in live)
+            pairs = ", ".join(f"(n{ci}, m{ci})" for ci in live)
+            msg = (
+                "'packet %r matches multiple children %s of node %r; "
+                f"predicates must be disjoint' % (packet, names, {names[i]!r})"
+            )
+            w(ind, f"if {total} > 1:")
+            w(ind + 1, f"names = [n.name for n, m in ({pairs},) if m]")
+            w(ind + 1, f"raise _TreeConfigurationError({msg})")
+        first = True
+        for ci in live:
+            w(ind, f"{'if' if first else 'elif'} m{ci}:")
+            emit_descent(ind + 1, ci, down_path + [ci])
+            first = False
+        if first:
+            emit_walk(ind, list(reversed(down_path)))
+        else:
+            w(ind, "else:")
+            emit_walk(ind + 1, list(reversed(down_path)))
+
+    if sigs[0][5][0] != "all":
+        w(3, f"if not ({_pred_expr(0, sigs[0][5])}):")
+        w(
+            4,
+            "raise _TreeConfigurationError("
+            "'packet %r does not match the root predicate' % (packet,))",
+        )
+    emit_descent(3, 0, [0])
+    w(2, "except _PIFOFullError:")
+    w(3, "if not S.drop_on_full:")
+    w(4, "raise")
+    w(3, "stats.dropped += 1")
+    w(3, "return False")
+    w(2, "packet.enqueue_time = time_now")
+    w(2, "S._buffered_packets += 1")
+    w(2, "stats.enqueued += 1")
+    w(2, "flow = packet.flow")
+    w(2, "try:")
+    w(3, "pfe[flow] += 1")
+    w(2, "except KeyError:")
+    w(3, "pfe[flow] = 1")
+    w(2, "return True")
+
+    # ---- dequeue ----------------------------------------------------------
+    root_sig = sigs[0]
+    w(1, "def dequeue(now=0.0):")
+    w(2, f"if {guard}:")
+    w(3, "return S._kernel_stale_dequeue(now)")
+    w(2, "if not S._buffered_packets:")
+    w(3, "return None")
+    _emit_root_pop(em, 2, root_sig)
+    w(2, "element = entry.element")
+    if root_sig[3]:  # root carries an on_dequeue hook
+        w(2, "is_ref = isinstance(element, _TreeNode)")
+        w(2, "dctx.now = now")
+        w(2, f"dctx.node = {names[0]!r}")
+        w(2, "dctx.element_flow = element.name if is_ref else element.flow")
+        w(2, "dctx.element_length = 0 if is_ref else element.length")
+        w(2, "extras['rank'] = entry.rank")
+        w(2, "tx0.on_dequeue(element, dctx)")
+        w(2, "if is_ref:")
+        w(3, "return S._dequeue_descend(element, now)")
+    else:
+        w(2, "if isinstance(element, _TreeNode):")
+        w(3, "return S._dequeue_descend(element, now)")
+    w(2, "element.dequeue_time = now")
+    w(2, "S._buffered_packets -= 1")
+    w(2, "stats.dequeued += 1")
+    w(2, "flow = element.flow")
+    w(2, "try:")
+    w(3, "pfd[flow] += 1")
+    w(2, "except KeyError:")
+    w(3, "pfd[flow] = 1")
+    w(2, "return element")
+
+    # ---- transfer ---------------------------------------------------------
+    # Enqueue + immediate dequeue for an idle transmitter.  The cut-through
+    # body below only exists for single-node trees on a fused backend; it
+    # performs every observable effect of the enqueue/dequeue pair — rank
+    # computation, capacity/drop accounting, seq/push/pop counters, stamps,
+    # per-flow tallies, the on_dequeue hook — but skips the push/pop round
+    # trip through the PIFO's backing store, which is a no-op on an empty
+    # queue.  (``_buffered_packets`` net-zeroes across the pair, so the
+    # counter is untouched.)
+    w(1, "def transfer(packet, now):")
+    w(2, f"if {guard}:")
+    w(3, "return S._kernel_stale_transfer(packet, now)")
+    cut_through = len(sigs) == 1 and root_sig[1] in (
+        "sorted", "calendar", "bucketed", "quantized"
+    )
+    if not cut_through:
+        w(2, "if not enqueue(packet, now):")
+        w(3, "return None")
+        w(2, "return dequeue(now)")
+    else:
+        w(2, "if S._buffered_packets:")
+        w(3, "if not enqueue(packet, now):")
+        w(4, "return None")
+        w(3, "return dequeue(now)")
+        w(2, "time_now = now")
+        backend, has_cap = root_sig[1], root_sig[2]
+        ind = 2
+        if has_cap:
+            w(2, "try:")
+            ind = 3
+        if _ctx_needed(root_sig[0]):
+            w(ind, "ectx.now = time_now")
+            w(ind, "ectx.element_length = packet.length")
+            w(ind, f"ectx.node = {names[0]!r}")
+            flow0 = "packet.flow" if root_sig[4] else "f0(packet)"
+            w(ind, f"ectx.element_flow = {flow0}")
+        _emit_rank(em, ind, 0, root_sig[0])
+        full = "PIFO %r is full (capacity=%s)' % (p0.name, p0.capacity)"
+        if has_cap:
+            if backend == "sorted":
+                w(ind, "if len(p0._entries) - p0._front >= c0:")
+            elif backend == "calendar":
+                w(ind, "if len(p0._heap) >= c0:")
+            else:
+                w(ind, "if p0._size >= c0:")
+            w(ind + 1, "p0.drops += 1")
+            w(ind + 1, f"raise _PIFOFullError('{full})")
+        if backend == "bucketed":
+            w(ind, "if int(rank) != rank:")
+            w(
+                ind + 1,
+                "raise ValueError('BucketedPIFO %r requires integer ranks, "
+                "got %r' % (p0.name, rank))",
+            )
+        w(ind, "p0._seq += 1")
+        w(ind, "p0.pushes += 1")
+        w(ind, "stats.transactions_executed += 1")
+        if has_cap:
+            w(2, "except _PIFOFullError:")
+            w(3, "if not S.drop_on_full:")
+            w(4, "raise")
+            w(3, "stats.dropped += 1")
+            w(3, "return None")
+        w(2, "packet.enqueue_time = time_now")
+        w(2, "stats.enqueued += 1")
+        w(2, "flow = packet.flow")
+        w(2, "try:")
+        w(3, "pfe[flow] += 1")
+        w(2, "except KeyError:")
+        w(3, "pfe[flow] = 1")
+        w(2, "p0.pops += 1")
+        if root_sig[3]:  # on_dequeue hook
+            w(2, "dctx.now = now")
+            w(2, f"dctx.node = {names[0]!r}")
+            w(2, "dctx.element_flow = flow")
+            w(2, "dctx.element_length = packet.length")
+            w(2, "extras['rank'] = rank")
+            w(2, "tx0.on_dequeue(packet, dctx)")
+        w(2, "packet.dequeue_time = now")
+        w(2, "stats.dequeued += 1")
+        w(2, "try:")
+        w(3, "pfd[flow] += 1")
+        w(2, "except KeyError:")
+        w(3, "pfd[flow] = 1")
+        w(2, "return packet")
+
+    w(1, "return enqueue, dequeue, transfer")
+    return em.text()
+
+
+_GLOBALS = {
+    "_PIFOEntry": PIFOEntry,
+    "_PIFOFullError": PIFOFullError,
+    "_TreeConfigurationError": TreeConfigurationError,
+    "_RuntimeLangError": RuntimeLangError,
+    "_TreeNode": TreeNode,
+    "_EMPTY_FIELDS": EMPTY_FIELDS,
+    "_bisect_right": bisect_right,
+    "_heappush": heappush,
+    "_heappop": heappop,
+    "_deque": deque,
+    "_floor": floor,
+}
+
+
+def _factory_for(signature: Tuple, nodes: List[TreeNode]) -> Tuple[Callable, str, str]:
+    cached = _CACHE.get(signature)
+    if cached is not None:
+        _stats["hits"] += 1
+        return cached
+    _stats["misses"] += 1
+    source = _generate(signature, nodes)
+    filename = f"<treekernel:{nodes[0].name}-{next(_filename_counter)}>"
+    # Register with linecache so tracebacks through the kernel show the
+    # generated source (same trick as repro.lang.compiler).
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        source.splitlines(keepends=True),
+        filename,
+    )
+    namespace: Dict[str, Any] = dict(_GLOBALS)
+    try:
+        exec(compile(source, filename, "exec"), namespace)
+    except SyntaxError as exc:  # pragma: no cover - codegen bug guard
+        raise TreeKernelError(f"generated kernel failed to compile: {exc}") from exc
+    factory = namespace["_factory"]
+    entry = (factory, source, filename)
+    _CACHE[signature] = entry
+    while len(_CACHE) > _CACHE_CAPACITY:
+        _CACHE.pop(next(iter(_CACHE)))
+    return entry
+
+
+def compile_tree_kernel(scheduler) -> TreeKernel:
+    """Compile (or fetch from cache) the fused kernel for ``scheduler``.
+
+    Raises :class:`TreeKernelError` when the tree has features the kernel
+    does not fuse (shaping transactions); the scheduler then stays on the
+    interpreted hot path.
+    """
+    try:
+        signature = tree_signature(scheduler)
+    except TreeKernelError:
+        _stats["fallbacks"] += 1
+        raise
+    nodes = scheduler.tree.nodes()
+    factory, source, filename = _factory_for(signature, nodes)
+    enqueue, dequeue, transfer = factory(scheduler, nodes)
+    _stats["installs"] += 1
+    return TreeKernel(enqueue, dequeue, transfer, signature, source, filename)

@@ -18,12 +18,14 @@ source NIC to arrival at the destination host, propagation included.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Dict, Iterable, Optional, Tuple
+from zlib import crc32
 
 from ..algorithms.fifo import FIFOTransaction
-from ..algorithms.lstf import stamp_wait_time
+from ..algorithms.lstf import PREV_WAIT_FIELD, stamp_wait_time
 from ..core.backend import BackendSpec
-from ..core.packet import Packet
+from ..core.packet import EMPTY_FIELDS, Packet
 from ..core.scheduler import ProgrammableScheduler
 from ..core.tree import single_node_tree
 from ..exceptions import RoutingError
@@ -92,6 +94,15 @@ class Fabric:
         packet pool.
     host_scheduler_factory:
         Scheduler for host egress (NIC) ports; FIFO by default.
+    fused_delivery:
+        Replace each eligible egress port's transmit-completion callback
+        with a fused per-hop closure inlining delivery, next-hop ingress
+        and buffer release into straight-line code (see
+        :meth:`_fuse_hot_path`).  ``None`` (default) fuses automatically
+        whenever it is observationally safe — telemetry off, zero-latency
+        link, threshold-free admission on both ends; ``False`` disables
+        fusion (the reference interpreted path); ``True`` requests it
+        (still subject to the same per-port safety conditions).
     """
 
     def __init__(
@@ -106,6 +117,7 @@ class Fabric:
         keep_packets: bool = True,
         telemetry: bool = True,
         host_scheduler_factory: SchedulerFactory = _default_host_scheduler,
+        fused_delivery: Optional[bool] = None,
     ) -> None:
         network.validate()
         self.sim = sim
@@ -154,6 +166,10 @@ class Fabric:
             )
 
         self._install_routes()
+        #: Number of egress ports running the fused hot-path closure.
+        self.fused_ports = 0
+        if fused_delivery is not False:
+            self._fuse_hot_path()
 
     # -- construction helpers ----------------------------------------------
     @staticmethod
@@ -198,6 +214,239 @@ class Fabric:
 
         return deliver
 
+    # -- hot-path fusion ---------------------------------------------------
+    def _fuse_hot_path(self) -> None:
+        """Install fused transmit-completion closures on eligible ports.
+
+        The interpreted per-hop path is a chain of six calls per departed
+        packet — ``OutputPort._on_tx_complete`` → delivery closure →
+        ``SharedMemorySwitch.forward`` → ``select_port`` → ``receive`` →
+        ``OutputPort.receive`` — each re-deriving state the fabric fixed at
+        construction time.  This pass hoists that state into one closure
+        per port (the same specialization the tree kernels apply inside the
+        scheduler) so a hop becomes straight-line code with exactly two
+        dynamic calls: the scheduler's fused ``enqueue`` and ``dequeue``.
+
+        Fusion is observationally exact, so it is only installed when every
+        path the closure compresses is the one the interpreted code would
+        take: telemetry off (no per-hop trace records, occupancy-only
+        buffer accounting on both switches), threshold-free admission, and
+        a zero-latency link (no wire FIFO between completion and ingress).
+        Ports that fail the check keep the generic method.
+        """
+        network = self.network
+        for name, switch in self.node_switches.items():
+            if not switch._untracked_buffer:
+                continue
+            for neighbor in network.links[name]:
+                port = switch.ports.get(self.port_to(neighbor))
+                if port is None or port.delivery is None:
+                    continue
+                if port.propagation_delay != 0.0:
+                    continue
+                to_host = network.is_host(neighbor)
+                if not to_host:
+                    if not self.node_switches[neighbor]._untracked_buffer:
+                        continue
+                port._tx_complete = self._fuse_port(port, switch, neighbor,
+                                                    to_host)
+                self.fused_ports += 1
+
+    def _fuse_port(self, port, switch, neighbor: str, to_host: bool):
+        """Build the fused transmit-completion closure for one egress port.
+
+        Inlines, in order and with identical observable effects:
+        ``_on_tx_complete`` bookkeeping, the fabric delivery closure
+        (wait-time stamp; hop records are off by construction), the
+        next-hop switch's route lookup + occupancy-only ingress (or the
+        host arrival), the departure callback, and the next dequeue with
+        its completion prefetched into the simulator's deferral slot.
+        Rare/error paths (missing route, ``dst`` ``None``) fall back to the
+        interpreted methods so diagnostics stay identical.
+        """
+        fabric = self
+        sim = self.sim
+        queue = sim._queue
+        heap = queue._heap
+        scheduler = port.scheduler
+        inv_rate = port._inv_rate
+        own_stats = switch.stats
+        own_buffer = switch.buffer
+        own_cell_bytes = own_buffer.cell_bytes
+        #: The switch-installed release callback; identity-checked per call
+        #: so late wrapping (chain_hops) falls back to the dynamic call.
+        release = port.on_departure
+        kernelable = isinstance(scheduler, ProgrammableScheduler)
+        if to_host:
+            sink = self.host_sinks[neighbor]
+            nxt = nxt_stats = nxt_buffer = nxt_routes = None
+            nxt_ports = nxt_hashes = None
+            nxt_cell_bytes = 0
+        else:
+            sink = None
+            nxt = self.node_switches[neighbor]
+            nxt_stats = nxt.stats
+            nxt_buffer = nxt.buffer
+            nxt_cell_bytes = nxt_buffer.cell_bytes
+            nxt_routes = nxt.routes
+            nxt_ports = nxt.ports
+            nxt_hashes = nxt._flow_hashes
+            nxt_kernelable = all(
+                isinstance(p.scheduler, ProgrammableScheduler)
+                for p in nxt_ports.values()
+            )
+
+        def _tx_complete() -> None:
+            packet = port._tx_packet
+            port._tx_packet = None
+            now = sim.now
+            packet.departure_time = now
+            port.busy = False
+            port.transmitted_packets += 1
+            length = packet.length
+            port.transmitted_bytes += length
+            # Inlined delivery closure (telemetry off): stamp the in-band
+            # wait-time field the next hop's LSTF transaction consumes.
+            enq = packet.enqueue_time
+            deq = packet.dequeue_time
+            wait = deq - enq if (enq is not None and deq is not None) else 0.0
+            fields = packet.fields
+            if fields is EMPTY_FIELDS:
+                packet.fields = {PREV_WAIT_FIELD: wait}
+            else:
+                fields[PREV_WAIT_FIELD] = fields.get(PREV_WAIT_FIELD, 0.0) + wait
+            if to_host:
+                if packet.dst != neighbor:
+                    raise RoutingError(
+                        f"packet for {packet.dst!r} delivered to host "
+                        f"{neighbor!r}; hosts do not forward transit traffic"
+                    )
+                fabric.delivered_packets += 1
+                sink.record(packet)
+            else:
+                candidates = nxt_routes.get(packet.dst)
+                if not candidates:
+                    # Missing/empty route (or dst None): the interpreted
+                    # path raises the canonical RoutingError.
+                    nxt.forward(packet)
+                else:
+                    if len(candidates) == 1:
+                        egress = candidates[0]
+                    else:
+                        flow = packet.flow
+                        digest = nxt_hashes.get(flow)
+                        if digest is None:
+                            digest = nxt_hashes[flow] = crc32(flow.encode())
+                        egress = candidates[digest % len(candidates)]
+                    # Inlined occupancy-only SharedMemorySwitch.receive.
+                    nxt_stats.received += 1
+                    cells = (length + nxt_cell_bytes - 1) // nxt_cell_bytes
+                    if nxt_buffer.used_cells + cells > nxt_buffer.total_cells:
+                        nxt_stats.dropped_admission += 1
+                    else:
+                        nxt_buffer.used_cells += cells
+                        nxt_buffer.used_bytes += length
+                        out = nxt_ports[egress]
+                        # Inlined OutputPort.receive + _try_transmit.  On
+                        # an idle port with a live kernel the enqueue and
+                        # immediate dequeue collapse into the kernel's
+                        # cut-through transfer.
+                        packet.arrival_time = now
+                        osched = out.scheduler
+                        if (not out.busy and nxt_kernelable
+                                and osched.tree_kernel is not None):
+                            head = osched.transfer(packet, now)
+                            if head is None:
+                                out.dropped_packets += 1
+                                nxt_buffer.used_cells -= cells
+                                nxt_buffer.used_bytes -= length
+                                nxt_stats.dropped_scheduler += 1
+                            else:
+                                nxt_stats.admitted += 1
+                                out.busy = True
+                                out._tx_packet = head
+                                seq = queue._next_seq
+                                queue._next_seq = seq + 1
+                                entry = (now + head.length * out._inv_rate,
+                                         seq, out._tx_complete)
+                                if sim._running:
+                                    previous = sim._deferred
+                                    if previous is not None:
+                                        heappush(heap, previous)
+                                    sim._deferred = entry
+                                else:
+                                    heappush(heap, entry)
+                        elif osched.enqueue(packet, now):
+                            nxt_stats.admitted += 1
+                            if not out.busy:
+                                head = osched.dequeue(now)
+                                if head is None:
+                                    out._arm_wakeup()
+                                else:
+                                    out.busy = True
+                                    out._tx_packet = head
+                                    seq = queue._next_seq
+                                    queue._next_seq = seq + 1
+                                    entry = (now + head.length * out._inv_rate,
+                                             seq, out._tx_complete)
+                                    if sim._running:
+                                        previous = sim._deferred
+                                        if previous is not None:
+                                            heappush(heap, previous)
+                                        sim._deferred = entry
+                                    else:
+                                        heappush(heap, entry)
+                        else:
+                            out.dropped_packets += 1
+                            nxt_buffer.used_cells -= cells
+                            nxt_buffer.used_bytes -= length
+                            nxt_stats.dropped_scheduler += 1
+            # Departure callback: the switch release is inlined; anything
+            # else (a source wrapped it after construction) is called.
+            on_departure = port.on_departure
+            if on_departure is release:
+                own_stats.transmitted += 1
+                cells = (length + own_cell_bytes - 1) // own_cell_bytes
+                if own_buffer.used_cells >= cells:
+                    own_buffer.used_cells -= cells
+                    own_buffer.used_bytes -= length
+                else:
+                    own_buffer.used_cells = 0
+                    own_buffer.used_bytes = max(
+                        0, own_buffer.used_bytes - length)
+            elif on_departure is not None:
+                on_departure(packet)
+            # Next packet.  A live tree kernel guarantees a work-conserving
+            # tree (shaping never compiles), so an empty scheduler needs
+            # neither the dequeue call nor a shaping wakeup.
+            if kernelable and scheduler.tree_kernel is not None:
+                if not scheduler._buffered_packets:
+                    return
+                next_packet = scheduler.dequeue(now)
+                if next_packet is None:
+                    return
+            else:
+                next_packet = scheduler.dequeue(now)
+                if next_packet is None:
+                    port._arm_wakeup()
+                    return
+            port.busy = True
+            port._tx_packet = next_packet
+            # Inlined Simulator.schedule_fast: prefetch our own completion
+            # into the deferral slot.
+            seq = queue._next_seq
+            queue._next_seq = seq + 1
+            entry = (now + next_packet.length * inv_rate, seq, _tx_complete)
+            if sim._running:
+                previous = sim._deferred
+                if previous is not None:
+                    heappush(heap, previous)
+                sim._deferred = entry
+            else:
+                heappush(heap, entry)
+
+        return _tx_complete
+
     def _arrive(self, host: str, packet: Packet) -> None:
         # Stamp arrival at the destination NIC (propagation included) so
         # end-to-end delay decomposes exactly into the recorded hops + wires.
@@ -219,9 +468,127 @@ class Fabric:
         return self.node_switches[host].forward(packet)
 
     def injector(self, host: str) -> HostInjector:
-        """A receive()-compatible endpoint for :class:`PacketSource`."""
+        """A receive()-compatible endpoint for :class:`PacketSource`.
+
+        When the host NIC runs in occupancy-only mode and fusion is on,
+        the injector's ``receive`` is a fused closure inlining
+        :meth:`inject` + the NIC switch's ingress, mirroring the egress
+        fusion in :meth:`_fuse_port`.
+        """
         self.network.node(host)
-        return HostInjector(self, host)
+        injector = HostInjector(self, host)
+        fused = self._fuse_injection(host)
+        if fused is not None:
+            injector.receive = fused  # type: ignore[method-assign]
+        return injector
+
+    def _fuse_injection(self, host: str):
+        """Fused ``inject`` for one source host, or ``None`` if ineligible."""
+        if not self.fused_ports:
+            return None
+        switch = self.node_switches.get(host)
+        if switch is None or not switch._untracked_buffer:
+            return None
+        fabric = self
+        sim = self.sim
+        queue = sim._queue
+        heap = queue._heap
+        stats = switch.stats
+        buffer = switch.buffer
+        cell_bytes = buffer.cell_bytes
+        routes = switch.routes
+        ports = switch.ports
+        hashes = switch._flow_hashes
+        kernelable = all(
+            isinstance(p.scheduler, ProgrammableScheduler)
+            for p in ports.values()
+        )
+
+        def receive(packet: Packet) -> bool:
+            dst = packet.dst
+            if dst is None or dst == host:
+                return fabric.inject(host, packet)  # canonical errors
+            if packet.src is None:
+                packet.src = host
+            now = sim.now
+            packet.injection_time = now
+            fabric.injected_packets += 1
+            candidates = routes.get(dst)
+            if not candidates:
+                return switch.forward(packet)
+            if len(candidates) == 1:
+                egress = candidates[0]
+            else:
+                flow = packet.flow
+                digest = hashes.get(flow)
+                if digest is None:
+                    digest = hashes[flow] = crc32(flow.encode())
+                egress = candidates[digest % len(candidates)]
+            # Inlined occupancy-only ingress + OutputPort.receive + kick
+            # (same straight-line path as the egress fusion).
+            stats.received += 1
+            length = packet.length
+            cells = (length + cell_bytes - 1) // cell_bytes
+            if buffer.used_cells + cells > buffer.total_cells:
+                stats.dropped_admission += 1
+                return False
+            buffer.used_cells += cells
+            buffer.used_bytes += length
+            out = ports[egress]
+            packet.arrival_time = now
+            osched = out.scheduler
+            if (not out.busy and kernelable
+                    and osched.tree_kernel is not None):
+                head = osched.transfer(packet, now)
+                if head is None:
+                    out.dropped_packets += 1
+                    buffer.used_cells -= cells
+                    buffer.used_bytes -= length
+                    stats.dropped_scheduler += 1
+                    return False
+                stats.admitted += 1
+                out.busy = True
+                out._tx_packet = head
+                seq = queue._next_seq
+                queue._next_seq = seq + 1
+                entry = (now + head.length * out._inv_rate,
+                         seq, out._tx_complete)
+                if sim._running:
+                    previous = sim._deferred
+                    if previous is not None:
+                        heappush(heap, previous)
+                    sim._deferred = entry
+                else:
+                    heappush(heap, entry)
+                return True
+            if not osched.enqueue(packet, now):
+                out.dropped_packets += 1
+                buffer.used_cells -= cells
+                buffer.used_bytes -= length
+                stats.dropped_scheduler += 1
+                return False
+            stats.admitted += 1
+            if not out.busy:
+                head = osched.dequeue(now)
+                if head is None:
+                    out._arm_wakeup()
+                else:
+                    out.busy = True
+                    out._tx_packet = head
+                    seq = queue._next_seq
+                    queue._next_seq = seq + 1
+                    entry = (now + head.length * out._inv_rate,
+                             seq, out._tx_complete)
+                    if sim._running:
+                        previous = sim._deferred
+                        if previous is not None:
+                            heappush(heap, previous)
+                        sim._deferred = entry
+                    else:
+                        heappush(heap, entry)
+            return True
+
+        return receive
 
     def attach_source(self, host: str,
                       arrivals: Iterable[Tuple[float, Packet]],

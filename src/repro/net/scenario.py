@@ -195,6 +195,18 @@ class ScenarioResult:
         return None if stats is None else stats.get(f"{which}_delay")
 
 
+def _pin_tree_kernel(factory: SchedulerFactory,
+                     enabled: bool) -> SchedulerFactory:
+    """Wrap a scheduler factory to force the fused-kernel switch."""
+    def pinned(switch: str, port: str):
+        scheduler = factory(switch, port)
+        set_kernel = getattr(scheduler, "set_tree_kernel", None)
+        if set_kernel is not None:
+            set_kernel(enabled)
+        return scheduler
+    return pinned
+
+
 #: Program-variant builder: ``lang_backend -> (switch, port) -> scheduler``.
 #: The outer call fixes the transaction-language execution backend
 #: (``"compiled"`` / ``"interpreted"``), so sweeping engines can compare
@@ -248,7 +260,8 @@ class Scenario:
             lang_backend: Optional[str] = None,
             load_scale: float = 1.0,
             base_seed: Optional[int] = None,
-            telemetry: bool = True) -> Dict[str, ScenarioResult]:
+            telemetry: bool = True,
+            tree_kernel: Optional[bool] = None) -> Dict[str, ScenarioResult]:
         """Run each scheduler variant on a fresh fabric; results by label.
 
         ``lang_backend`` switches to the scenario's transaction-language
@@ -263,6 +276,12 @@ class Scenario:
         (the in-band ``prev_wait_time`` stamp LSTF consumes is always
         maintained) — only ``stats_by_node``'s ``per_port`` maps come back
         empty.
+
+        ``tree_kernel`` pins the fused whole-tree kernels
+        (:mod:`repro.lang.treekernel`): ``None`` (default) keeps each
+        scheduler's own default (on, minus unfusable trees),
+        ``False`` forces the interpreted scheduler *and* interpreted
+        fabric delivery — the lockstep reference configuration.
         """
         duration = (self.quick_duration if quick and self.quick_duration
                     else self.duration)
@@ -271,6 +290,8 @@ class Scenario:
         results: Dict[str, ScenarioResult] = {}
         for label in selected:
             factory = self.scheduler_factory(label, lang_backend)
+            if tree_kernel is not None:
+                factory = _pin_tree_kernel(factory, tree_kernel)
             sim = Simulator()
             fabric = Fabric(
                 sim,
@@ -280,6 +301,7 @@ class Scenario:
                 pifo_backend=pifo_backend,
                 keep_packets=self.keep_packets,
                 telemetry=telemetry,
+                fused_delivery=None if tree_kernel is not False else False,
             )
             by_host: Dict[str, List[Iterable[Arrival]]] = {}
             for demand in self.demands:

@@ -25,10 +25,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from .algorithms import ArrivalSequenceTransaction
+from .algorithms import ArrivalSequenceTransaction, FIFOTransaction
 from .core.packet import pool_size
 from .core.scheduler import ProgrammableScheduler
 from .core.tree import single_node_tree
+from .lang.treekernel import kernel_cache_info
 from .net import Fabric, leaf_spine, linear_chain
 from .sim.simulator import Simulator
 from .traffic.flows import FlowSpec
@@ -42,16 +43,34 @@ LINK_RATE_BPS = 1e9
 LOAD_FRACTION = 0.9
 
 
-def _fifo_factory(switch: str, port: str) -> ProgrammableScheduler:
+def _fifo_factory(tree_kernel: bool) -> Callable[[str, str], ProgrammableScheduler]:
     """Arrival-sequence FIFO: integer monotone ranks run on every backend."""
-    return ProgrammableScheduler(single_node_tree(ArrivalSequenceTransaction()))
+    def factory(switch: str, port: str) -> ProgrammableScheduler:
+        return ProgrammableScheduler(
+            single_node_tree(ArrivalSequenceTransaction()),
+            tree_kernel=tree_kernel,
+        )
+    return factory
 
 
-def _build_chain(sim: Simulator, packets: int, pifo_backend, telemetry: bool) -> Fabric:
+def _host_factory(tree_kernel: bool) -> Callable[[str, str], ProgrammableScheduler]:
+    """Host NIC FIFO honouring the run's tree-kernel switch."""
+    def factory(switch: str, port: str) -> ProgrammableScheduler:
+        return ProgrammableScheduler(
+            single_node_tree(FIFOTransaction()),
+            tree_kernel=tree_kernel,
+        )
+    return factory
+
+
+def _build_chain(sim: Simulator, packets: int, pifo_backend, telemetry: bool,
+                 tree_kernel: bool = True) -> Fabric:
     """CBR overload across a 3-switch linear chain."""
     fabric = Fabric(sim, linear_chain(3, link_rate_bps=LINK_RATE_BPS),
-                    _fifo_factory, pifo_backend=pifo_backend,
-                    keep_packets=False, telemetry=telemetry)
+                    _fifo_factory(tree_kernel), pifo_backend=pifo_backend,
+                    keep_packets=False, telemetry=telemetry,
+                    host_scheduler_factory=_host_factory(tree_kernel),
+                    fused_delivery=None if tree_kernel else False)
     duration = packets * PACKET_SIZE * 8.0 / (LOAD_FRACTION * LINK_RATE_BPS)
     spec = FlowSpec(name="load", rate_bps=LOAD_FRACTION * LINK_RATE_BPS,
                     packet_size=PACKET_SIZE, dst="h_dst")
@@ -60,12 +79,15 @@ def _build_chain(sim: Simulator, packets: int, pifo_backend, telemetry: bool) ->
 
 
 def _build_leaf_spine(sim: Simulator, packets: int, pifo_backend,
-                      telemetry: bool) -> Fabric:
+                      telemetry: bool, tree_kernel: bool = True) -> Fabric:
     """Four cross-leaf CBR senders over a 4x2 leaf-spine Clos with ECMP."""
     fabric = Fabric(sim, leaf_spine(leaves=4, spines=2, hosts_per_leaf=1,
                                     host_rate_bps=LINK_RATE_BPS),
-                    _fifo_factory, ecmp=True, pifo_backend=pifo_backend,
-                    keep_packets=False, telemetry=telemetry)
+                    _fifo_factory(tree_kernel), ecmp=True,
+                    pifo_backend=pifo_backend,
+                    keep_packets=False, telemetry=telemetry,
+                    host_scheduler_factory=_host_factory(tree_kernel),
+                    fused_delivery=None if tree_kernel else False)
     pairs = [("h0_0", "h2_0"), ("h1_0", "h3_0"),
              ("h2_0", "h0_0"), ("h3_0", "h1_0")]
     per_sender = max(1, packets // len(pairs))
@@ -78,7 +100,8 @@ def _build_leaf_spine(sim: Simulator, packets: int, pifo_backend,
     return fabric
 
 
-#: Workload name -> fabric builder ``(sim, packets, pifo_backend, telemetry)``.
+#: Workload name -> fabric builder
+#: ``(sim, packets, pifo_backend, telemetry, tree_kernel)``.
 WORKLOADS: Dict[str, Callable[..., Fabric]] = {
     "chain3": _build_chain,
     "leaf_spine4x2": _build_leaf_spine,
@@ -97,6 +120,14 @@ class PerfResult:
     elapsed_s: float
     events: int
     pool_recycled: int
+    #: Whether the fused tree kernel (and fused fabric delivery) was on.
+    tree_kernel: bool = True
+    #: Kernel-cache activity during this run (deltas of
+    #: :func:`repro.lang.treekernel.kernel_cache_info`).
+    kernel_cache_hits: int = 0
+    kernel_compiles: int = 0
+    kernel_installs: int = 0
+    kernel_fallbacks: int = 0
 
     @property
     def packets_per_second(self) -> float:
@@ -118,6 +149,11 @@ class PerfResult:
             "events": self.events,
             "events_per_second": self.events_per_second,
             "pool_recycled": self.pool_recycled,
+            "tree_kernel": self.tree_kernel,
+            "kernel_cache_hits": self.kernel_cache_hits,
+            "kernel_compiles": self.kernel_compiles,
+            "kernel_installs": self.kernel_installs,
+            "kernel_fallbacks": self.kernel_fallbacks,
         }
 
 
@@ -136,11 +172,14 @@ def run_workload(
     packets: int = 10_000,
     pifo_backend: Optional[str] = "sorted",
     telemetry: bool = False,
+    tree_kernel: bool = True,
 ) -> PerfResult:
     """Drive one throughput workload to completion and time it.
 
     ``telemetry`` defaults to off — the sweep configuration the hot path is
     tuned for; pass ``True`` to measure the figure-run configuration.
+    ``tree_kernel=False`` measures the interpreted reference datapath
+    (no fused scheduler kernels, no fused fabric delivery).
     """
     try:
         builder = WORKLOADS[workload]
@@ -150,8 +189,9 @@ def run_workload(
             f"unknown perf workload {workload!r}; known workloads: {known}"
         ) from None
     pool_before = pool_size()
+    cache_before = kernel_cache_info()
     sim = Simulator()
-    fabric = builder(sim, packets, pifo_backend, telemetry)
+    fabric = builder(sim, packets, pifo_backend, telemetry, tree_kernel)
     started = time.perf_counter()
     fabric.run(drain=True)
     elapsed = time.perf_counter() - started
@@ -160,6 +200,7 @@ def run_workload(
             f"perf workload {workload!r} left packets in flight: "
             f"{fabric.conservation_check()}"
         )
+    cache_after = kernel_cache_info()
     return PerfResult(
         workload=workload,
         pifo_backend=pifo_backend,
@@ -169,6 +210,11 @@ def run_workload(
         elapsed_s=elapsed,
         events=sim.events_processed,
         pool_recycled=max(0, pool_size() - pool_before),
+        tree_kernel=tree_kernel,
+        kernel_cache_hits=cache_after["hits"] - cache_before["hits"],
+        kernel_compiles=cache_after["misses"] - cache_before["misses"],
+        kernel_installs=cache_after["installs"] - cache_before["installs"],
+        kernel_fallbacks=cache_after["fallbacks"] - cache_before["fallbacks"],
     )
 
 
@@ -177,6 +223,7 @@ def profile_workload(
     packets: int = 10_000,
     pifo_backend: Optional[str] = "sorted",
     telemetry: bool = False,
+    tree_kernel: bool = True,
     top: int = 20,
 ) -> ProfileResult:
     """Run a workload under :mod:`cProfile` and return the hottest functions.
@@ -193,7 +240,7 @@ def profile_workload(
             f"unknown perf workload {workload!r}; known workloads: {known}"
         ) from None
     sim = Simulator()
-    fabric = builder(sim, packets, pifo_backend, telemetry)
+    fabric = builder(sim, packets, pifo_backend, telemetry, tree_kernel)
     profiler = cProfile.Profile()
     started = time.perf_counter()
     profiler.enable()
@@ -209,6 +256,7 @@ def profile_workload(
         elapsed_s=elapsed,
         events=sim.events_processed,
         pool_recycled=0,
+        tree_kernel=tree_kernel,
     )
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream).sort_stats("tottime")

@@ -93,6 +93,7 @@ class OutputPort:
         "on_departure", "propagation_delay", "delivery", "busy",
         "transmitted_packets", "transmitted_bytes", "dropped_packets",
         "_wakeup", "_tx_packet", "_wire", "_inv_rate", "_has_release",
+        "_tx_complete",
     )
 
     def __init__(
@@ -134,6 +135,11 @@ class OutputPort:
         #: Whether the scheduler can report shaping releases (cached; the
         #: hasattr probe is too expensive to repeat after every dequeue).
         self._has_release = hasattr(scheduler, "next_shaping_release")
+        #: Transmit-completion callback.  Defaults to the generic
+        #: :meth:`_on_tx_complete`; the fabric layer replaces it with a
+        #: fused per-hop closure (see ``repro.net.fabric``) that inlines
+        #: delivery, next-hop ingress and buffer release.
+        self._tx_complete: Callable[[], None] = self._on_tx_complete
 
     def _apply_backend(
         self, pifo_backend: BackendSpec, expected_backlog: Optional[int]
@@ -197,7 +203,7 @@ class OutputPort:
             return
         self.busy = True
         self._tx_packet = packet
-        sim.schedule(packet.length * self._inv_rate, self._on_tx_complete)
+        sim.schedule(packet.length * self._inv_rate, self._tx_complete)
 
     def _on_tx_complete(self) -> None:
         sim = self.sim
@@ -225,7 +231,9 @@ class OutputPort:
             return
         self.busy = True
         self._tx_packet = next_packet
-        sim.schedule(next_packet.length * self._inv_rate, self._on_tx_complete)
+        # Fast path: a busy port's next completion is usually the very next
+        # event — let the run loop prefetch it from the deferral slot.
+        sim.schedule_fast(next_packet.length * self._inv_rate, self._tx_complete)
 
     def _on_wire_arrival(self) -> None:
         packet = self._wire.popleft()

@@ -35,13 +35,17 @@ from .events import Event, EventQueue
 class Simulator:
     """Discrete-event simulation kernel."""
 
-    __slots__ = ("now", "_queue", "events_processed", "_running")
+    __slots__ = ("now", "_queue", "events_processed", "_running", "_deferred")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue = EventQueue()
         self.events_processed = 0
         self._running = False
+        #: One-slot deferral buffer (see :meth:`schedule_fast`): the most
+        #: recently fast-scheduled event, kept out of the heap while it is
+        #: a plausible next-event candidate.
+        self._deferred: Optional[Event] = None
 
     # -- scheduling -----------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], Any], name: str = "") -> Event:
@@ -71,8 +75,40 @@ class Simulator:
         heappush(queue._heap, entry)
         return entry
 
+    def schedule_fast(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Like :meth:`schedule`, but keep the event in a one-slot deferral
+        buffer instead of the heap.
+
+        Intended for self-rescheduling hot loops (a port's back-to-back
+        transmit completions): the completion just scheduled is very often
+        the next event to run, so the run loop can *prefetch* it — compare
+        it against the heap head and execute it without ever paying the
+        heappush/heappop pair.  A previously deferred event is demoted to
+        the heap; ordering is unaffected either way because the run loop
+        always picks the (time, seq)-smallest of the slot and the heap head.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        queue = self._queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        entry = (self.now + delay, seq, callback)
+        if self._running:
+            previous = self._deferred
+            if previous is not None:
+                heappush(queue._heap, previous)
+            self._deferred = entry
+        else:
+            # Outside run() the slot is never drained; keep the queue
+            # authoritative so peek/len stay exact.
+            heappush(queue._heap, entry)
+        return entry
+
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (handle returned by ``schedule*``)."""
+        if event is self._deferred:
+            self._deferred = None
+            return
         self._queue.cancel(event)
 
     # -- execution ------------------------------------------------------------
@@ -90,13 +126,34 @@ class Simulator:
         pop = heappop
         self._running = True
         processed = 0
+        stop = False
         try:
-            while heap:
-                entry = heap[0]
-                time = entry[0]
-                if until is not None and time > until:
-                    break
-                pop(heap)
+            while not stop:
+                # Candidate: the (time, seq)-smallest of the deferred slot
+                # and the heap head.  The slot is the previous iteration's
+                # prefetched transmit completion (schedule_fast) and very
+                # often wins, skipping the heappush/heappop pair entirely.
+                deferred = self._deferred
+                if deferred is None:
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    time = entry[0]
+                    if until is not None and time > until:
+                        break
+                    pop(heap)
+                elif heap and heap[0] < deferred:
+                    entry = heap[0]
+                    time = entry[0]
+                    if until is not None and time > until:
+                        break
+                    pop(heap)
+                else:
+                    entry = deferred
+                    time = entry[0]
+                    if until is not None and time > until:
+                        break
+                    self._deferred = None
                 if tombstones and entry[1] in tombstones:
                     tombstones.discard(entry[1])
                     continue
@@ -106,8 +163,33 @@ class Simulator:
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break
+                # Batch drain: every heap event already due at this exact
+                # instant is eligible — run them without re-checking the
+                # horizon or re-advancing the clock.  Bail to the outer
+                # loop the moment a callback prefetches a deferred event
+                # (it may order before the heap head).
+                if self._deferred is None:
+                    while heap:
+                        entry = heap[0]
+                        if entry[0] != time or self._deferred is not None:
+                            break
+                        pop(heap)
+                        if tombstones and entry[1] in tombstones:
+                            tombstones.discard(entry[1])
+                            continue
+                        entry[2]()
+                        processed += 1
+                        if max_events is not None and processed >= max_events:
+                            stop = True
+                            break
         finally:
             self._running = False
+            # Flush the deferral slot so the queue is authoritative again
+            # for peek/len/next run().
+            deferred = self._deferred
+            if deferred is not None:
+                heappush(heap, deferred)
+                self._deferred = None
             self.events_processed += processed
         if until is not None:
             next_time = queue.peek_time()
@@ -122,7 +204,9 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still queued."""
-        return len(self._queue)
+        # The deferral slot only holds an event mid-run(); count it so
+        # callbacks observing the queue see a consistent total.
+        return len(self._queue) + (1 if self._deferred is not None else 0)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Simulator(now={self.now:.6f}, pending={self.pending_events})"

@@ -1,0 +1,338 @@
+"""Fused whole-tree kernels: install rules, cache, staleness, equivalence.
+
+:mod:`repro.lang.treekernel` compiles a scheduler's entire tree (shape +
+per-node transaction programs) into one generated-Python kernel whose
+``enqueue`` / ``dequeue`` / ``transfer`` closures are bound as instance
+attributes of the :class:`~repro.core.ProgrammableScheduler`.  These tests
+pin the contract that makes that safe:
+
+* the kernel installs by default and is observationally identical to the
+  interpreted engine (stats, counters, departure order, timestamps);
+* trees with unfusable features (shaping) fall back to the interpreted
+  path with a reason, never an error;
+* kernels are cached by tree-shape signature and re-specialised when the
+  tree is mutated behind the scheduler's back;
+* ``transfer`` (the cut-through enqueue+dequeue used by the fused fabric
+  datapath) matches the composition exactly, including drops and backend
+  type errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    ArrivalSequenceTransaction,
+    FieldRankTransaction,
+    build_fig3_tree,
+    build_fig4_tree,
+    hierarchy_flows,
+)
+from repro.core import ProgrammableScheduler, single_node_tree
+from repro.core.packet import Packet
+from repro.core.pifo import PIFOFullError
+from repro.lang.treekernel import (
+    TreeKernelError,
+    clear_kernel_cache,
+    compile_tree_kernel,
+    kernel_cache_info,
+)
+
+BACKENDS = ["sorted", "calendar", "bucketed", "quantized"]
+
+
+def _fifo_scheduler(**kwargs):
+    return ProgrammableScheduler(
+        single_node_tree(ArrivalSequenceTransaction()), **kwargs
+    )
+
+
+def _drain(scheduler, now=1.0):
+    out = []
+    while True:
+        packet = scheduler.dequeue(now=now)
+        if packet is None:
+            return out
+        out.append(packet.flow)
+
+
+class TestInstall:
+    def test_kernel_installed_by_default(self):
+        scheduler = _fifo_scheduler()
+        assert scheduler.tree_kernel is not None
+        assert scheduler.kernel_fallback_reason is None
+        # The fused closures shadow the class methods.
+        assert "enqueue" in scheduler.__dict__
+        assert "dequeue" in scheduler.__dict__
+        assert "transfer" in scheduler.__dict__
+
+    def test_env_var_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TREE_KERNEL", "0")
+        scheduler = _fifo_scheduler()
+        assert scheduler.tree_kernel is None
+        assert "enqueue" not in scheduler.__dict__
+
+    def test_explicit_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TREE_KERNEL", "0")
+        scheduler = _fifo_scheduler(tree_kernel=True)
+        assert scheduler.tree_kernel is not None
+
+    def test_set_tree_kernel_toggles(self):
+        scheduler = _fifo_scheduler()
+        scheduler.set_tree_kernel(False)
+        assert scheduler.tree_kernel is None
+        assert scheduler.kernel_fallback_reason == "disabled"
+        # Still fully functional interpreted.
+        assert scheduler.enqueue(Packet(flow="a", length=100), now=0.0)
+        assert scheduler.dequeue(now=0.0).flow == "a"
+        scheduler.set_tree_kernel(True)
+        assert scheduler.tree_kernel is not None
+
+    def test_subclass_never_fuses(self):
+        class Custom(ProgrammableScheduler):
+            pass
+
+        scheduler = Custom(single_node_tree(ArrivalSequenceTransaction()))
+        assert scheduler.tree_kernel is None
+
+    def test_shaping_tree_falls_back_with_reason(self):
+        scheduler = ProgrammableScheduler(build_fig4_tree())
+        assert scheduler.tree_kernel is None
+        assert "shaping" in scheduler.kernel_fallback_reason
+        with pytest.raises(TreeKernelError):
+            compile_tree_kernel(scheduler)
+
+    def test_multi_node_tree_fuses(self):
+        scheduler = ProgrammableScheduler(build_fig3_tree())
+        assert scheduler.tree_kernel is not None
+
+    def test_kernel_source_registered_in_linecache(self):
+        import linecache
+
+        kernel = _fifo_scheduler().tree_kernel
+        assert kernel.filename.startswith("<treekernel:")
+        assert linecache.cache[kernel.filename][2]
+
+
+class TestCache:
+    def test_same_shape_hits_cache(self):
+        clear_kernel_cache()
+        _fifo_scheduler()
+        after_first = kernel_cache_info()
+        _fifo_scheduler()
+        after_second = kernel_cache_info()
+        assert after_first["misses"] == 1
+        assert after_second["misses"] == 1
+        assert after_second["hits"] == after_first["hits"] + 1
+        assert after_second["installs"] == after_first["installs"] + 1
+
+    def test_different_backend_different_kernel(self):
+        clear_kernel_cache()
+        a = _fifo_scheduler()
+        b = _fifo_scheduler(pifo_backend="calendar")
+        assert a.tree_kernel.signature != b.tree_kernel.signature
+        assert kernel_cache_info()["misses"] >= 2
+
+    def test_fallback_counted(self):
+        clear_kernel_cache()
+        ProgrammableScheduler(build_fig4_tree())
+        assert kernel_cache_info()["fallbacks"] == 1
+
+
+class TestStaleness:
+    def test_direct_tree_use_backend_respecialises(self):
+        scheduler = _fifo_scheduler()
+        before = scheduler.tree_kernel
+        # Mutate the tree *behind* the scheduler: the per-call guard must
+        # notice the swapped PIFO object and rebuild.
+        scheduler.tree.use_backend("calendar")
+        packet = Packet(flow="a", length=100)
+        assert scheduler.enqueue(packet, now=0.0)
+        assert scheduler.tree_kernel is not before
+        assert scheduler.dequeue(now=0.0) is packet
+
+    def test_scheduler_use_backend_respecialises(self):
+        scheduler = _fifo_scheduler()
+        before = scheduler.tree_kernel
+        scheduler.use_backend("bucketed")
+        assert scheduler.tree_kernel is not before
+
+    def test_stale_transfer_recovers(self):
+        scheduler = _fifo_scheduler()
+        scheduler.tree.use_backend("calendar")
+        packet = Packet(flow="a", length=100)
+        assert scheduler.transfer(packet, 0.0) is packet
+
+    def test_reset_keeps_kernel_working(self):
+        scheduler = _fifo_scheduler()
+        scheduler.enqueue(Packet(flow="a", length=100), now=0.0)
+        scheduler.reset()
+        packet = Packet(flow="b", length=100)
+        assert scheduler.enqueue(packet, now=0.0)
+        assert scheduler.dequeue(now=0.0) is packet
+        assert scheduler.stats.enqueued == 1
+
+
+class TestDrops:
+    def _capped(self, drop_on_full):
+        return ProgrammableScheduler(
+            single_node_tree(ArrivalSequenceTransaction(), pifo_capacity=2),
+            drop_on_full=drop_on_full,
+        )
+
+    def test_drop_on_full_returns_false(self):
+        scheduler = self._capped(drop_on_full=True)
+        assert scheduler.enqueue(Packet(flow="a", length=100), now=0.0)
+        assert scheduler.enqueue(Packet(flow="b", length=100), now=0.0)
+        assert not scheduler.enqueue(Packet(flow="c", length=100), now=0.0)
+        assert scheduler.stats.dropped == 1
+        assert scheduler.stats.enqueued == 2
+
+    def test_no_drop_raises(self):
+        scheduler = self._capped(drop_on_full=False)
+        scheduler.enqueue(Packet(flow="a", length=100), now=0.0)
+        scheduler.enqueue(Packet(flow="b", length=100), now=0.0)
+        with pytest.raises(PIFOFullError):
+            scheduler.enqueue(Packet(flow="c", length=100), now=0.0)
+
+    def test_interpreted_agrees(self):
+        fused = self._capped(drop_on_full=True)
+        plain = self._capped(drop_on_full=True)
+        plain.set_tree_kernel(False)
+        for flow in "abcd":
+            assert (fused.enqueue(Packet(flow=flow, length=100), now=0.0)
+                    == plain.enqueue(Packet(flow=flow, length=100), now=0.0))
+        assert fused.stats == plain.stats
+
+
+class TestBucketedRankErrors:
+    def test_float_rank_raises_like_interpreted(self):
+        # BucketedPIFO rejects fractional ranks identically on the fused
+        # and interpreted paths (same exception type and message).
+        def build():
+            return ProgrammableScheduler(
+                single_node_tree(FieldRankTransaction("deadline")),
+                pifo_backend="bucketed",
+            )
+
+        fused, plain = build(), build()
+        plain.set_tree_kernel(False)
+        packet = Packet(flow="a", length=100, fields={"deadline": 1.5})
+        for scheduler in (fused, plain):
+            with pytest.raises(ValueError, match="integer ranks"):
+                scheduler.enqueue(packet, now=0.0)
+
+    def test_float_rank_raises_through_transfer(self):
+        scheduler = ProgrammableScheduler(
+            single_node_tree(FieldRankTransaction("deadline")),
+            pifo_backend="bucketed",
+        )
+        packet = Packet(flow="a", length=100, fields={"deadline": 2.5})
+        with pytest.raises(ValueError, match="integer ranks"):
+            scheduler.transfer(packet, 0.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestLockstepSingleNode:
+    def test_departure_order_and_stats(self, backend):
+        fused = ProgrammableScheduler(
+            single_node_tree(ArrivalSequenceTransaction()),
+            pifo_backend=backend,
+        )
+        plain = ProgrammableScheduler(
+            single_node_tree(ArrivalSequenceTransaction()),
+            pifo_backend=backend,
+        )
+        plain.set_tree_kernel(False)
+        assert fused.tree_kernel is not None and plain.tree_kernel is None
+        packets = [Packet(flow=f"f{i % 4}", length=64 + i) for i in range(50)]
+        twins = [Packet(flow=p.flow, length=p.length) for p in packets]
+        for packet, twin in zip(packets, twins):
+            assert (fused.enqueue(packet, now=0.25)
+                    == plain.enqueue(twin, now=0.25))
+        assert _drain(fused) == _drain(plain)
+        assert fused.stats == plain.stats
+        fp, pp = (fused.tree.root.scheduling_pifo,
+                  plain.tree.root.scheduling_pifo)
+        assert (fp.pushes, fp.pops) == (pp.pushes, pp.pops)
+
+
+@pytest.mark.parametrize("backend", ["sorted", "calendar"])
+class TestLockstepHierarchy:
+    def test_fig3_hpfq_identical(self, backend):
+        fused = ProgrammableScheduler(build_fig3_tree(),
+                                      pifo_backend=backend)
+        plain = ProgrammableScheduler(build_fig3_tree(),
+                                      pifo_backend=backend)
+        plain.set_tree_kernel(False)
+        flows = [f for leaf in hierarchy_flows(build_fig3_tree()).values()
+                 for f in leaf]
+        for i in range(80):
+            flow = flows[i % len(flows)]
+            length = 200 + 37 * (i % 7)
+            assert (fused.enqueue(Packet(flow=flow, length=length), now=0.0)
+                    == plain.enqueue(Packet(flow=flow, length=length), now=0.0))
+            if i % 3 == 2:
+                a, b = fused.dequeue(now=0.0), plain.dequeue(now=0.0)
+                assert (a.flow, a.length) == (b.flow, b.length)
+        assert _drain(fused) == _drain(plain)
+        assert fused.stats == plain.stats
+
+
+class TestTransfer:
+    def _pifo_counters(self, scheduler):
+        pifo = scheduler.tree.root.scheduling_pifo
+        return (pifo.pushes, pifo.pops, pifo._seq, len(pifo))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_tree_cut_through_equivalent(self, backend):
+        via_transfer = ProgrammableScheduler(
+            single_node_tree(ArrivalSequenceTransaction()),
+            pifo_backend=backend,
+        )
+        via_compose = ProgrammableScheduler(
+            single_node_tree(ArrivalSequenceTransaction()),
+            pifo_backend=backend,
+        )
+        for i in range(10):
+            p1 = Packet(flow=f"f{i % 2}", length=120)
+            p2 = Packet(flow=f"f{i % 2}", length=120)
+            head = via_transfer.transfer(p1, float(i))
+            assert via_compose.enqueue(p2, now=float(i))
+            twin = via_compose.dequeue(now=float(i))
+            assert head is p1 and twin is p2
+            assert (p1.enqueue_time, p1.dequeue_time) == (
+                p2.enqueue_time, p2.dequeue_time)
+        assert via_transfer.stats == via_compose.stats
+        assert (self._pifo_counters(via_transfer)
+                == self._pifo_counters(via_compose))
+
+    def test_nonempty_tree_composes(self):
+        scheduler = _fifo_scheduler()
+        first = Packet(flow="queued", length=100)
+        assert scheduler.enqueue(first, now=0.0)
+        later = Packet(flow="later", length=100)
+        # FIFO order: the buffered packet must come out, not the new one.
+        head = scheduler.transfer(later, 1.0)
+        assert head is first
+        assert scheduler.dequeue(now=1.0) is later
+
+    def test_transfer_full_pifo_drops(self):
+        scheduler = ProgrammableScheduler(
+            single_node_tree(ArrivalSequenceTransaction(), pifo_capacity=1),
+            drop_on_full=True,
+        )
+        assert scheduler.enqueue(Packet(flow="a", length=100), now=0.0)
+        assert scheduler.transfer(Packet(flow="b", length=100), 0.0) is None
+        assert scheduler.stats.dropped == 1
+
+    def test_transfer_counts_match_fabric_expectations(self):
+        scheduler = _fifo_scheduler()
+        packet = Packet(flow="a", length=100)
+        assert scheduler.transfer(packet, 2.0) is packet
+        assert len(scheduler) == 0
+        assert scheduler.stats.enqueued == scheduler.stats.dequeued == 1
+        assert scheduler.stats.per_flow_enqueued == {"a": 1}
+        assert scheduler.stats.per_flow_dequeued == {"a": 1}
+        assert packet.enqueue_time == 2.0
+        assert packet.dequeue_time == 2.0

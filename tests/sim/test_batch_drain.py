@@ -1,0 +1,245 @@
+"""Batch event draining and the schedule_fast deferral slot.
+
+The run loop drains every heap event due at the current timestamp in one
+inner loop (no re-advancing the clock per event) and prefetches
+self-rescheduled transmit completions in a one-slot deferral buffer
+(:meth:`~repro.sim.Simulator.schedule_fast`).  These properties pin the
+ordering contract both optimisations must preserve: events execute in
+(time, seq) order — exactly as if every event went through the heap — and
+cancellation works identically whether the victim sits in the heap or in
+the deferral slot.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.sim import Simulator
+
+
+class TestSameTimestampOrder:
+    def test_same_time_events_run_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for index in range(20):
+            sim.schedule_at(1.0, lambda i=index: log.append(i))
+        sim.run()
+        assert log == list(range(20))
+
+    def test_batch_spawned_same_time_events_ordered(self):
+        # Callbacks scheduling *new* work at the current instant: the new
+        # events carry later seqs, so they run after everything already
+        # due — in spawn order.
+        sim = Simulator()
+        log = []
+
+        def parent(i):
+            log.append(("parent", i))
+            sim.schedule(0.0, lambda: log.append(("child", i)))
+
+        for index in range(5):
+            sim.schedule_at(1.0, lambda i=index: parent(i))
+        sim.run()
+        assert log == ([("parent", i) for i in range(5)]
+                       + [("child", i) for i in range(5)])
+
+    def test_fast_scheduled_event_interleaves_by_seq(self):
+        # A deferred (fast) event at the same timestamp must not jump
+        # ahead of earlier-seq heap events already due at that instant.
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule_fast(0.0, lambda: log.append("fast"))
+
+        sim.schedule_at(1.0, first)
+        sim.schedule_at(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second", "fast"]
+
+
+# Command stream: each event's callback schedules up to two children with
+# (delay on a coarse grid, fast or heap scheduling).  Coarse delays force
+# timestamp collisions so the batch drain actually engages.
+child_spec = st.tuples(st.integers(min_value=0, max_value=3), st.booleans())
+event_specs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.lists(child_spec, max_size=2)),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestOrderingProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(specs=event_specs)
+    def test_execution_order_is_time_seq_order(self, specs):
+        # Every event logs its own (time, seq) when it fires; children are
+        # spawned from inside callbacks through schedule / schedule_fast.
+        # Whatever mix of heap and deferral-slot routing the events take,
+        # the observable firing order must equal (time, seq) order.
+        sim = Simulator()
+        log = []
+
+        def spawn(schedule, delay, children):
+            record = {}
+            def cb():
+                log.append(record["key"])
+                for delay_step, fast in children:
+                    spawn(sim.schedule_fast if fast else sim.schedule,
+                          delay_step * 0.5, ())
+            entry = schedule(delay, cb)
+            record["key"] = (entry[0], entry[1])
+
+        for delay_step, children in specs:
+            spawn(sim.schedule, delay_step * 0.5, children)
+        sim.run()
+        assert len(log) > 0
+        assert log == sorted(log)
+        assert sim.pending_events == 0
+        assert sim.events_processed == len(log)
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=event_specs, horizon_step=st.integers(min_value=0,
+                                                       max_value=6))
+    def test_run_until_horizon_respected(self, specs, horizon_step):
+        sim = Simulator()
+        fired = []
+
+        def make_cb(children):
+            def cb():
+                fired.append(sim.now)
+                for delay_step, fast in children:
+                    schedule = sim.schedule_fast if fast else sim.schedule
+                    schedule(delay_step * 0.5, make_cb(()))
+            return cb
+
+        for delay_step, children in specs:
+            sim.schedule(delay_step * 0.5, make_cb(children))
+        horizon = horizon_step * 0.5
+        sim.run(until=horizon)
+        assert all(t <= horizon for t in fired)
+        # Whatever remains (including a flushed deferral slot) fires later.
+        sim.run()
+        assert sim.pending_events == 0
+
+
+class TestCancellation:
+    def test_cancel_heap_event_inside_batch(self):
+        # First event of a timestamp batch cancels a later same-timestamp
+        # event: the tombstone must be honoured by the batch drain, and a
+        # tombstoned pop must not count as processed.
+        sim = Simulator()
+        log = []
+        holder = {}
+
+        def killer():
+            log.append("killer")
+            sim.cancel(holder["victim"])
+
+        sim.schedule_at(1.0, killer)
+        holder["victim"] = sim.schedule_at(1.0, lambda: log.append("victim"))
+        sim.schedule_at(1.0, lambda: log.append("survivor"))
+        sim.run()
+        assert log == ["killer", "survivor"]
+        assert sim.events_processed == 2
+
+    def test_cancel_deferred_slot_event(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            deferred = sim.schedule_fast(0.0, lambda: log.append("fast"))
+            assert sim.pending_events >= 1
+            sim.cancel(deferred)
+
+        sim.schedule_at(1.0, first)
+        sim.schedule_at(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_cancel_then_reschedule_fast(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            stale = sim.schedule_fast(0.0, lambda: log.append("stale"))
+            sim.cancel(stale)
+            sim.schedule_fast(0.0, lambda: log.append("fresh"))
+
+        sim.schedule(0.0, first)
+        sim.run()
+        assert log == ["fresh"]
+
+    def test_demoted_deferred_event_still_cancellable(self):
+        # A second schedule_fast demotes the first deferred event to the
+        # heap; cancelling the demoted handle must still work.
+        sim = Simulator()
+        log = []
+
+        def first():
+            a = sim.schedule_fast(1.0, lambda: log.append("a"))
+            sim.schedule_fast(2.0, lambda: log.append("b"))
+            sim.cancel(a)  # a now lives in the heap
+
+        sim.schedule(0.0, first)
+        sim.run()
+        assert log == ["b"]
+
+
+class TestDeferralSlotAccounting:
+    def test_pending_events_counts_slot(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule_fast(1.0, lambda: None)
+            seen.append(sim.pending_events)
+
+        sim.schedule(0.0, first)
+        sim.run()
+        assert seen == [1]
+
+    def test_slot_flushed_after_run_until(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            sim.schedule_fast(5.0, lambda: log.append("late"))
+
+        sim.schedule(0.0, first)
+        sim.run(until=1.0)
+        assert log == []
+        assert sim.pending_events == 1
+        sim.run()
+        assert log == ["late"]
+
+    def test_schedule_fast_outside_run_goes_to_heap(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_fast(1.0, lambda: log.append("x"))
+        assert sim.pending_events == 1
+        sim.run()
+        assert log == ["x"]
+
+    def test_schedule_fast_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_fast(-0.1, lambda: None)
+
+    def test_max_events_mid_batch_preserves_rest(self):
+        sim = Simulator()
+        log = []
+        for index in range(6):
+            sim.schedule_at(1.0, lambda i=index: log.append(i))
+        sim.run(max_events=3)
+        assert log == [0, 1, 2]
+        assert sim.pending_events == 3
+        sim.run()
+        assert log == list(range(6))
+        assert sim.events_processed == 6
