@@ -15,25 +15,51 @@ is that execution layer:
   to serial execution, modulo wall-clock fields);
 * :mod:`~repro.campaign.store` — append-only JSONL :class:`ResultStore`
   with per-run config fingerprints, making interrupted campaigns
-  resumable (``--resume`` re-runs exactly the missing set);
+  resumable (``--resume`` re-runs exactly the missing and failed sets);
 * :mod:`~repro.campaign.builtin` — the campaign registry and the built-in
-  ``paper_sweep`` campaign.
+  ``paper_sweep`` / ``fault_sweep`` campaigns.
+
+Execution is crash-isolated: exceptions, per-run timeouts and dead worker
+processes become structured failure records in the store (see
+:func:`~repro.campaign.runner.execute_spec_guarded`) instead of killing
+the sweep, bounded retry with backoff covers transient failures, and the
+runner degrades from pool to per-spec subprocesses when the pool itself
+breaks.
 
 Aggregation of store records into grouped summary tables lives in
 :mod:`repro.reporting.campaign`; the CLI front end is
-``repro campaign run|list|report``.
+``repro campaign run|list|report|verify``.
 """
 
 from .builtin import (
     CAMPAIGNS,
+    FAULT_SWEEP,
     PAPER_SWEEP,
     get_campaign,
     list_campaigns,
     register_campaign,
 )
-from .runner import CampaignReport, CampaignRunner, execute_spec
+from .runner import (
+    CampaignReport,
+    CampaignRunner,
+    WorkerPolicy,
+    execute_spec,
+    execute_spec_guarded,
+    failure_record,
+)
 from .spec import FACTOR_KEYS, Campaign, RunSpec
-from .store import TIMING_FIELDS, ResultStore, StoreError, strip_timing
+from .store import (
+    FAILURE_STATUSES,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STATUS_WORKER_LOST,
+    TIMING_FIELDS,
+    ResultStore,
+    StoreError,
+    record_is_ok,
+    strip_timing,
+)
 
 __all__ = [
     "Campaign",
@@ -41,13 +67,23 @@ __all__ = [
     "FACTOR_KEYS",
     "CampaignRunner",
     "CampaignReport",
+    "WorkerPolicy",
     "execute_spec",
+    "execute_spec_guarded",
+    "failure_record",
     "ResultStore",
     "StoreError",
     "TIMING_FIELDS",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "STATUS_WORKER_LOST",
+    "FAILURE_STATUSES",
+    "record_is_ok",
     "strip_timing",
     "CAMPAIGNS",
     "PAPER_SWEEP",
+    "FAULT_SWEEP",
     "register_campaign",
     "get_campaign",
     "list_campaigns",

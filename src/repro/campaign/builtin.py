@@ -40,6 +40,27 @@ def list_campaigns() -> List[Campaign]:
     return [CAMPAIGNS[name] for name in sorted(CAMPAIGNS)]
 
 
+FAULT_SWEEP = register_campaign(Campaign(
+    name="fault_sweep",
+    title="Fault scenarios x PIFO backends",
+    scenarios=["chain_flap", "dead_spine"],
+    pifo_backends=["sorted", "calendar"],
+    description=(
+        "Both fault-injection scenarios (flapping chain link, dead spine) "
+        "across two PIFO storage backends: 8 runs exercising scheduling "
+        "under failing links and switches, with exact lost_to_faults "
+        "conservation accounting."
+    ),
+    notes=(
+        "Each run executes the scenario's FaultPlan as simulator events; "
+        "routing reconverges on every topology change and blackholed "
+        "packets land in the lost_to_faults counter, so "
+        "injected == delivered + dropped + lost_to_faults + in_flight "
+        "holds for every record."
+    ),
+))
+
+
 PAPER_SWEEP = register_campaign(Campaign(
     name="paper_sweep",
     title="Fabric scenarios x PIFO backends x lang backends",

@@ -13,23 +13,73 @@ make the parallelism safe to trust:
   serial one modulo the :data:`~repro.campaign.store.TIMING_FIELDS`.
 * **Resume by fingerprint.**  Completed runs are identified by their config
   fingerprint in the store; ``resume=True`` executes exactly the missing
-  specs and appends them behind the surviving records.
+  *and failed* specs and appends them behind the surviving records.
 
 Workers receive plain dict payloads (fork *or* spawn start methods work)
 and resolve scenario names against the registry after import, so nothing
 unpicklable ever crosses the process boundary.
+
+Failure isolation
+-----------------
+A raised exception, a timed-out run or a dead worker process never kills
+the campaign: each failure becomes a **structured failure record** (status,
+error type, truncated message, traceback digest, attempt count) appended to
+the store in the run's table position, so the sweep completes, the store
+stays resumable, and ``--resume`` re-runs exactly the failed set.  The
+retry state machine per run::
+
+    attempt 1 ──ok──────────────────────────► STATUS_OK record
+        │
+        exception ──attempts left?──yes──► backoff, attempt N+1
+        │                         └──no──► STATUS_FAILED record
+        timeout (SIGALRM) ────────────────► STATUS_TIMEOUT record (no retry)
+        process death ────────────────────► STATUS_WORKER_LOST record
+                                            (detected by the parent)
+
+Retries run *inside* the worker, so the pool still yields exactly one
+record per spec in submission order.  A dead worker stalls the pool's
+result iterator; the parent's watchdog detects the stall, terminates the
+pool and degrades to crash-isolated execution — one subprocess per
+remaining spec — so a single poisoned run cannot take down the sweep.
+
+``REPRO_CAMPAIGN_FAULT=<run_id substring>:<mode>[:<arg>]`` injects faults
+for testing: ``raise`` (every attempt raises), ``flaky:N`` (raises until
+attempt N), ``hang:SECONDS`` (sleeps), ``exit:CODE`` (kills the worker
+process).  Matching is by substring against the spec's ``run_id``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
+import signal
+import threading
 import time
+import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .spec import Campaign, RunSpec
-from .store import ResultStore
+from .store import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STATUS_WORKER_LOST,
+    ResultStore,
+)
+
+#: Environment variable enabling injected faults (see module docstring).
+FAULT_ENV = "REPRO_CAMPAIGN_FAULT"
+
+#: Per-run wall-clock bound assumed by the dead-worker watchdog when the
+#: campaign sets no explicit ``timeout_s``.  Generous: any legitimate
+#: single run finishes orders of magnitude faster.
+DEFAULT_WATCHDOG_RUN_S = 300.0
+
+#: Maximum length of the error message stored in a failure record.
+ERROR_MESSAGE_LIMIT = 500
 
 
 def execute_spec(spec: RunSpec) -> Dict:
@@ -67,10 +117,12 @@ def execute_spec(spec: RunSpec) -> Dict:
     record.update({
         "run_id": spec.run_id,
         "fingerprint": spec.fingerprint(),
+        "status": STATUS_OK,
         "duration": result.duration,
         "injected": result.conservation["injected"],
         "delivered": result.conservation["delivered"],
         "dropped": result.conservation["dropped"],
+        "lost_to_faults": result.conservation.get("lost_to_faults", 0),
         "in_flight": result.conservation["in_flight"],
         "flows_seen": len(result.flow_stats),
         "mean_delay": (delay_weighted / total_packets) if total_packets else None,
@@ -92,7 +144,160 @@ def execute_spec(spec: RunSpec) -> Dict:
     return record
 
 
-def _worker_init() -> None:
+# --------------------------------------------------------------------------- #
+# Guarded execution: timeouts, retry, structured failure records               #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkerPolicy:
+    """Per-run resilience policy shipped to every worker."""
+
+    timeout_s: Optional[float] = None
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {"timeout_s": self.timeout_s, "max_attempts": self.max_attempts,
+                "backoff_s": self.backoff_s}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WorkerPolicy":
+        return cls(**data)
+
+
+class _RunTimeout(Exception):
+    """Internal: raised by the SIGALRM handler when a run overruns."""
+
+
+@contextmanager
+def _run_alarm(timeout_s: Optional[float]):
+    """Arm a wall-clock alarm for one run (POSIX main thread only).
+
+    Uses ``setitimer``/``SIGALRM`` so a hung simulation is interrupted at
+    an arbitrary bytecode boundary.  Silently a no-op where alarms are
+    unavailable (non-POSIX, or called off the main thread) — the parent's
+    dead-worker watchdog still bounds those cases.
+    """
+    usable = (timeout_s is not None and timeout_s > 0
+              and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise _RunTimeout(f"run exceeded timeout of {timeout_s}s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _maybe_inject_fault(spec: RunSpec, attempt: int) -> None:
+    """Apply the ``REPRO_CAMPAIGN_FAULT`` injection, if it matches."""
+    directive = os.environ.get(FAULT_ENV)
+    if not directive:
+        return
+    pattern, _, action = directive.partition(":")
+    if pattern not in spec.run_id:
+        return
+    mode, _, arg = action.partition(":")
+    if mode == "raise":
+        raise RuntimeError(f"injected fault for {spec.run_id}")
+    if mode == "flaky":
+        succeed_at = int(arg or 2)
+        if attempt < succeed_at:
+            raise RuntimeError(
+                f"injected flaky fault for {spec.run_id} "
+                f"(attempt {attempt} of {succeed_at})"
+            )
+        return
+    if mode == "hang":
+        time.sleep(float(arg or 3600.0))
+        return
+    if mode == "exit":
+        os._exit(int(arg or 1))
+    raise ValueError(f"unknown {FAULT_ENV} mode {mode!r}")
+
+
+def failure_record(spec: RunSpec, status: str, error: BaseException,
+                   attempts: int, wall_clock_s: float,
+                   trace: Optional[str] = None) -> Dict:
+    """The structured failure record appended in place of a result.
+
+    Carries the spec's full configuration (so resume/report machinery
+    treats it like any record), the failure class and truncated message,
+    and a digest of the traceback so identical failures are groupable
+    without storing kilobytes of text per run.
+    """
+    trace_text = trace if trace is not None else traceback.format_exc()
+    record: Dict = dict(spec.to_dict())
+    record.update({
+        "run_id": spec.run_id,
+        "fingerprint": spec.fingerprint(),
+        "status": status,
+        "error_type": type(error).__name__,
+        "error": str(error)[:ERROR_MESSAGE_LIMIT],
+        "traceback_digest": hashlib.sha256(
+            trace_text.encode("utf-8", "replace")).hexdigest()[:16],
+        "attempts": attempts,
+        "wall_clock_s": wall_clock_s,
+        "worker_pid": os.getpid(),
+    })
+    return record
+
+
+def execute_spec_guarded(spec: RunSpec,
+                         policy: Optional[WorkerPolicy] = None) -> Dict:
+    """Execute one run under the resilience policy; never raises.
+
+    Returns the normal result record on success (with its ``attempts``
+    count), a :data:`~repro.campaign.store.STATUS_FAILED` record after the
+    last exhausted attempt, or a
+    :data:`~repro.campaign.store.STATUS_TIMEOUT` record when the run
+    overruns ``policy.timeout_s`` (timeouts never retry: a deterministic
+    simulation that hung once will hang again).  ``KeyboardInterrupt``
+    passes through — interrupting a campaign must stay interruptible.
+    """
+    policy = policy or WorkerPolicy()
+    attempts = max(1, policy.max_attempts)
+    started = time.perf_counter()
+    last_error: Optional[BaseException] = None
+    last_trace = ""
+    for attempt in range(1, attempts + 1):
+        try:
+            with _run_alarm(policy.timeout_s):
+                _maybe_inject_fault(spec, attempt)
+                record = execute_spec(spec)
+            record["attempts"] = attempt
+            return record
+        except _RunTimeout as exc:
+            return failure_record(
+                spec, STATUS_TIMEOUT, exc, attempt,
+                time.perf_counter() - started, trace=traceback.format_exc(),
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            last_error = exc
+            last_trace = traceback.format_exc()
+            if attempt < attempts and policy.backoff_s > 0:
+                time.sleep(policy.backoff_s * attempt)
+    return failure_record(
+        spec, STATUS_FAILED, last_error, attempts,
+        time.perf_counter() - started, trace=last_trace,
+    )
+
+
+#: Policy installed in pool workers by the initializer (module global so
+#: the imap callable stays a picklable top-level function).
+_WORKER_POLICY = WorkerPolicy()
+
+
+def _worker_init(policy_dict: Optional[Dict] = None) -> None:
     """Pool initializer: warm each worker before its first run.
 
     Imports :mod:`repro.net` (which populates the scenario registry) and
@@ -100,16 +305,34 @@ def _worker_init() -> None:
     the scenarios, so the first run a worker executes pays none of the
     import/registry cost.  Under ``fork`` the parent's warm interpreter is
     inherited and this is nearly free; under ``spawn`` it moves the entire
-    import cost out of the measured per-run path.
+    import cost out of the measured per-run path.  Also installs the
+    campaign's :class:`WorkerPolicy` for guarded execution.
     """
     from .. import net  # noqa: F401  (import side effect: scenario registry)
 
     net.list_scenarios()
+    if policy_dict is not None:
+        global _WORKER_POLICY
+        _WORKER_POLICY = WorkerPolicy.from_dict(policy_dict)
 
 
 def _execute_payload(payload: Dict) -> Dict:
     """Pool entry point: dict in, dict out (keeps pickling trivial)."""
-    return execute_spec(RunSpec.from_dict(payload))
+    return execute_spec_guarded(RunSpec.from_dict(payload), _WORKER_POLICY)
+
+
+def _execute_payload_batch(payloads: List[Dict]) -> List[Dict]:
+    """Pool entry point for a batch: amortises the per-task IPC cost."""
+    return [_execute_payload(payload) for payload in payloads]
+
+
+def _isolated_entry(conn, payload: Dict, policy_dict: Dict) -> None:
+    """Entry point for crash-isolated per-spec subprocesses."""
+    _worker_init(policy_dict)
+    record = execute_spec_guarded(RunSpec.from_dict(payload),
+                                  WorkerPolicy.from_dict(policy_dict))
+    conn.send(record)
+    conn.close()
 
 
 def _chunk_size(runs: int, workers: int) -> int:
@@ -125,6 +348,14 @@ def _chunk_size(runs: int, workers: int) -> int:
     return max(1, runs // (workers * 4))
 
 
+class CampaignAborted(Exception):
+    """Internal control flow: the failure budget was exhausted."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 @dataclass
 class CampaignReport:
     """Summary of one :meth:`CampaignRunner.run` invocation."""
@@ -137,10 +368,34 @@ class CampaignReport:
     wall_clock_s: float
     store_path: str
     records: List[Dict] = field(default_factory=list)
+    #: Runs that ended in a failure record (failed / timeout / worker_lost).
+    failed: int = 0
+    #: Reason the campaign stopped early, or ``None`` if it ran to the end.
+    aborted: Optional[str] = None
+    #: Whether the pool broke and execution degraded to crash-isolated
+    #: per-spec subprocesses.
+    degraded: bool = False
 
 
 class CampaignRunner:
-    """Executes a campaign's run table against a result store."""
+    """Executes a campaign's run table against a result store.
+
+    Parameters beyond the original engine's:
+
+    timeout_s:
+        Per-run wall-clock budget; an overrunning simulation is interrupted
+        (SIGALRM) and recorded as a ``timeout`` failure.
+    max_attempts:
+        Attempts per run before a ``failed`` record is written (exceptions
+        only; timeouts never retry).
+    retry_backoff_s:
+        Base sleep between attempts (grows linearly with the attempt
+        number).
+    max_failures:
+        Abort the campaign once more than this many runs have failed; the
+        store keeps every record committed so far and stays resumable.
+        ``None`` (default) never aborts.
+    """
 
     def __init__(
         self,
@@ -149,61 +404,81 @@ class CampaignRunner:
         workers: int = 1,
         quick: bool = False,
         resume: bool = False,
+        timeout_s: Optional[float] = None,
+        max_attempts: int = 1,
+        retry_backoff_s: float = 0.0,
+        max_failures: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.campaign = campaign
         self.store = store
         self.workers = workers
         self.quick = quick
         self.resume = resume
+        self.max_failures = max_failures
+        self.policy = WorkerPolicy(timeout_s=timeout_s,
+                                   max_attempts=max_attempts,
+                                   backoff_s=retry_backoff_s)
 
     def pending_specs(self) -> List[RunSpec]:
-        """The ordered run table, minus fingerprint-matched completed runs."""
+        """The ordered run table, minus runs whose latest record is ok.
+
+        Failed, timed-out and worker-lost records do *not* count as done —
+        resume re-runs exactly that set plus anything never attempted.
+        """
         specs = self.campaign.expand(quick=self.quick)
         if not self.resume:
             return specs
-        done = self.store.fingerprints()
+        done = self.store.completed_fingerprints()
         return [spec for spec in specs if spec.fingerprint() not in done]
 
+    # -- execution ---------------------------------------------------------
     def run(self, progress: Optional[Callable[[Dict], None]] = None) -> CampaignReport:
         """Execute every pending run; append each record to the store.
 
         ``progress`` (if given) is called with each record as it is
-        committed — the CLI uses it for per-run status lines.
+        committed — the CLI uses it for per-run status lines.  Failures
+        are committed as structured records, never raised; the campaign
+        stops early only when ``max_failures`` is exceeded (recorded in
+        the report's ``aborted`` field) or on ``KeyboardInterrupt``, which
+        terminates the pool cleanly and re-raises with the store flushed
+        and resumable.
         """
         total = self.campaign.size()
         specs = self.pending_specs()
         started = time.perf_counter()
         records: List[Dict] = []
+        failures = 0
+        aborted: Optional[str] = None
+        degraded = False
 
         def commit(record: Dict) -> None:
+            nonlocal failures
             self.store.append(record)
             records.append(record)
             if progress is not None:
                 progress(record)
+            if record.get("status", STATUS_OK) != STATUS_OK:
+                failures += 1
+                if (self.max_failures is not None
+                        and failures > self.max_failures):
+                    raise CampaignAborted(
+                        f"aborted after {failures} failures "
+                        f"(max_failures={self.max_failures})"
+                    )
 
-        if self.workers == 1 or len(specs) <= 1:
-            for spec in specs:
-                commit(execute_spec(spec))
-        else:
-            payloads = [spec.to_dict() for spec in specs]
-            # Warm the parent first: with the fork start method every worker
-            # inherits the imported scenario registry instead of rebuilding
-            # it on its first task.
-            _worker_init()
-            context = multiprocessing.get_context(_start_method())
-            with context.Pool(processes=min(self.workers, len(specs)),
-                              initializer=_worker_init) as pool:
-                # imap (not imap_unordered) yields in submission order, so
-                # the store's record order matches the serial run while
-                # completed results still stream to disk as the head of the
-                # line finishes.  The chunksize batches several runs per
-                # pool task; yield order (and thus the store) is unchanged.
-                chunk = _chunk_size(len(payloads), self.workers)
-                for record in pool.imap(_execute_payload, payloads,
-                                        chunksize=chunk):
-                    commit(record)
+        try:
+            if self.workers == 1 or len(specs) <= 1:
+                for spec in specs:
+                    commit(execute_spec_guarded(spec, self.policy))
+            else:
+                degraded = self._run_pool(specs, commit)
+        except CampaignAborted as stop:
+            aborted = stop.reason
+
         return CampaignReport(
             campaign=self.campaign.name,
             total_runs=total,
@@ -213,7 +488,135 @@ class CampaignRunner:
             wall_clock_s=time.perf_counter() - started,
             store_path=str(self.store.path),
             records=records,
+            failed=failures,
+            aborted=aborted,
+            degraded=degraded,
         )
+
+    def _run_pool(self, specs: List[RunSpec],
+                  commit: Callable[[Dict], None]) -> bool:
+        """Pool execution with a dead-worker watchdog.
+
+        Returns ``True`` if the pool broke and the remaining specs were
+        executed in crash-isolated per-spec subprocesses instead.
+        """
+        payloads = [spec.to_dict() for spec in specs]
+        # Warm the parent first: with the fork start method every worker
+        # inherits the imported scenario registry instead of rebuilding
+        # it on its first task.
+        _worker_init()
+        context = multiprocessing.get_context(_start_method())
+        chunk = _chunk_size(len(payloads), self.workers)
+        committed = 0
+        pool = context.Pool(processes=min(self.workers, len(payloads)),
+                            initializer=_worker_init,
+                            initargs=(self.policy.to_dict(),))
+        try:
+            # imap (not imap_unordered) yields in submission order, so
+            # the store's record order matches the serial run while
+            # completed results still stream to disk as the head of the
+            # line finishes.  Batching is explicit (one task = one list
+            # of runs) rather than via imap's chunksize: with chunksize
+            # > 1 ``Pool.imap`` returns a flattening generator without
+            # the timeout-capable ``next`` the watchdog needs.
+            batches = [payloads[start:start + chunk]
+                       for start in range(0, len(payloads), chunk)]
+            results = pool.imap(_execute_payload_batch, batches, chunksize=1)
+            while committed < len(payloads):
+                try:
+                    batch = results.next(timeout=self._watchdog_budget(chunk))
+                except StopIteration:  # pragma: no cover - defensive
+                    break
+                except multiprocessing.TimeoutError:
+                    # A worker died (or is wedged beyond every per-run
+                    # bound): the pool's result pipeline is stalled for
+                    # good.  Tear it down and finish the remaining specs
+                    # crash-isolated, one subprocess each.
+                    pool.terminate()
+                    pool.join()
+                    self._run_isolated(specs[committed:], commit, context)
+                    return True
+                for record in batch:
+                    commit(record)
+                    committed += 1
+            pool.close()
+            pool.join()
+            return False
+        except BaseException:
+            # KeyboardInterrupt / CampaignAborted: kill outstanding work,
+            # reap the workers, and let the caller see the exception.  The
+            # store is already flushed up to the last commit.
+            pool.terminate()
+            pool.join()
+            raise
+
+    def _watchdog_budget(self, chunk: int) -> float:
+        """Worst-case seconds between two pool results while healthy.
+
+        With chunked imap a result can trail its chunk-mates, so the bound
+        covers a full chunk of maximally-retried, maximally-slow runs
+        before declaring the pool dead.
+        """
+        per_run = self.policy.timeout_s or DEFAULT_WATCHDOG_RUN_S
+        per_run = (per_run + self.policy.backoff_s
+                   * self.policy.max_attempts) * self.policy.max_attempts
+        return per_run * max(1, chunk) + 5.0
+
+    def _run_isolated(self, specs: List[RunSpec],
+                      commit: Callable[[Dict], None], context) -> None:
+        """Degraded mode: one subprocess per spec, crash-isolated.
+
+        A run that kills its process (segfault, ``os._exit``, OOM kill)
+        produces a ``worker_lost`` record with the exit code; a run that
+        wedges past every bound is terminated and recorded as ``timeout``.
+        Slower than the pool, but no single run can take anything else
+        down with it.
+        """
+        policy_dict = self.policy.to_dict()
+        per_run = self.policy.timeout_s or DEFAULT_WATCHDOG_RUN_S
+        budget = (per_run + self.policy.backoff_s * self.policy.max_attempts) \
+            * self.policy.max_attempts + 5.0
+        for spec in specs:
+            receiver, sender = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_isolated_entry,
+                args=(sender, spec.to_dict(), policy_dict),
+                name=f"campaign-run-{spec.run_id}",
+            )
+            process.start()
+            sender.close()
+            record: Optional[Dict] = None
+            try:
+                if receiver.poll(budget):
+                    record = receiver.recv()
+            except (EOFError, OSError):
+                record = None  # worker died before sending
+            if record is None:
+                # A dying worker closes its pipe end a moment before the
+                # process is reapable — give it a beat so death is not
+                # misclassified as a hang.
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+                    record = failure_record(
+                        spec, STATUS_TIMEOUT,
+                        TimeoutError(f"isolated run exceeded {budget:.0f}s"),
+                        self.policy.max_attempts, budget, trace="",
+                    )
+                else:
+                    process.join()
+                    code = process.exitcode
+                    record = failure_record(
+                        spec, STATUS_WORKER_LOST,
+                        ChildProcessError(
+                            f"worker died with exit code {code}"),
+                        1, 0.0, trace="",
+                    )
+            else:
+                process.join()
+            receiver.close()
+            commit(record)
 
 
 def _start_method() -> str:

@@ -17,19 +17,46 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..exceptions import ReproError
 
 #: Record fields that legitimately differ between two executions of the
-#: same RunSpec (wall-clock measurements and worker identity).  Everything
-#: else must be bit-identical regardless of worker count — the determinism
-#: tests strip exactly these keys before comparing.
-TIMING_FIELDS = ("wall_clock_s", "worker_pid")
+#: same RunSpec (wall-clock measurements, worker identity and — under
+#: injected faults — how many attempts a run took).  Everything else must
+#: be bit-identical regardless of worker count — the determinism tests
+#: strip exactly these keys before comparing.
+TIMING_FIELDS = ("wall_clock_s", "worker_pid", "attempts")
+
+#: Run completed and produced a full result record.
+STATUS_OK = "ok"
+#: Run raised an exception on every attempt; record carries the error.
+STATUS_FAILED = "failed"
+#: Run exceeded its per-run timeout.
+STATUS_TIMEOUT = "timeout"
+#: The worker process executing the run died (crash / kill -9 / OOM).
+STATUS_WORKER_LOST = "worker_lost"
+
+#: Statuses that count as "needs re-running" on resume.
+FAILURE_STATUSES = frozenset({STATUS_FAILED, STATUS_TIMEOUT,
+                              STATUS_WORKER_LOST})
+
+#: Fields every well-formed record must carry (results or failure alike).
+REQUIRED_RECORD_FIELDS = ("run_id", "fingerprint", "campaign", "scenario",
+                          "variant")
 
 
 class StoreError(ReproError):
     """A result store file is unreadable or corrupt."""
+
+
+def record_is_ok(record: Dict) -> bool:
+    """Whether a record represents a completed (non-failed) run.
+
+    Records written before failure tracking carry no ``status`` field and
+    are all completed runs, so a missing status counts as ok.
+    """
+    return record.get("status", STATUS_OK) == STATUS_OK
 
 
 def strip_timing(record: Dict) -> Dict:
@@ -62,7 +89,13 @@ class ResultStore:
             handle.flush()
 
     def _truncate_torn_tail(self) -> None:
-        """Drop trailing bytes after the last newline (a torn append)."""
+        """Drop trailing bytes after the last newline (a torn append).
+
+        One exception: a trailing line that is complete JSON and only
+        lost its newline (the truncation landed exactly on the closing
+        brace) is a record ``load`` already counts — resume skips its
+        spec — so it is finished with a newline, not thrown away.
+        """
         if not self.path.exists():
             return
         with self.path.open("rb+") as handle:
@@ -85,7 +118,15 @@ class ResultStore:
                 if newline != -1:
                     keep = position + newline + 1
                     break
-            handle.truncate(keep)
+            handle.seek(keep)
+            tail = handle.read(size - keep)
+            try:
+                json.loads(tail.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                handle.truncate(keep)
+            else:
+                handle.seek(0, 2)
+                handle.write(b"\n")
 
     def _lines(self) -> Iterator[str]:
         if not self.path.exists():
@@ -93,31 +134,124 @@ class ResultStore:
         with self.path.open("r", encoding="utf-8") as handle:
             yield from handle
 
+    def _scan(self) -> List[Tuple[int, int, bytes]]:
+        """Raw lines with their positions: ``(line_no, byte_offset, bytes)``.
+
+        ``line_no`` is 1-based, ``byte_offset`` is where the line starts in
+        the file — the coordinates corruption diagnostics report so a bad
+        record can be located with ``dd``/``sed`` directly.  Trailing blank
+        lines are dropped.
+        """
+        if not self.path.exists():
+            return []
+        out: List[Tuple[int, int, bytes]] = []
+        offset = 0
+        with self.path.open("rb") as handle:
+            for index, raw in enumerate(handle):
+                out.append((index + 1, offset, raw.rstrip(b"\r\n")))
+                offset += len(raw)
+        while out and not out[-1][2].strip():
+            out.pop()
+        return out
+
     def load(self) -> List[Dict]:
         """All records in append order.
 
         An unparseable *final* line is dropped (interrupted append); an
-        unparseable line anywhere else raises :class:`StoreError`.
+        unparseable line anywhere else raises :class:`StoreError` naming
+        the 1-based line number and the byte offset of the bad record.
         """
-        lines = [line.rstrip("\n") for line in self._lines()]
-        while lines and not lines[-1].strip():
-            lines.pop()
+        lines = self._scan()
         records: List[Dict] = []
-        for index, line in enumerate(lines):
+        for position, (line_no, offset, raw) in enumerate(lines):
             try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                if index == len(lines) - 1:
+                records.append(json.loads(raw.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if position == len(lines) - 1:
                     break  # torn tail from an interrupt; resume re-runs it
                 raise StoreError(
-                    f"{self.path}: corrupt record on line {index + 1}: {exc}"
+                    f"{self.path}: corrupt record on line {line_no} "
+                    f"(byte offset {offset}): {exc}"
                 ) from exc
         return records
 
     def fingerprints(self) -> Set[str]:
-        """Fingerprints of every completed run in the store."""
+        """Fingerprints of every run recorded in the store (any status)."""
         return {record["fingerprint"] for record in self.load()
                 if "fingerprint" in record}
+
+    def completed_fingerprints(self) -> Set[str]:
+        """Fingerprints whose *latest* record completed successfully.
+
+        This is what resume skips: a spec whose last attempt failed, timed
+        out or lost its worker is re-run, while a failure superseded by a
+        later successful record stays skipped.
+        """
+        return {fingerprint
+                for fingerprint, record in self.latest_by_fingerprint().items()
+                if record_is_ok(record)}
+
+    def verify_records(self, expected_fingerprints:
+                       Optional[Set[str]] = None) -> Dict:
+        """Check every record's schema and fingerprint without running.
+
+        Returns a summary dict: record/ok/failed counts and a list of
+        human-readable issue strings (missing required fields, fingerprint
+        mismatches against the record's own embedded config, corrupt
+        lines).  ``expected_fingerprints`` (when given — e.g. a campaign's
+        expanded run table) additionally reports coverage: how many
+        expected runs the store is missing.
+        """
+        from .spec import RunSpec
+
+        issues: List[str] = []
+        records: List[Dict] = []
+        lines = self._scan()
+        for position, (line_no, offset, raw) in enumerate(lines):
+            try:
+                records.append(json.loads(raw.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                label = ("torn trailing line"
+                         if position == len(lines) - 1 else "corrupt record")
+                issues.append(f"line {line_no} (byte offset {offset}): "
+                              f"{label}: {exc}")
+        ok = failed = 0
+        for index, record in enumerate(records):
+            where = f"record {index + 1}"
+            missing = [key for key in REQUIRED_RECORD_FIELDS
+                       if key not in record]
+            if missing:
+                issues.append(f"{where}: missing fields {missing}")
+                continue
+            if record_is_ok(record):
+                ok += 1
+            else:
+                failed += 1
+            try:
+                spec = RunSpec.from_dict(record)
+            except Exception as exc:  # malformed config columns
+                issues.append(f"{where} ({record['run_id']}): "
+                              f"unreadable config: {exc}")
+                continue
+            if spec.fingerprint() != record["fingerprint"]:
+                issues.append(
+                    f"{where} ({record['run_id']}): fingerprint mismatch: "
+                    f"stored {record['fingerprint']} != computed "
+                    f"{spec.fingerprint()}"
+                )
+        summary = {
+            "path": str(self.path),
+            "records": len(records),
+            "ok": ok,
+            "failed": failed,
+            "issues": issues,
+        }
+        if expected_fingerprints is not None:
+            present = {r.get("fingerprint") for r in records}
+            missing_runs = expected_fingerprints - present
+            summary["expected"] = len(expected_fingerprints)
+            summary["missing"] = len(missing_runs)
+        return summary
 
     def latest_by_fingerprint(self) -> Dict[str, Dict]:
         """Last record per fingerprint (re-runs overwrite logically)."""

@@ -156,12 +156,42 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--store", metavar="FILE", default=None,
                       help="result store path (default campaign_<name>.jsonl)")
     crun.add_argument("--resume", action="store_true",
-                      help="skip runs whose fingerprint is already in the store")
+                      help="skip runs whose latest store record completed; "
+                           "re-runs failed/timed-out/lost runs")
+    crun.add_argument("--timeout", type=float, default=None, metavar="S",
+                      help="per-run wall-clock budget in seconds; an "
+                           "overrunning run is recorded as a timeout "
+                           "failure (default: unbounded)")
+    crun.add_argument("--max-attempts", type=int, default=1, metavar="N",
+                      help="attempts per run before recording a failure "
+                           "(default 1; retries cover transient exceptions)")
+    crun.add_argument("--max-failures", type=int, default=None, metavar="N",
+                      help="abort the campaign after more than N failed "
+                           "runs (default: never abort; the store stays "
+                           "resumable either way)")
     crun.add_argument("--json", action="store_true",
                       help="print the run summary as JSON instead of a table")
     crun.add_argument("--out", metavar="FILE", default=None,
                       help="write the --json summary to FILE instead of "
                            "stdout (implies --json)")
+
+    cverify = campaign_sub.add_parser(
+        "verify", help="check a result store's records without running"
+    )
+    cverify.add_argument("campaign", nargs="?", default=None,
+                         help="campaign name (checks store coverage against "
+                              "its run table and sets the default store path)")
+    cverify.add_argument("--store", metavar="FILE", default=None,
+                         help="result store to verify (default "
+                              "campaign_<name>.jsonl)")
+    cverify.add_argument("--quick", action="store_true",
+                         help="expand the campaign's quick run table for "
+                              "the coverage check")
+    cverify.add_argument("--json", action="store_true",
+                         help="print the verification summary as JSON")
+    cverify.add_argument("--out", metavar="FILE", default=None,
+                         help="write the --json summary to FILE instead of "
+                              "stdout (implies --json)")
 
     creport = campaign_sub.add_parser(
         "report", help="summarise a campaign's result store"
@@ -300,8 +330,12 @@ def _cmd_campaign_list() -> int:
 
 def _cmd_campaign_run(name: str, quick: bool, workers: int,
                       store_path: Optional[str], resume: bool,
-                      as_json: bool, out: Optional[str]) -> int:
-    from .campaign import CampaignRunner, ResultStore, StoreError, get_campaign
+                      as_json: bool, out: Optional[str],
+                      timeout_s: Optional[float] = None,
+                      max_attempts: int = 1,
+                      max_failures: Optional[int] = None) -> int:
+    from .campaign import (CampaignRunner, ResultStore, StoreError,
+                           get_campaign, record_is_ok)
 
     try:
         campaign = get_campaign(name)
@@ -311,15 +345,23 @@ def _cmd_campaign_run(name: str, quick: bool, workers: int,
     store = ResultStore(store_path or _default_store_path(name))
     try:
         runner = CampaignRunner(campaign, store, workers=workers, quick=quick,
-                                resume=resume)
+                                resume=resume, timeout_s=timeout_s,
+                                max_attempts=max_attempts,
+                                max_failures=max_failures)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
 
     def progress(record: Dict) -> None:
-        print(f"  [{record['run_id']}] delivered={record['delivered']} "
-              f"dropped={record['dropped']} "
-              f"wall={record['wall_clock_s']:.2f}s")
+        if record_is_ok(record):
+            print(f"  [{record['run_id']}] delivered={record['delivered']} "
+                  f"dropped={record['dropped']} "
+                  f"wall={record['wall_clock_s']:.2f}s")
+        else:
+            print(f"  [{record['run_id']}] {record['status'].upper()}: "
+                  f"{record.get('error_type', '?')}: "
+                  f"{record.get('error', '')} "
+                  f"(attempt {record.get('attempts', 1)})")
 
     machine_readable = as_json or out is not None
     if not machine_readable:
@@ -331,19 +373,87 @@ def _cmd_campaign_run(name: str, quick: bool, workers: int,
     except StoreError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The runner terminated its pool and flushed every committed
+        # record before re-raising — tell the user how to pick it back up.
+        print(f"\ninterrupted; store {store.path} is flushed and "
+              f"resumable — rerun with --resume to finish",
+              file=sys.stderr)
+        return 130
     summary = {
         "campaign": report.campaign,
         "total_runs": report.total_runs,
         "executed": report.executed,
         "skipped": report.skipped,
+        "failed": report.failed,
         "workers": report.workers,
         "wall_clock_s": report.wall_clock_s,
         "store": report.store_path,
     }
+    if report.aborted:
+        summary["aborted"] = report.aborted
+    if report.degraded:
+        summary["degraded"] = True
     if machine_readable:
         _emit_json(summary, out)
         return 0
     print(render_kv(summary, title=f"Campaign {report.campaign} finished"))
+    if report.failed:
+        print(f"\n{report.failed} run(s) failed; re-run with --resume to "
+              f"retry exactly the failed set")
+    return 0 if not report.aborted else 3
+
+
+def _cmd_campaign_verify(name: Optional[str], store_path: Optional[str],
+                         quick: bool, as_json: bool,
+                         out: Optional[str]) -> int:
+    """Check every store record's schema and fingerprint without running."""
+    from .campaign import ResultStore
+
+    expected = None
+    if name is not None:
+        from .campaign import get_campaign
+
+        try:
+            campaign = get_campaign(name)
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+        expected = {spec.fingerprint()
+                    for spec in campaign.expand(quick=quick)}
+    if store_path is None:
+        if name is None:
+            print("campaign verify needs a campaign name or --store FILE",
+                  file=sys.stderr)
+            return 2
+        store_path = _default_store_path(name)
+    store = ResultStore(store_path)
+    if not store.exists():
+        print(f"no result store at {store.path} "
+              f"(run 'repro campaign run' first)", file=sys.stderr)
+        return 2
+    summary = store.verify_records(expected_fingerprints=expected)
+    issues = summary["issues"]
+    if as_json or out is not None:
+        _emit_json(summary, out)
+        return 1 if issues else 0
+    status = {
+        "store": summary["path"],
+        "records": summary["records"],
+        "ok": summary["ok"],
+        "failed": summary["failed"],
+        "issues": len(issues),
+    }
+    if expected is not None:
+        status["expected runs"] = summary["expected"]
+        status["missing runs"] = summary["missing"]
+    print(render_kv(status, title="Store verification"))
+    for issue in issues:
+        print(f"  ISSUE: {issue}")
+    if issues:
+        print(f"\n{len(issues)} issue(s) found", file=sys.stderr)
+        return 1
+    print("\nall records verified")
     return 0
 
 
@@ -538,7 +648,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          args.top, args.json, args.out)
     if args.command == "campaign":
         if args.campaign_command is None:
-            print("usage: repro campaign {run,list,report} ...",
+            print("usage: repro campaign {run,list,report,verify} ...",
                   file=sys.stderr)
             return 2
         if args.campaign_command == "list":
@@ -546,10 +656,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.campaign_command == "run":
             return _cmd_campaign_run(args.campaign, args.quick, args.workers,
                                      args.store, args.resume, args.json,
-                                     args.out)
+                                     args.out, args.timeout,
+                                     args.max_attempts, args.max_failures)
         if args.campaign_command == "report":
             return _cmd_campaign_report(args.campaign, args.store,
                                         args.group_by, args.json, args.out)
+        if args.campaign_command == "verify":
+            return _cmd_campaign_verify(args.campaign, args.store,
+                                        args.quick, args.json, args.out)
     parser.error(f"unhandled command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -77,3 +77,20 @@ class RoutingError(ReproError):
 
     Examples include a packet without a destination address, a destination
     with no installed route, or a route naming a non-existent port."""
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault plans handed to the fabric.
+
+    Examples include a fault event naming a link or switch that does not
+    exist in the topology, a switch event naming a host, a negative event
+    time, or a packet-loss rate outside ``[0, 1]``."""
+
+
+class ConservationError(ReproError):
+    """Raised when a fabric's packet-conservation identity is violated.
+
+    Every injected packet must be accounted for:
+    ``injected == delivered + dropped + lost_to_faults + in_flight``.
+    A violation means the fabric leaked or double-counted packets —
+    always a bug, never a legitimate simulation outcome."""

@@ -19,13 +19,27 @@ that gap:
 * :mod:`~repro.net.scenario` — the declarative :class:`Scenario` engine
   (topology + traffic matrix + scheduler variants + metrics) and registry;
 * :mod:`~repro.net.scenarios` — built-in fabric scenarios (``fig6_chain``,
-  ``leaf_spine_fct``) consumed by the experiment registry and CLI.
+  ``leaf_spine_fct``, plus the fault scenarios ``chain_flap`` and
+  ``dead_spine``) consumed by the experiment registry and CLI;
+* :mod:`~repro.net.faults` — declarative :class:`FaultPlan` schedules of
+  link/switch failures and probabilistic loss, executed against a live
+  fabric with exact ``lost_to_faults`` conservation accounting.
 
 Any scheduler and any PIFO backend that runs on a single
 :class:`~repro.sim.link.OutputPort` runs unmodified on any topology.
 """
 
 from .fabric import Fabric, HostInjector
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkDown,
+    LinkLoss,
+    LinkUp,
+    SwitchDown,
+    SwitchUp,
+    flapping_link,
+)
 from .routing import build_forwarding_tables, hop_distances, next_hops, path
 from .scenario import (
     SCENARIOS,
@@ -37,7 +51,7 @@ from .scenario import (
     list_scenarios,
     register,
 )
-from .scenarios import FIG6_CHAIN, LEAF_SPINE_FCT
+from .scenarios import CHAIN_FLAP, DEAD_SPINE, FIG6_CHAIN, LEAF_SPINE_FCT
 from .topology import (
     DEFAULT_LINK_RATE_BPS,
     Host,
@@ -74,4 +88,14 @@ __all__ = [
     "list_scenarios",
     "FIG6_CHAIN",
     "LEAF_SPINE_FCT",
+    "CHAIN_FLAP",
+    "DEAD_SPINE",
+    "FaultPlan",
+    "FaultInjector",
+    "LinkDown",
+    "LinkUp",
+    "SwitchDown",
+    "SwitchUp",
+    "LinkLoss",
+    "flapping_link",
 ]

@@ -19,7 +19,7 @@ source NIC to arrival at the destination host, propagation included.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 from zlib import crc32
 
 from ..algorithms.fifo import FIFOTransaction
@@ -35,7 +35,8 @@ from ..sim.source import PacketSource
 from ..switch.buffer import SharedBuffer
 from ..switch.switch import PortSpec, SharedMemorySwitch
 from ..switch.thresholds import AdmissionPolicy
-from .routing import build_forwarding_tables
+from .faults import FaultInjector, FaultPlan
+from .routing import LinkFilter, build_forwarding_tables
 from .topology import Network
 
 #: Scheduler factory signature: ``(switch_name, port_name) -> scheduler``.
@@ -118,6 +119,7 @@ class Fabric:
         telemetry: bool = True,
         host_scheduler_factory: SchedulerFactory = _default_host_scheduler,
         fused_delivery: Optional[bool] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         network.validate()
         self.sim = sim
@@ -126,6 +128,12 @@ class Fabric:
         self.telemetry = telemetry
         self.injected_packets = 0
         self.delivered_packets = 0
+        #: Packets blackholed by fault injection (dead links/switches,
+        #: probabilistic loss, routes lost to a partition).
+        self.lost_to_faults = 0
+        self._fault_plan = (fault_plan if fault_plan is not None
+                            and not fault_plan.empty() else None)
+        self._fault_injector: Optional[FaultInjector] = None
         #: One SharedMemorySwitch per node (hosts get a FIFO NIC switch).
         self.node_switches: Dict[str, SharedMemorySwitch] = {}
         #: Terminal sink per host for traffic addressed to it.
@@ -168,7 +176,14 @@ class Fabric:
         self._install_routes()
         #: Number of egress ports running the fused hot-path closure.
         self.fused_ports = 0
-        if fused_delivery is not False:
+        if self._fault_plan is not None:
+            # Faults mutate routing and port liveness at runtime — the
+            # per-port fused closures bake both in at construction, so the
+            # fabric stays on the interpreted delivery path.  Scheduler
+            # tree kernels are unaffected (they fuse *inside* the port).
+            self._fault_injector = FaultInjector(self, self._fault_plan)
+            self._fault_injector.schedule()
+        elif fused_delivery is not False:
             self._fuse_hot_path()
 
     # -- construction helpers ----------------------------------------------
@@ -185,7 +200,26 @@ class Fabric:
                 if hops:
                     switch.install_route(dst, [self.port_to(h) for h in hops])
 
+    def reinstall_routes(self, link_filter: Optional[LinkFilter] = None) -> None:
+        """Recompute every forwarding table over the surviving subgraph.
+
+        Called by the fault layer after each topology change — the fabric
+        analogue of an instant routing-protocol reconvergence.  Tables are
+        built in *partial* mode: destinations that became unreachable have
+        no route, so traffic toward them is blackholed (and counted) at the
+        first hop that cannot forward it.
+        """
+        tables = build_forwarding_tables(self.network, ecmp=self.ecmp,
+                                         partial=True, link_filter=link_filter)
+        for node, switch in self.node_switches.items():
+            switch.routes.clear()
+            for dst, hops in tables[node].items():
+                if hops:
+                    switch.install_route(dst, [self.port_to(h) for h in hops])
+
     def _make_delivery(self, node: str, neighbor: str) -> Callable[[Packet], None]:
+        if self._fault_plan is not None:
+            return self._make_faulted_delivery(node, neighbor)
         to_host = self.network.is_host(neighbor)
         telemetry = self.telemetry
 
@@ -211,6 +245,57 @@ class Fabric:
                 self._arrive(neighbor, packet)
             else:
                 self.node_switches[neighbor].forward(packet)
+
+        return deliver
+
+    def _make_faulted_delivery(self, node: str,
+                               neighbor: str) -> Callable[[Packet], None]:
+        """Delivery hook for fabrics running under a fault plan.
+
+        Identical to the plain closure plus three fault checks at the
+        moment the packet lands at the far end of the wire: the link may
+        have died while the packet was propagating (blackhole), a
+        probabilistic-loss draw may eat it, and the next hop may have no
+        route left after a reconvergence (blackhole, counted as
+        ``no_route``).  The injector is resolved per call because it is
+        constructed after the ports.
+        """
+        to_host = self.network.is_host(neighbor)
+        telemetry = self.telemetry
+
+        def deliver(packet: Packet) -> None:
+            injector = self._fault_injector
+            if injector is not None:
+                if not injector.link_usable(node, neighbor):
+                    injector.record_loss(
+                        packet, injector._down_cause(node, neighbor))
+                    return
+                if injector.loss_roll(node, neighbor, self.sim.now):
+                    injector.record_loss(packet, "loss")
+                    return
+            enq = packet.enqueue_time
+            deq = packet.dequeue_time
+            wait = deq - enq if (enq is not None and deq is not None) else 0.0
+            if telemetry:
+                packet.record_hop(node, packet.arrival_time, wait,
+                                  packet.departure_time)
+            stamp_wait_time(packet, wait)
+            if to_host:
+                if packet.dst != neighbor:
+                    raise RoutingError(
+                        f"packet for {packet.dst!r} delivered to host "
+                        f"{neighbor!r}; hosts do not forward transit traffic"
+                    )
+                self._arrive(neighbor, packet)
+            else:
+                try:
+                    self.node_switches[neighbor].forward(packet)
+                except RoutingError:
+                    if injector is None:
+                        raise
+                    # Reconvergence removed every route to this destination
+                    # — the packet hits a routeless hop and is blackholed.
+                    injector.record_loss(packet, "no_route")
 
         return deliver
 
@@ -465,6 +550,14 @@ class Fabric:
             packet.src = host
         packet.injection_time = self.sim.now
         self.injected_packets += 1
+        if self._fault_injector is not None:
+            try:
+                return self.node_switches[host].forward(packet)
+            except RoutingError:
+                # The destination is unreachable under the current fault
+                # state: blackhole at the source NIC, conserving accounting.
+                self._fault_injector.record_loss(packet, "no_route")
+                return False
         return self.node_switches[host].forward(packet)
 
     def injector(self, host: str) -> HostInjector:
@@ -630,17 +723,48 @@ class Fabric:
         return sum(s.buffered_packets() for s in self.node_switches.values())
 
     def in_flight_packets(self) -> int:
-        """Packets inside the fabric: queued, on the wire, or propagating."""
-        return (self.injected_packets - self.delivered_packets
-                - self.dropped_packets())
+        """Packets physically inside the fabric: buffered in a scheduler,
+        on a transmitter, or propagating on a wire.
+
+        Counted by walking the ports — *not* derived from the other
+        counters — so the conservation identity ``injected == delivered +
+        dropped + lost_to_faults + in_flight`` is a real invariant that a
+        leak (a packet vanishing without being counted anywhere) actually
+        violates, rather than a tautology.
+        """
+        count = 0
+        for switch in self.node_switches.values():
+            for port in switch.ports.values():
+                count += len(port.scheduler) + len(port._wire)
+                if port._tx_packet is not None:
+                    count += 1
+        return count
 
     def conservation_check(self) -> Dict[str, int]:
-        """Injected / delivered / dropped / in-flight balance for assertions."""
+        """Injected / delivered / dropped / lost / in-flight balance."""
         return {
             "injected": self.injected_packets,
             "delivered": self.delivered_packets,
             "dropped": self.dropped_packets(),
+            "lost_to_faults": self.lost_to_faults,
             "in_flight": self.in_flight_packets(),
+        }
+
+    def fault_summary(self) -> Dict[str, Any]:
+        """Fault-injection outcome: topology churn and loss-by-cause.
+
+        Empty when the fabric runs without a fault plan, so callers can
+        treat "no faults configured" and "faults configured but none
+        fired" uniformly via ``.get(...)``.
+        """
+        if self._fault_injector is None:
+            return {}
+        injector = self._fault_injector
+        return {
+            "topology_changes": injector.topology_changes,
+            "lost_by_cause": dict(injector.lost_by_cause),
+            "down_links": sorted(injector.down_links),
+            "down_switches": sorted(injector.down_switches),
         }
 
     def stats_by_node(self) -> Dict[str, Dict]:

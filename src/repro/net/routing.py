@@ -19,7 +19,7 @@ exists for) do.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..exceptions import TopologyError
 from .topology import Network
@@ -27,8 +27,14 @@ from .topology import Network
 #: node -> destination -> candidate next-hop node names.
 ForwardingTables = Dict[str, Dict[str, List[str]]]
 
+#: Predicate over directed links: ``link_filter(src, dst) -> bool``.  The
+#: fault layer passes one to route around administratively-down links and
+#: switches; ``None`` means every installed link is usable.
+LinkFilter = Callable[[str, str], bool]
 
-def hop_distances(network: Network, dst: str) -> Dict[str, int]:
+
+def hop_distances(network: Network, dst: str,
+                  link_filter: Optional[LinkFilter] = None) -> Dict[str, int]:
     """Hop count from every node to ``dst`` (BFS on reversed links).
 
     End hosts are never transit nodes: paths may start at a host and end
@@ -42,6 +48,8 @@ def hop_distances(network: Network, dst: str) -> Dict[str, int]:
     predecessors: Dict[str, List[str]] = {name: [] for name in network.nodes}
     for src in network.links:
         for neighbor in network.links[src]:
+            if link_filter is not None and not link_filter(src, neighbor):
+                continue
             predecessors[neighbor].append(src)
     distances = {dst: 0}
     frontier = deque([dst])
@@ -57,12 +65,13 @@ def hop_distances(network: Network, dst: str) -> Dict[str, int]:
 
 
 def next_hops(network: Network, node: str, dst: str,
-              distances: Optional[Dict[str, int]] = None) -> List[str]:
+              distances: Optional[Dict[str, int]] = None,
+              link_filter: Optional[LinkFilter] = None) -> List[str]:
     """Neighbours of ``node`` on a shortest path to ``dst``, sorted."""
     if node == dst:
         return []
     if distances is None:
-        distances = hop_distances(network, dst)
+        distances = hop_distances(network, dst, link_filter)
     if node not in distances:
         raise TopologyError(f"no path from {node!r} to {dst!r}")
     return sorted(
@@ -71,6 +80,7 @@ def next_hops(network: Network, node: str, dst: str,
         # A host neighbour is a valid next hop only when it IS the
         # destination; hosts never forward transit traffic.
         and (neighbor == dst or not network.is_host(neighbor))
+        and (link_filter is None or link_filter(node, neighbor))
     )
 
 
@@ -78,27 +88,37 @@ def build_forwarding_tables(
     network: Network,
     destinations: Optional[Sequence[str]] = None,
     ecmp: bool = False,
+    partial: bool = False,
+    link_filter: Optional[LinkFilter] = None,
 ) -> ForwardingTables:
     """Forwarding tables for every node toward every destination host.
 
     ``destinations`` defaults to all hosts.  Raises
     :class:`~repro.exceptions.TopologyError` if any node cannot reach a
-    destination (the fabric refuses to run on partially-routable graphs).
+    destination (the fabric refuses to run on partially-routable graphs) —
+    unless ``partial=True``, in which case unreachable pairs are simply
+    left out of the tables (the fault layer's reconvergence mode: traffic
+    toward a partitioned destination is blackholed at the first routeless
+    hop, not crashed on).  ``link_filter`` restricts routing to the links
+    it accepts.
     """
     if destinations is None:
         destinations = network.hosts()
     tables: ForwardingTables = {name: {} for name in network.nodes}
     for dst in destinations:
-        distances = hop_distances(network, dst)
-        missing = [name for name in network.nodes if name not in distances]
-        if missing:
-            raise TopologyError(
-                f"destination {dst!r} unreachable from {sorted(missing)}"
-            )
+        distances = hop_distances(network, dst, link_filter)
+        if not partial:
+            missing = [name for name in network.nodes if name not in distances]
+            if missing:
+                raise TopologyError(
+                    f"destination {dst!r} unreachable from {sorted(missing)}"
+                )
         for node in network.nodes:
-            if node == dst:
+            if node == dst or node not in distances:
                 continue
-            candidates = next_hops(network, node, dst, distances)
+            candidates = next_hops(network, node, dst, distances, link_filter)
+            if partial and not candidates:
+                continue
             tables[node][dst] = candidates if ecmp else candidates[:1]
     return tables
 

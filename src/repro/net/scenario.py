@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.packet import Packet
 from ..core.seeds import derive_seed
-from ..exceptions import TrafficError
+from ..exceptions import ConservationError, TrafficError
 from ..metrics.fct import FCTSummary, flow_completions_from_sink
 from ..sim.simulator import Simulator
 from ..traffic.distributions import web_search_flow_sizes
@@ -36,6 +36,7 @@ from ..traffic.generators import (
     poisson_arrivals,
 )
 from .fabric import Fabric, SchedulerFactory
+from .faults import FaultPlan
 from .topology import Network
 
 Arrival = Tuple[float, Packet]
@@ -186,13 +187,40 @@ class ScenarioResult:
     #: SRPT-style scheduling is judged on.
     fct_short: Optional[FCTSummary]
     stats_by_node: Dict[str, Dict]
+    #: Fault-injection outcome (topology changes, loss by cause); empty
+    #: when the scenario runs without a fault plan.
+    fault_summary: Dict[str, Any] = field(default_factory=dict)
 
     def delivered(self) -> int:
         return self.conservation["delivered"]
 
+    def lost_to_faults(self) -> int:
+        return self.conservation.get("lost_to_faults", 0)
+
     def flow_delay(self, flow: str, which: str = "max") -> Optional[float]:
         stats = self.flow_stats.get(flow)
         return None if stats is None else stats.get(f"{which}_delay")
+
+    def check_conservation(self) -> Dict[str, int]:
+        """Assert the packet-conservation identity; returns the counters.
+
+        Raises :class:`~repro.exceptions.ConservationError` unless
+        ``injected == delivered + dropped + lost_to_faults + in_flight`` —
+        a violated identity means the fabric leaked or double-counted
+        packets, which is always a bug.
+        """
+        c = self.conservation
+        accounted = (c["delivered"] + c["dropped"]
+                     + c.get("lost_to_faults", 0) + c["in_flight"])
+        if c["injected"] != accounted:
+            raise ConservationError(
+                f"scenario {self.scenario!r} variant {self.variant!r} "
+                f"leaked packets: injected={c['injected']} != "
+                f"delivered={c['delivered']} + dropped={c['dropped']} + "
+                f"lost_to_faults={c.get('lost_to_faults', 0)} + "
+                f"in_flight={c['in_flight']} (= {accounted})"
+            )
+        return c
 
 
 def _pin_tree_kernel(factory: SchedulerFactory,
@@ -234,6 +262,11 @@ class Scenario:
     program_variants: Optional[Mapping[str, ProgramVariantBuilder]] = None
     #: Base seed for derived per-demand seeds (see :meth:`Demand.effective_seed`).
     base_seed: int = 0
+    #: Optional fault schedule executed against every variant's fabric —
+    #: link/switch failures and probabilistic loss (see
+    #: :mod:`repro.net.faults`).  Identical plan per variant, so variants
+    #: stay paired under faults exactly as they are under traffic.
+    fault_plan: Optional[FaultPlan] = None
     paper_reference: str = ""
     notes: str = ""
 
@@ -302,6 +335,7 @@ class Scenario:
                 keep_packets=self.keep_packets,
                 telemetry=telemetry,
                 fused_delivery=None if tree_kernel is not False else False,
+                fault_plan=self.fault_plan,
             )
             by_host: Dict[str, List[Iterable[Arrival]]] = {}
             for demand in self.demands:
@@ -331,7 +365,7 @@ class Scenario:
                 }
             completions.extend(flow_completions_from_sink(sink))
         short = [c for c in completions if c.size_bytes <= SHORT_FLOW_BYTES]
-        return ScenarioResult(
+        result = ScenarioResult(
             scenario=self.name,
             variant=label,
             duration=duration,
@@ -340,7 +374,12 @@ class Scenario:
             fct=FCTSummary.from_completions(completions) if completions else None,
             fct_short=FCTSummary.from_completions(short) if short else None,
             stats_by_node=fabric.stats_by_node(),
+            fault_summary=fabric.fault_summary(),
         )
+        # Every run asserts the conservation identity — a leak anywhere in
+        # the datapath (fused or interpreted, faulted or not) fails fast.
+        result.check_conservation()
+        return result
 
 
 # --------------------------------------------------------------------------- #

@@ -30,6 +30,7 @@ from ..core.scheduler import ProgrammableScheduler
 from ..core.tree import single_node_tree
 from ..lang.programs import fifo_program, fine_grained_program
 from ..lang.bridge import compile_scheduling_program
+from .faults import FaultPlan, LinkLoss, SwitchDown, flapping_link
 from .scenario import Demand, Scenario, register
 from .topology import leaf_spine, linear_chain
 
@@ -203,5 +204,111 @@ def build_leaf_spine_fct() -> Scenario:
     )
 
 
+# --------------------------------------------------------------------------- #
+# Fault scenarios: scheduling under failing links and switches                  #
+# --------------------------------------------------------------------------- #
+def build_chain_flap() -> Scenario:
+    """LSTF vs FIFO on a 3-switch chain whose middle hop flaps.
+
+    The s1-s2 link goes down for 20 ms out of every 50 ms (three cycles),
+    and the s2-s3 link drops half a percent of packets throughout.  Each
+    outage strands the main path: s1's egress queue builds while the link
+    is dark, the packet on the wire at failure time is blackholed into
+    ``lost_to_faults``, and the backlog bursts out on recovery — exactly
+    the regime where LSTF's re-ranking on remaining slack should recover
+    urgent packets that lost their budget waiting out the flap, while
+    per-hop FIFO drains the backlog in arrival order.
+    """
+    demands = [
+        Demand(src="h_src", dst="h_dst", kind="poisson", rate_bps=6e6,
+               packet_size=1500, flow="bulk", fields={"slack": BULK_SLACK}),
+        Demand(src="h_src", dst="h_dst", kind="poisson", rate_bps=0.5e6,
+               packet_size=600, flow="urgent", fields={"slack": URGENT_SLACK}),
+    ]
+    plan = FaultPlan(
+        events=flapping_link("s1", "s2", first_down=0.03, downtime=0.02,
+                             period=0.05, cycles=3),
+        losses=(LinkLoss("s2", "s3", rate=0.005),),
+    )
+    return Scenario(
+        name="chain_flap",
+        title="Fault injection: LSTF vs FIFO across a flapping middle hop",
+        topology=lambda: linear_chain(CHAIN_HOPS,
+                                      link_rate_bps=CHAIN_LINK_RATE),
+        demands=demands,
+        variants={
+            "LSTF": _transaction_factory(LSTFTransaction),
+            "FIFO": _transaction_factory(FIFOTransaction),
+        },
+        program_variants={
+            "LSTF": _program_variant(lstf_fabric_program),
+            "FIFO": _program_variant(fifo_program),
+        },
+        duration=0.2,
+        quick_duration=0.1,
+        keep_packets=False,
+        fault_plan=plan,
+        paper_reference="Section 3.1 (robustness extension)",
+        notes=(
+            "Urgent and bulk Poisson streams share the chain; the middle "
+            "link flaps down 20 ms of every 50 ms and the last hop loses "
+            "0.5% of packets.  Conservation holds throughout: "
+            "injected == delivered + dropped + lost_to_faults + in_flight."
+        ),
+    )
+
+
+def build_dead_spine() -> Scenario:
+    """SRPT vs FIFO FCT on a leaf-spine fabric that loses one spine.
+
+    ``spine1`` fails 15 ms in and never recovers.  ECMP reconverges onto
+    ``spine0``, halving fabric capacity: flows hashed onto the dead spine
+    lose their in-flight packets to ``lost_to_faults``, everything after
+    the reconvergence shares the surviving spine.  SRPT's short-flow
+    advantage should persist (and matter more) on the degraded fabric.
+    """
+    pairs = [
+        ("h0_0", "h2_0"), ("h1_0", "h2_0"),
+        ("h0_1", "h3_0"), ("h1_1", "h3_0"),
+    ]
+    demands = [
+        Demand(src=src, dst=dst, kind="flows", rate_bps=FCT_LOAD,
+               flow=f"{src}->{dst}")
+        for src, dst in pairs
+    ]
+    return Scenario(
+        name="dead_spine",
+        title="Fault injection: SRPT vs FIFO with one dead spine",
+        topology=lambda: leaf_spine(
+            leaves=4, spines=2, hosts_per_leaf=2,
+            host_rate_bps=LEAF_SPINE_RATE,
+        ),
+        demands=demands,
+        variants={
+            "SRPT": _transaction_factory(SRPTTransaction),
+            "FIFO": _transaction_factory(FIFOTransaction),
+        },
+        program_variants={
+            "SRPT": _program_variant(fine_grained_program,
+                                     field="remaining_size"),
+            "FIFO": _program_variant(fifo_program),
+        },
+        duration=0.15,
+        quick_duration=0.05,
+        ecmp=True,
+        keep_packets=False,
+        fault_plan=FaultPlan(events=(SwitchDown(0.015, "spine1"),)),
+        paper_reference="Section 3.4 (robustness extension)",
+        notes=(
+            "spine1 dies at t=15 ms and stays dead; ECMP reconverges onto "
+            "spine0.  Packets queued inside or in flight toward the dead "
+            "spine are blackholed into lost_to_faults; the remaining "
+            "traffic completes over half the fabric."
+        ),
+    )
+
+
 FIG6_CHAIN = register(build_fig6_chain())
 LEAF_SPINE_FCT = register(build_leaf_spine_fct())
+CHAIN_FLAP = register(build_chain_flap())
+DEAD_SPINE = register(build_dead_spine())

@@ -42,7 +42,13 @@ def summarize_records(
     already aggregates its own packets/flows); counts are summed.  Rows
     come back sorted by the group key, so output order is stable no matter
     the store's append order.
+
+    Failure records (status failed / timeout / worker_lost) count into the
+    ``failed`` column but are excluded from every metric — a crashed run
+    has no delivery totals, and letting its zeros into the means would
+    skew the healthy runs' statistics.
     """
+    from ..campaign.store import record_is_ok
     group_by = tuple(group_by)
     for key in group_by:
         if key not in GROUPABLE_KEYS:
@@ -71,15 +77,19 @@ def summarize_records(
             key: ("-" if value is None else value)
             for key, value in zip(group_by, group_key)
         }
+        healthy = [record for record in members if record_is_ok(record)]
 
         def metric(name: str) -> List[float]:
-            return [record[name] for record in members
+            return [record[name] for record in healthy
                     if record.get(name) is not None]
 
         row.update({
             "runs": len(members),
-            "delivered": sum(record.get("delivered", 0) for record in members),
-            "dropped": sum(record.get("dropped", 0) for record in members),
+            "failed": len(members) - len(healthy),
+            "delivered": sum(record.get("delivered", 0) for record in healthy),
+            "dropped": sum(record.get("dropped", 0) for record in healthy),
+            "lost_to_faults": sum(record.get("lost_to_faults", 0)
+                                  for record in healthy),
             "mean_delay_ms": _scale(_mean(metric("mean_delay")), 1e3),
             "max_delay_ms": _scale(_max(metric("max_delay")), 1e3),
             "fct_mean_ms": _scale(_mean(metric("fct_mean")), 1e3),

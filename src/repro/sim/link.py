@@ -93,7 +93,7 @@ class OutputPort:
         "on_departure", "propagation_delay", "delivery", "busy",
         "transmitted_packets", "transmitted_bytes", "dropped_packets",
         "_wakeup", "_tx_packet", "_wire", "_inv_rate", "_has_release",
-        "_tx_complete",
+        "_tx_complete", "faulted",
     )
 
     def __init__(
@@ -140,6 +140,10 @@ class OutputPort:
         #: fused per-hop closure (see ``repro.net.fabric``) that inlines
         #: delivery, next-hop ingress and buffer release.
         self._tx_complete: Callable[[], None] = self._on_tx_complete
+        #: Administratively down (fault injection).  A faulted port never
+        #: starts a new transmission; the fault layer (``repro.net.faults``)
+        #: wraps ``_tx_complete`` to blackhole the packet already in flight.
+        self.faulted = False
 
     def _apply_backend(
         self, pifo_backend: BackendSpec, expected_backlog: Optional[int]
@@ -194,7 +198,7 @@ class OutputPort:
 
     # -- egress ------------------------------------------------------------------
     def _try_transmit(self) -> None:
-        if self.busy:
+        if self.busy or self.faulted:
             return
         sim = self.sim
         packet = self.scheduler.dequeue(now=sim.now)

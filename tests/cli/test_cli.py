@@ -230,3 +230,91 @@ class TestCampaignCommands:
     def test_campaign_report_needs_name_or_store(self, capsys):
         assert main(["campaign", "report"]) == 2
         assert "needs a campaign name or --store" in capsys.readouterr().err
+
+
+class TestCampaignVerify:
+    def test_verify_clean_store(self, capsys, tmp_path, cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "verify", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "all records verified" in out
+        assert "missing runs  : 0" in out
+
+    def test_verify_reports_issues_with_exit_1(self, capsys, tmp_path,
+                                               cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        with store.open("a") as handle:
+            handle.write('{"fingerprint": "tampered"}\n')
+            handle.write('{"half a record')  # torn tail
+        capsys.readouterr()
+        assert main(["campaign", "verify", "--store", str(store)]) == 1
+        captured = capsys.readouterr()
+        assert "ISSUE:" in captured.out
+        assert "issue(s) found" in captured.err
+
+    def test_verify_missing_store(self, capsys, tmp_path):
+        assert main(["campaign", "verify", "--store",
+                     str(tmp_path / "none.jsonl")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_verify_needs_name_or_store(self, capsys):
+        assert main(["campaign", "verify"]) == 2
+        assert "needs a campaign name or --store" in capsys.readouterr().err
+
+    def test_verify_json_out(self, capsys, tmp_path, cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        out_file = tmp_path / "verify.json"
+        assert main(["campaign", "verify", "cli_probe", "--quick",
+                     "--store", str(store), "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["records"] == 1
+        assert payload["issues"] == []
+        assert payload["missing"] == 0
+
+
+class TestCampaignFailureReporting:
+    def test_run_prints_failures_and_resume_hint(self, capsys, tmp_path,
+                                                 cli_campaign, monkeypatch):
+        from repro.campaign.runner import FAULT_ENV
+
+        monkeypatch.setenv(FAULT_ENV, "fig6_chain:raise")
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "RuntimeError" in out
+        assert "--resume" in out           # the re-run hint
+
+    def test_run_abort_exit_code(self, capsys, tmp_path, cli_campaign,
+                                 monkeypatch):
+        from repro.campaign.runner import FAULT_ENV
+
+        monkeypatch.setenv(FAULT_ENV, "fig6_chain:raise")
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store), "--max-failures", "0"]) == 3
+        out = capsys.readouterr().out
+        assert "aborted" in out
+
+    def test_run_retry_flags_pass_through(self, capsys, tmp_path,
+                                          cli_campaign, monkeypatch):
+        from repro.campaign.runner import FAULT_ENV
+
+        monkeypatch.setenv(FAULT_ENV, "fig6_chain:flaky:2")
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store), "--max-attempts", "2",
+                     "--timeout", "60", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executed"] == 1
+        assert payload["failed"] == 0

@@ -28,8 +28,16 @@ class TestScenarioEngine:
         names = [scenario.name for scenario in list_scenarios()]
         assert "fig6_chain" in names
         assert "leaf_spine_fct" in names
+        assert "chain_flap" in names
+        assert "dead_spine" in names
         with pytest.raises(KeyError, match="unknown scenario"):
             get_scenario("nope")
+
+    def test_fault_scenarios_carry_plans_others_do_not(self):
+        assert get_scenario("fig6_chain").fault_plan is None
+        assert get_scenario("leaf_spine_fct").fault_plan is None
+        assert get_scenario("chain_flap").fault_plan is not None
+        assert get_scenario("dead_spine").fault_plan is not None
 
     def test_demand_kinds_validate(self):
         with pytest.raises(TrafficError):
@@ -176,8 +184,9 @@ class TestFig6Chain:
 
     def test_all_packets_accounted_for(self, results):
         for result in results.values():
-            conservation = result.conservation
+            conservation = result.check_conservation()
             assert conservation["in_flight"] == 0
+            assert conservation["lost_to_faults"] == 0
             assert (conservation["delivered"] + conservation["dropped"]
                     == conservation["injected"])
 
@@ -200,6 +209,7 @@ class TestLeafSpineFCT:
 
     def test_flows_complete_under_both_schedulers(self, results):
         for result in results.values():
+            result.check_conservation()
             assert result.fct is not None
             assert result.fct.count > 0
         assert results["SRPT"].fct.count == results["FIFO"].fct.count
@@ -228,6 +238,26 @@ class TestExperimentRegistryIntegration:
         assert by_scheduler["FIFO"]["meets_budget"] is False
         assert by_scheduler["LSTF"]["hops"] == 3
         assert "per_node_stats" in result.details
+
+    def test_chain_flap_experiment_reports_fault_columns(self):
+        from repro.reporting import run_experiment
+
+        result = run_experiment("chain_flap", quick=True)
+        by_scheduler = {row["scheduler"]: row for row in result.rows}
+        for row in by_scheduler.values():
+            assert row["lost_to_faults"] > 0
+            assert row["topology_changes"] == 6  # 3 down/up cycles
+        assert "conservation" in result.details
+
+    def test_dead_spine_experiment_conserves(self):
+        from repro.reporting import run_experiment
+
+        result = run_experiment("dead_spine", quick=True)
+        for name, counters in result.details["conservation"].items():
+            assert counters["injected"] == (
+                counters["delivered"] + counters["dropped"]
+                + counters["lost_to_faults"] + counters["in_flight"]
+            ), name
 
     def test_leaf_spine_experiment_reports_fct(self):
         from repro.reporting import run_experiment

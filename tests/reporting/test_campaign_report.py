@@ -67,6 +67,29 @@ class TestSummarize:
     def test_empty_records(self):
         assert summarize_records([], group_by=("scenario",)) == []
 
+    def test_failure_records_counted_but_excluded_from_metrics(self):
+        records = [
+            make_record("fig6", "LSTF", delivered=100, mean_delay=0.010),
+            {**make_record("fig6", "LSTF"), "status": "failed",
+             "delivered": 0, "mean_delay": None, "error": "boom"},
+        ]
+        rows = summarize_records(records, group_by=("scenario", "variant"))
+        assert rows[0]["runs"] == 2
+        assert rows[0]["failed"] == 1
+        assert rows[0]["delivered"] == 100           # healthy run only
+        assert rows[0]["mean_delay_ms"] == pytest.approx(10.0)
+
+    def test_lost_to_faults_column_sums(self):
+        records = [
+            {**make_record("flap", "LSTF"), "lost_to_faults": 7},
+            {**make_record("flap", "LSTF"), "lost_to_faults": 3},
+        ]
+        rows = summarize_records(records, group_by=("scenario",))
+        assert rows[0]["lost_to_faults"] == 10
+        # Pre-faults records default to zero, not a KeyError.
+        legacy = summarize_records(RECORDS, group_by=("scenario",))
+        assert all(row["lost_to_faults"] == 0 for row in legacy)
+
 
 class TestReportText:
     def test_renders_table(self):
