@@ -55,6 +55,16 @@ def _campaign_metrics(payload: Dict) -> Iterator[Tuple[str, float]]:
     for workers, data in sorted(payload.get("workers", {}).items()):
         yield (f"campaign/workers={workers} runs/s",
                float(data["runs_per_second"]))
+    # The engine's reason to exist: warm-phase parallel execution must
+    # not fall back behind serial.  Gated like the fabric fused-speedup —
+    # a ratio of rates, so machine-wide noise cancels.
+    speedup = payload.get("speedup_max_workers_vs_serial")
+    if speedup is not None:
+        yield "campaign/speedup max-workers vs serial", float(speedup)
+    for label, config in sorted(payload.get("configs", {}).items()):
+        serial = config.get("serial", {}).get("runs_per_second")
+        if serial is not None:
+            yield f"campaign/{label} serial runs/s", float(serial)
 
 
 EXTRACTORS = {

@@ -1,11 +1,29 @@
-"""Campaign engine benchmark: serial vs sharded sweep throughput.
+"""Campaign engine benchmark: serial vs warm-engine sweep throughput.
 
-Runs the built-in ``paper_sweep`` campaign (quick durations) serially and
-across a worker pool, verifies the parallel result store is identical to
-the serial one modulo wall-clock fields, and records runs/second plus the
-parallel speed-up to ``BENCH_campaign.json`` at the repo root (the
-artifact CI uploads).  Set ``BENCH_QUICK=1`` to benchmark a fig6-only
-subset for smoke runs.
+Benchmarks the built-in ``paper_sweep`` campaign (quick durations) at two
+sizes — the stock 24-run table and a 96-run (4x replicate) table that
+shows amortisation — comparing serial execution against the warm-worker
+engine.  Methodology fixes over the original benchmark:
+
+* **Cold start is measured separately.**  Pool creation, worker imports,
+  scenario registration and tree-kernel pre-warming are a one-time cost
+  of a *persistent* engine, recorded as ``cold_start_s`` per worker
+  count, not smeared into sweep throughput.
+* **Warm phase is best-of-N, interleaved.**  Serial and every engine
+  configuration execute the campaign ``REPEATS`` times in round-robin
+  order (serial, w1, w2, ... then again) and the fastest pass per
+  configuration is recorded: the first round doubles as warm-up (kernel
+  compilation in the serial process, lease-size EMA learning in the
+  engine), and interleaving means slow machine-wide drift — dominant on
+  a 1-CPU CI box, where back-to-back identical configs spread ~5% —
+  lands on all configurations equally instead of biasing whichever
+  phase ran during a slow stretch.
+
+Every engine store is verified identical to the serial one modulo
+wall-clock fields, and the results land in ``BENCH_campaign.json`` at the
+repo root (the artifact CI uploads and the perf gate checks —
+``speedup_max_workers_vs_serial`` must stay >= 1.0).  Set
+``BENCH_QUICK=1`` to benchmark a fig6-only subset for smoke runs.
 """
 
 from __future__ import annotations
@@ -13,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from conftest import report
@@ -21,6 +40,8 @@ from repro.campaign import (
     Campaign,
     CampaignRunner,
     ResultStore,
+    WarmupSpec,
+    WarmWorkerEngine,
     get_campaign,
     strip_timing,
 )
@@ -28,9 +49,11 @@ from repro.campaign import (
 BENCH_QUICK = bool(os.environ.get("BENCH_QUICK"))
 BENCH_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
 WORKER_COUNTS = [1, 2] if BENCH_QUICK else [1, 2, 4]
+#: Measured passes per configuration; the fastest is recorded.
+REPEATS = 2 if BENCH_QUICK else 3
 
 
-def _campaign() -> Campaign:
+def _base_campaign() -> Campaign:
     if BENCH_QUICK:
         return Campaign(
             name="paper_sweep_smoke",
@@ -42,52 +65,113 @@ def _campaign() -> Campaign:
     return get_campaign("paper_sweep")
 
 
-def _run(campaign: Campaign, workers: int, tmp_dir: Path):
-    store = ResultStore(tmp_dir / f"store_w{workers}.jsonl")
-    runner = CampaignRunner(campaign, store, workers=workers, quick=True)
+def _configs():
+    base = _base_campaign()
+    configs = [("runs24", base)]
+    if not BENCH_QUICK:
+        configs.append(("runs96", replace(
+            base, name="paper_sweep_x4", replicates=4,
+            title="paper_sweep with 4x replicates")))
+    return configs
+
+
+def _timed_pass(campaign: Campaign, store: ResultStore, workers: int,
+                engine=None) -> float:
+    """One measured campaign pass into a cleared store."""
+    store.clear()
+    runner = CampaignRunner(campaign, store, workers=workers, quick=True,
+                            engine=engine)
     start = time.perf_counter()
     runner.run()
-    elapsed = time.perf_counter() - start
-    return store, elapsed
+    return time.perf_counter() - start
 
 
-def test_campaign_serial_vs_parallel_throughput(tmp_path):
-    """Sharding must preserve results bit-for-bit and not cost throughput."""
-    campaign = _campaign()
-    total = campaign.size()
+def _measure_config(campaign: Campaign, tmp_dir: Path, label: str):
+    """Interleaved best-of-REPEATS: serial and every engine, round-robin.
+
+    Returns ``(stores, best, cold_starts)`` keyed by configuration name
+    (``"serial"`` or the worker count) — each round times every
+    configuration once, so slow machine drift cannot bias one of them.
+    """
+    engines = {}
+    stores = {"serial": ResultStore(tmp_dir / f"{label}_serial.jsonl")}
+    best = {"serial": float("inf")}
+    cold_starts = {}
+    try:
+        for workers in WORKER_COUNTS:
+            engines[workers] = WarmWorkerEngine(
+                workers=workers, warmup=WarmupSpec.for_campaign(campaign))
+            cold_starts[workers] = engines[workers].warm()
+            stores[workers] = ResultStore(tmp_dir / f"{label}_w{workers}.jsonl")
+            best[workers] = float("inf")
+        for _ in range(REPEATS):
+            elapsed = _timed_pass(campaign, stores["serial"], workers=1)
+            best["serial"] = min(best["serial"], elapsed)
+            for workers in WORKER_COUNTS:
+                elapsed = _timed_pass(campaign, stores[workers],
+                                      workers=workers,
+                                      engine=engines[workers])
+                best[workers] = min(best[workers], elapsed)
+    finally:
+        for engine in engines.values():
+            engine.close()
+    return stores, best, cold_starts
+
+
+def test_campaign_serial_vs_engine_throughput(tmp_path):
+    """The warm engine must preserve results bit-for-bit and beat serial."""
+    artifact = {
+        "campaign": _base_campaign().name,
+        "cpu_count": os.cpu_count(),
+        "configs": {},
+    }
     rows = []
-    stores = {}
-    # Speed-up is bounded by the host's cores (a 1-core CI box can only
-    # show the sharding *overhead*); record the context with the numbers.
-    artifact = {"campaign": campaign.name, "runs": total,
-                "cpu_count": os.cpu_count(), "workers": {}}
-    for workers in WORKER_COUNTS:
-        store, elapsed = _run(campaign, workers, tmp_path)
-        stores[workers] = store
-        rate = total / elapsed
-        serial_elapsed = rows[0]["elapsed_s"] if rows else elapsed
-        rows.append({
-            "workers": workers,
+    for label, campaign in _configs():
+        total = campaign.size()
+        stores, best, cold_starts = _measure_config(campaign, tmp_path, label)
+        serial_s = best["serial"]
+        serial = [strip_timing(r) for r in stores["serial"].load()]
+        assert len(serial) == total
+        # Every run must have delivered traffic — an empty result at
+        # sweep scale means a mis-wired factor, not a slow machine.
+        assert all(r["delivered"] > 0 for r in serial)
+
+        config = {
             "runs": total,
-            "elapsed_s": elapsed,
-            "runs_per_second": rate,
-            "speedup_vs_serial": serial_elapsed / elapsed,
-        })
-        artifact["workers"][str(workers)] = {
-            "elapsed_s": elapsed,
-            "runs_per_second": rate,
+            "serial": {"elapsed_s": serial_s,
+                       "runs_per_second": total / serial_s},
+            "workers": {},
         }
-    serial = [strip_timing(r) for r in stores[WORKER_COUNTS[0]].load()]
-    for workers in WORKER_COUNTS[1:]:
-        parallel = [strip_timing(r) for r in stores[workers].load()]
-        assert parallel == serial, f"workers={workers} diverged from serial"
+        rows.append({"config": label, "workers": "serial", "runs": total,
+                     "elapsed_s": serial_s,
+                     "runs_per_second": total / serial_s,
+                     "cold_start_s": 0.0, "speedup_vs_serial": 1.0})
+        for workers in WORKER_COUNTS:
+            elapsed = best[workers]
+            parallel = [strip_timing(r) for r in stores[workers].load()]
+            assert parallel == serial, (
+                f"{label} workers={workers} diverged from serial")
+            config["workers"][str(workers)] = {
+                "elapsed_s": elapsed,
+                "runs_per_second": total / elapsed,
+                "cold_start_s": cold_starts[workers],
+            }
+            rows.append({"config": label, "workers": workers, "runs": total,
+                         "elapsed_s": elapsed,
+                         "runs_per_second": total / elapsed,
+                         "cold_start_s": cold_starts[workers],
+                         "speedup_vs_serial": serial_s / elapsed})
+        config["speedup_max_workers_vs_serial"] = (
+            serial_s / config["workers"][str(WORKER_COUNTS[-1])]["elapsed_s"])
+        artifact["configs"][label] = config
+
+    # Headline metrics: the largest configuration (amortisation visible),
+    # mirrored at the top level for the perf gate and the README.
+    headline = artifact["configs"][list(artifact["configs"])[-1]]
+    artifact["runs"] = headline["runs"]
+    artifact["workers"] = headline["workers"]
     artifact["speedup_max_workers_vs_serial"] = (
-        artifact["workers"][str(WORKER_COUNTS[0])]["elapsed_s"]
-        / artifact["workers"][str(WORKER_COUNTS[-1])]["elapsed_s"]
-    )
-    report("Campaign sweep throughput (paper_sweep, quick durations)", rows)
+        headline["speedup_max_workers_vs_serial"])
+    report("Campaign sweep throughput (paper_sweep, quick durations, "
+           "warm phase)", rows)
     BENCH_ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
-    assert len(serial) == total
-    # Every run must have delivered traffic — an empty result at sweep
-    # scale means a mis-wired factor, not a slow machine.
-    assert all(r["delivered"] > 0 for r in serial)

@@ -10,9 +10,16 @@ is that execution layer:
   :class:`RunSpec` rows, each with a seed derived from
   ``(base_seed, workload_id)`` so scheduler/backend factors compare on
   identical workloads while replicates stay independent;
-* :mod:`~repro.campaign.runner` — :class:`CampaignRunner` shards the run
-  table across a ``multiprocessing`` pool (``workers=1`` is bit-identical
-  to serial execution, modulo wall-clock fields);
+* :mod:`~repro.campaign.runner` — :class:`CampaignRunner` drives the run
+  table serially or through the warm engine (``workers=1`` is
+  bit-identical to serial execution, modulo wall-clock fields);
+* :mod:`~repro.campaign.engine` — :class:`WarmWorkerEngine`, a
+  persistent pre-warmed worker pool leasing adaptive batches of runs and
+  returning pre-encoded store lines;
+* :mod:`~repro.campaign.queue` — :class:`LeaseQueue`, a shared-directory
+  work queue letting many executors (processes or hosts) drain one run
+  table via atomic lease files with heartbeat, expiry-steal, and
+  quarantine, merged into a canonical store;
 * :mod:`~repro.campaign.store` — append-only JSONL :class:`ResultStore`
   with per-run config fingerprints, making interrupted campaigns
   resumable (``--resume`` re-runs exactly the missing and failed sets);
@@ -47,16 +54,26 @@ from .runner import (
     execute_spec_guarded,
     failure_record,
 )
+from .engine import (
+    EngineBroken,
+    EngineStats,
+    WarmupSpec,
+    WarmWorkerEngine,
+    warm_kernel_cache,
+)
+from .queue import LeaseQueue, QueueError, WorkReport
 from .spec import FACTOR_KEYS, Campaign, RunSpec
 from .store import (
     FAILURE_STATUSES,
     STATUS_FAILED,
     STATUS_OK,
+    STATUS_QUARANTINED,
     STATUS_TIMEOUT,
     STATUS_WORKER_LOST,
     TIMING_FIELDS,
     ResultStore,
     StoreError,
+    encode_record,
     record_is_ok,
     strip_timing,
 )
@@ -71,13 +88,23 @@ __all__ = [
     "execute_spec",
     "execute_spec_guarded",
     "failure_record",
+    "WarmWorkerEngine",
+    "WarmupSpec",
+    "EngineBroken",
+    "EngineStats",
+    "warm_kernel_cache",
+    "LeaseQueue",
+    "QueueError",
+    "WorkReport",
     "ResultStore",
     "StoreError",
+    "encode_record",
     "TIMING_FIELDS",
     "STATUS_OK",
     "STATUS_FAILED",
     "STATUS_TIMEOUT",
     "STATUS_WORKER_LOST",
+    "STATUS_QUARANTINED",
     "FAILURE_STATUSES",
     "record_is_ok",
     "strip_timing",

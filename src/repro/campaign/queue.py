@@ -1,0 +1,494 @@
+"""Lease queue: many executors draining one run table, safely.
+
+The :class:`~repro.campaign.engine.WarmWorkerEngine` parallelises a
+campaign *within* one host.  The :class:`LeaseQueue` parallelises it
+*across* executors — separate processes, or separate hosts pointed at a
+shared directory — using nothing but the filesystem:
+
+* A **manifest** (``manifest.json``, written via tmp+rename) pins the run
+  table: the expanded RunSpecs in canonical order, the shard size, the
+  worker policy, and the lease TTL.  Every executor derives identical
+  shards from it, so there is no coordinator process.
+
+* **Generation-numbered lease files** make claims atomic.  Claiming shard
+  ``N`` creates ``shards/0007.lease.g1`` with ``O_CREAT | O_EXCL`` — the
+  filesystem picks exactly one winner.  Stealing an *expired* lease
+  (heartbeat mtime older than the TTL) creates the next generation
+  (``.g2``) the same way, so two would-be stealers cannot both win.
+  Stale generations are left behind as an audit trail.
+
+* **Heartbeat + cursor** live in the current generation's file: the
+  holder rewrites it (tmp+rename) after every run with the advanced
+  cursor, and touches its mtime between runs.  A crash leaves the cursor
+  at the first unexecuted spec, so the stealer resumes mid-shard instead
+  of repeating completed work.
+
+* **Retry / quarantine** carry PR 7's semantics across hosts.  Each lease
+  records how many holders have died at its current cursor
+  (``attempt`` / ``attempt_cursor``); when a steal would push that past
+  ``max_attempts``, the stealer writes a
+  :data:`~repro.campaign.store.STATUS_QUARANTINED` record for the
+  poisoned spec and advances past it — one broken run cannot wedge the
+  queue.
+
+* **Per-executor segments** (``segments/<executor>.jsonl``) are ordinary
+  :class:`~repro.campaign.store.ResultStore` files, one per executor, so
+  appends never contend.  :meth:`merge` folds them into a canonical store
+  in run-table order, preferring ``ok`` records when a run was executed
+  more than once (a stolen lease can duplicate its contested spec —
+  duplicates collapse at merge, which is where the
+  exactly-once-or-quarantined guarantee lives).
+
+The wall clock is injectable (``time_fn``) so the protocol is testable
+with a fake clock: lease mtimes are *set* from ``time_fn`` rather than
+read from the filesystem's idea of "now".
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..exceptions import ReproError
+from .spec import RunSpec
+from .store import (
+    STATUS_QUARANTINED,
+    ResultStore,
+    record_is_ok,
+)
+from .runner import WorkerPolicy, execute_spec_guarded, failure_record
+
+DEFAULT_SHARD_SIZE = 4
+#: A lease whose heartbeat is older than this is presumed dead.  Must be
+#: comfortably larger than the per-run bound (``policy.timeout_s`` times
+#: ``policy.max_attempts``), or live executors get robbed mid-run.
+DEFAULT_LEASE_TTL_S = 60.0
+#: Executors (lease generations) allowed to die on one spec before it is
+#: quarantined.
+DEFAULT_MAX_ATTEMPTS = 3
+
+MANIFEST_NAME = "manifest.json"
+SHARDS_DIR = "shards"
+SEGMENTS_DIR = "segments"
+
+
+class QueueError(ReproError):
+    """The lease queue directory is missing, malformed, or misused."""
+
+
+def _atomic_write_json(path: Path, payload: Dict) -> None:
+    """Write ``payload`` to ``path`` via tmp+rename (single-file atomic)."""
+    tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+
+
+@dataclass
+class _Lease:
+    """An executor's live claim on one shard (parsed lease-file state)."""
+
+    shard: int
+    generation: int
+    executor: str
+    #: Index (within the shard) of the first unexecuted spec.
+    cursor: int
+    #: Lease generations that have died while at ``attempt_cursor``.
+    attempt: int
+    attempt_cursor: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "executor": self.executor,
+            "cursor": self.cursor,
+            "attempt": self.attempt,
+            "attempt_cursor": self.attempt_cursor,
+        }
+
+
+@dataclass
+class WorkReport:
+    """What one :meth:`LeaseQueue.work` invocation accomplished."""
+
+    executor: str
+    shards: int = 0
+    executed: int = 0
+    quarantined: int = 0
+    #: Shards abandoned because a newer lease generation appeared.
+    preempted: int = 0
+
+    def to_dict(self) -> Dict:
+        return {"executor": self.executor, "shards": self.shards,
+                "executed": self.executed, "quarantined": self.quarantined,
+                "preempted": self.preempted}
+
+
+class LeaseQueue:
+    """A shared-directory work queue over a campaign's run table."""
+
+    def __init__(self, root, time_fn: Callable[[], float] = time.time) -> None:
+        self.root = Path(root)
+        self._time_fn = time_fn
+        self._manifest: Optional[Dict] = None
+        self._specs: Optional[List[RunSpec]] = None
+
+    # -- setup -------------------------------------------------------------
+    @classmethod
+    def initialize(
+        cls,
+        root,
+        specs: Sequence[RunSpec],
+        campaign: str,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        policy: Optional[WorkerPolicy] = None,
+        time_fn: Callable[[], float] = time.time,
+    ) -> "LeaseQueue":
+        """Create (or idempotently reopen) a queue directory.
+
+        A fresh directory gets a manifest pinning the run table; an
+        existing one is reopened as-is — re-serving the same campaign is a
+        no-op, re-serving a *different* one raises :class:`QueueError`
+        rather than silently mixing run tables.
+        """
+        if shard_size < 1:
+            raise QueueError("shard_size must be >= 1")
+        queue = cls(root, time_fn=time_fn)
+        manifest_path = queue.root / MANIFEST_NAME
+        if manifest_path.exists():
+            existing = queue.manifest
+            if existing["campaign"] != campaign:
+                raise QueueError(
+                    f"queue at {queue.root} already serves campaign "
+                    f"{existing['campaign']!r}, not {campaign!r}")
+            fresh = [spec.to_dict() for spec in specs]
+            if fresh != existing["runs"]:
+                raise QueueError(
+                    f"queue at {queue.root} pins a different run table "
+                    f"({len(existing['runs'])} runs) than the one being "
+                    f"served ({len(fresh)} runs)")
+            return queue
+        queue.root.mkdir(parents=True, exist_ok=True)
+        (queue.root / SHARDS_DIR).mkdir(exist_ok=True)
+        (queue.root / SEGMENTS_DIR).mkdir(exist_ok=True)
+        _atomic_write_json(manifest_path, {
+            "campaign": campaign,
+            "shard_size": shard_size,
+            "lease_ttl_s": lease_ttl_s,
+            "max_attempts": max_attempts,
+            "policy": (policy or WorkerPolicy()).to_dict(),
+            "runs": [spec.to_dict() for spec in specs],
+        })
+        return queue
+
+    @property
+    def manifest(self) -> Dict:
+        if self._manifest is None:
+            path = self.root / MANIFEST_NAME
+            if not path.exists():
+                raise QueueError(f"no queue manifest at {path} "
+                                 "(run `repro campaign serve` first)")
+            self._manifest = json.loads(path.read_text(encoding="utf-8"))
+        return self._manifest
+
+    @property
+    def specs(self) -> List[RunSpec]:
+        if self._specs is None:
+            self._specs = [RunSpec.from_dict(run)
+                           for run in self.manifest["runs"]]
+        return self._specs
+
+    @property
+    def shard_count(self) -> int:
+        size = self.manifest["shard_size"]
+        return -(-len(self.specs) // size)  # ceil division
+
+    def shard_specs(self, shard: int) -> List[RunSpec]:
+        size = self.manifest["shard_size"]
+        return self.specs[shard * size:(shard + 1) * size]
+
+    # -- paths -------------------------------------------------------------
+    def _lease_path(self, shard: int, generation: int) -> Path:
+        return self.root / SHARDS_DIR / f"{shard:04d}.lease.g{generation}"
+
+    def _done_path(self, shard: int) -> Path:
+        return self.root / SHARDS_DIR / f"{shard:04d}.done"
+
+    def segment_store(self, executor: str) -> ResultStore:
+        if not executor or "/" in executor or executor.startswith("."):
+            raise QueueError(f"invalid executor name {executor!r}")
+        return ResultStore(self.root / SEGMENTS_DIR / f"{executor}.jsonl")
+
+    # -- lease protocol ----------------------------------------------------
+    def _now(self) -> float:
+        return self._time_fn()
+
+    def _latest_generation(self, shard: int) -> int:
+        """Highest lease generation on disk for ``shard`` (0 = unclaimed)."""
+        prefix = f"{shard:04d}.lease.g"
+        latest = 0
+        shards_dir = self.root / SHARDS_DIR
+        try:
+            names = os.listdir(shards_dir)
+        except FileNotFoundError:
+            raise QueueError(f"no queue shards directory at {shards_dir}")
+        for name in names:
+            if name.startswith(prefix):
+                try:
+                    latest = max(latest, int(name[len(prefix):]))
+                except ValueError:
+                    continue
+        return latest
+
+    def _read_lease(self, shard: int, generation: int) -> Optional[_Lease]:
+        path = self._lease_path(shard, generation)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # Torn mid-rename observation; treat as unreadable-but-live so
+            # nobody quarantines on a transient.
+            return _Lease(shard, generation, executor="?", cursor=0,
+                          attempt=1, attempt_cursor=0)
+        return _Lease(shard, generation, executor=data["executor"],
+                      cursor=data["cursor"], attempt=data["attempt"],
+                      attempt_cursor=data["attempt_cursor"])
+
+    def _lease_expired(self, shard: int, generation: int) -> bool:
+        path = self._lease_path(shard, generation)
+        try:
+            mtime = path.stat().st_mtime
+        except FileNotFoundError:
+            return False
+        return self._now() - mtime > self.manifest["lease_ttl_s"]
+
+    def _create_lease(self, shard: int, generation: int,
+                      lease: _Lease) -> bool:
+        """Atomically create a lease file; ``False`` if someone else won."""
+        path = self._lease_path(shard, generation)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError as exc:
+            if exc.errno == errno.EEXIST:
+                return False
+            raise
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(lease.to_dict(), handle, sort_keys=True)
+        self._touch(path)
+        return True
+
+    def _touch(self, path: Path) -> None:
+        """Heartbeat: stamp the lease mtime from the queue's clock."""
+        now = self._now()
+        os.utime(path, (now, now))
+
+    def _write_lease(self, lease: _Lease) -> None:
+        path = self._lease_path(lease.shard, lease.generation)
+        _atomic_write_json(path, lease.to_dict())
+        self._touch(path)
+
+    def _owns(self, lease: _Lease) -> bool:
+        """Still the newest generation?  A newer one means we were robbed."""
+        return self._latest_generation(lease.shard) == lease.generation
+
+    def claim_next(self, executor: str) -> Optional[_Lease]:
+        """Claim or steal one shard; ``None`` when nothing is claimable.
+
+        Scans shards in order: an unclaimed shard is claimed at
+        generation 1; a shard whose newest lease has missed its heartbeat
+        TTL is stolen at the next generation (inheriting the dead lease's
+        cursor, and quarantining the spec it died on once the death count
+        at that cursor exceeds ``max_attempts``).
+        """
+        max_attempts = self.manifest["max_attempts"]
+        for shard in range(self.shard_count):
+            if self._done_path(shard).exists():
+                continue
+            generation = self._latest_generation(shard)
+            if generation == 0:
+                lease = _Lease(shard, 1, executor, cursor=0, attempt=1,
+                               attempt_cursor=0)
+                if self._create_lease(shard, 1, lease):
+                    return lease
+                continue  # lost the race; move on
+            if not self._lease_expired(shard, generation):
+                continue
+            dead = self._read_lease(shard, generation)
+            if dead is None:  # vanished under us; re-scan later
+                continue
+            attempt = (dead.attempt + 1 if dead.cursor == dead.attempt_cursor
+                       else 2)
+            lease = _Lease(shard, generation + 1, executor,
+                           cursor=dead.cursor, attempt=attempt,
+                           attempt_cursor=dead.cursor)
+            if not self._create_lease(shard, generation + 1, lease):
+                continue  # another stealer won
+            if lease.attempt > max_attempts:
+                self._quarantine(lease)
+                if lease.cursor >= len(self.shard_specs(shard)):
+                    self._finish(lease)
+                    continue
+            return lease
+        return None
+
+    def _quarantine(self, lease: _Lease) -> None:
+        """Write a quarantined record for the spec killing this shard."""
+        spec = self.shard_specs(lease.shard)[lease.cursor]
+        record = failure_record(
+            spec, STATUS_QUARANTINED,
+            QueueError(f"quarantined after {lease.attempt - 1} lease "
+                       f"generations died at this run"),
+            attempts=lease.attempt - 1, wall_clock_s=0.0, trace="")
+        self.segment_store(lease.executor).append(record)
+        lease.cursor += 1
+        lease.attempt = 1
+        lease.attempt_cursor = lease.cursor
+        self._write_lease(lease)
+
+    def _finish(self, lease: _Lease) -> None:
+        """Mark the shard done (idempotent across racing finishers)."""
+        try:
+            fd = os.open(self._done_path(lease.shard),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError as exc:
+            if exc.errno != errno.EEXIST:
+                raise
+            return
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump({"executor": lease.executor,
+                       "generation": lease.generation}, handle)
+
+    # -- executor loop -----------------------------------------------------
+    def work(
+        self,
+        executor: str,
+        execute: Optional[Callable[[RunSpec, WorkerPolicy], Dict]] = None,
+        max_shards: Optional[int] = None,
+        block: bool = False,
+        poll_s: float = 0.5,
+    ) -> WorkReport:
+        """Drain shards until the queue is empty (or ``max_shards`` hit).
+
+        ``execute`` defaults to
+        :func:`~repro.campaign.runner.execute_spec_guarded` (full retry /
+        timeout policy per run); tests inject deterministic substitutes.
+        An exception out of ``execute`` propagates — from the queue's
+        point of view that executor crashed, and its lease will expire and
+        be stolen.  With ``block=True`` the loop polls for stealable
+        leases until the queue drains; otherwise it returns as soon as
+        nothing is claimable.
+        """
+        policy = WorkerPolicy.from_dict(self.manifest["policy"])
+        run = execute or execute_spec_guarded
+        report = WorkReport(executor=executor)
+        store = self.segment_store(executor)
+        while max_shards is None or report.shards < max_shards:
+            lease = self.claim_next(executor)
+            if lease is None:
+                if not block or self.drained():
+                    break
+                time.sleep(poll_s)
+                continue
+            report.shards += 1
+            specs = self.shard_specs(lease.shard)
+            preempted = False
+            while lease.cursor < len(specs):
+                if not self._owns(lease):
+                    # A stealer decided we were dead.  Stop touching the
+                    # shard — our partial appends are deduped at merge.
+                    report.preempted += 1
+                    preempted = True
+                    break
+                record = run(specs[lease.cursor], policy)
+                store.append(record)
+                report.executed += 1
+                lease.cursor += 1
+                lease.attempt = 1
+                lease.attempt_cursor = lease.cursor
+                self._write_lease(lease)
+            if not preempted:
+                self._finish(lease)
+        return report
+
+    # -- queue state -------------------------------------------------------
+    def drained(self) -> bool:
+        return all(self._done_path(shard).exists()
+                   for shard in range(self.shard_count))
+
+    def status(self) -> Dict:
+        """Queue-level progress snapshot (for ``serve --wait`` / humans)."""
+        done = leased = expired = 0
+        for shard in range(self.shard_count):
+            if self._done_path(shard).exists():
+                done += 1
+            else:
+                generation = self._latest_generation(shard)
+                if generation:
+                    leased += 1
+                    if self._lease_expired(shard, generation):
+                        expired += 1
+        executors = sorted(path.stem for path in
+                           (self.root / SEGMENTS_DIR).glob("*.jsonl"))
+        return {
+            "campaign": self.manifest["campaign"],
+            "runs": len(self.specs),
+            "shards": self.shard_count,
+            "done": done,
+            "leased": leased,
+            "expired": expired,
+            "open": self.shard_count - done - leased,
+            "executors": executors,
+        }
+
+    # -- merge -------------------------------------------------------------
+    def iter_merged_records(self) -> Iterator[Dict]:
+        """Best record per run, streamed in run-table order.
+
+        A run may appear in several segments (a stolen lease re-executes
+        its contested spec).  Precedence: ``ok`` beats ``quarantined``
+        beats other failures; ties go to the lexicographically later
+        executor so the choice is deterministic across hosts.
+        """
+        best: Dict[str, Dict] = {}
+        rank = {STATUS_QUARANTINED: 1}
+        segments = sorted((self.root / SEGMENTS_DIR).glob("*.jsonl"))
+        for segment in segments:
+            for record in ResultStore(segment).iter_records():
+                fingerprint = record.get("fingerprint")
+                if fingerprint is None:
+                    continue
+                score = (2 if record_is_ok(record)
+                         else rank.get(record.get("status"), 0))
+                held = best.get(fingerprint)
+                if held is None or score >= held[0]:
+                    best[fingerprint] = (score, record)
+        for spec in self.specs:
+            held = best.get(spec.fingerprint())
+            if held is not None:
+                yield held[1]
+
+    def merge(self, store: ResultStore) -> int:
+        """Fold every segment into ``store``; returns records written.
+
+        Appends only runs the target store has not already completed, so
+        merging into a partially-populated canonical store (or merging
+        twice) is safe.
+        """
+        completed = store.completed_fingerprints()
+        written = 0
+        for record in self.iter_merged_records():
+            if record.get("fingerprint") in completed:
+                continue
+            store.append(record)
+            written += 1
+        return written
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LeaseQueue(root={str(self.root)!r})"

@@ -316,16 +316,6 @@ def _worker_init(policy_dict: Optional[Dict] = None) -> None:
         _WORKER_POLICY = WorkerPolicy.from_dict(policy_dict)
 
 
-def _execute_payload(payload: Dict) -> Dict:
-    """Pool entry point: dict in, dict out (keeps pickling trivial)."""
-    return execute_spec_guarded(RunSpec.from_dict(payload), _WORKER_POLICY)
-
-
-def _execute_payload_batch(payloads: List[Dict]) -> List[Dict]:
-    """Pool entry point for a batch: amortises the per-task IPC cost."""
-    return [_execute_payload(payload) for payload in payloads]
-
-
 def _isolated_entry(conn, payload: Dict, policy_dict: Dict) -> None:
     """Entry point for crash-isolated per-spec subprocesses."""
     _worker_init(policy_dict)
@@ -333,19 +323,6 @@ def _isolated_entry(conn, payload: Dict, policy_dict: Dict) -> None:
                                   WorkerPolicy.from_dict(policy_dict))
     conn.send(record)
     conn.close()
-
-
-def _chunk_size(runs: int, workers: int) -> int:
-    """Runs batched per pool task.
-
-    One-task-per-run loses to serial on small campaigns: each run pays a
-    pickle/IPC round trip that rivals the run itself (the
-    ``speedup_max_workers_vs_serial < 1`` regime in ``BENCH_campaign.json``).
-    Batching amortises that overhead; capping at four waves per worker
-    keeps enough tasks in flight that an unlucky long run cannot idle the
-    rest of the pool behind it.
-    """
-    return max(1, runs // (workers * 4))
 
 
 class CampaignAborted(Exception):
@@ -395,6 +372,12 @@ class CampaignRunner:
         Abort the campaign once more than this many runs have failed; the
         store keeps every record committed so far and stays resumable.
         ``None`` (default) never aborts.
+    engine:
+        An existing :class:`~repro.campaign.engine.WarmWorkerEngine` to
+        execute on (its warm pool, kernel caches and lease-size EMA
+        persist across campaigns).  ``None`` (default) creates a
+        per-invocation engine sized to ``workers`` and closes it when the
+        run finishes.
     """
 
     def __init__(
@@ -408,6 +391,7 @@ class CampaignRunner:
         max_attempts: int = 1,
         retry_backoff_s: float = 0.0,
         max_failures: Optional[int] = None,
+        engine=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -419,9 +403,13 @@ class CampaignRunner:
         self.quick = quick
         self.resume = resume
         self.max_failures = max_failures
+        self.engine = engine
         self.policy = WorkerPolicy(timeout_s=timeout_s,
                                    max_attempts=max_attempts,
                                    backoff_s=retry_backoff_s)
+        #: Kernel-cache totals across the execution substrate, populated
+        #: by :meth:`run` (worker-aggregated in pool mode).
+        self.kernel_cache_totals: Optional[Dict] = None
 
     def pending_specs(self) -> List[RunSpec]:
         """The ordered run table, minus runs whose latest record is ok.
@@ -455,9 +443,14 @@ class CampaignRunner:
         aborted: Optional[str] = None
         degraded = False
 
-        def commit(record: Dict) -> None:
+        def commit(record: Dict, line: Optional[str] = None) -> None:
             nonlocal failures
-            self.store.append(record)
+            # Engine leases arrive with the record already encoded as its
+            # canonical store line — append the bytes, don't re-serialise.
+            if line is not None:
+                self.store.append_line(line)
+            else:
+                self.store.append(record)
             records.append(record)
             if progress is not None:
                 progress(record)
@@ -471,13 +464,23 @@ class CampaignRunner:
                     )
 
         try:
-            if self.workers == 1 or len(specs) <= 1:
+            # A caller-supplied engine is used even at workers=1 — its warm
+            # GC-free worker beats in-process serial execution; without one,
+            # a single-worker (or single-spec) table runs serially in-process
+            # rather than paying pool start-up for no parallelism.
+            if self.engine is None and (self.workers == 1 or len(specs) <= 1):
                 for spec in specs:
                     commit(execute_spec_guarded(spec, self.policy))
             else:
-                degraded = self._run_pool(specs, commit)
+                degraded = self._run_engine(specs, commit)
         except CampaignAborted as stop:
             aborted = stop.reason
+        if self.kernel_cache_totals is None:
+            # Serial (or aborted-before-telemetry) execution: the kernel
+            # cache of interest is this process's own.
+            from ..lang.treekernel import kernel_cache_info
+
+            self.kernel_cache_totals = dict(kernel_cache_info(), workers=0)
 
         return CampaignReport(
             campaign=self.campaign.name,
@@ -493,74 +496,42 @@ class CampaignRunner:
             degraded=degraded,
         )
 
-    def _run_pool(self, specs: List[RunSpec],
-                  commit: Callable[[Dict], None]) -> bool:
-        """Pool execution with a dead-worker watchdog.
+    def _run_engine(self, specs: List[RunSpec],
+                    commit: Callable[[Dict], None]) -> bool:
+        """Warm-engine execution with a lease watchdog.
 
-        Returns ``True`` if the pool broke and the remaining specs were
-        executed in crash-isolated per-spec subprocesses instead.
+        Delegates to a :class:`~repro.campaign.engine.WarmWorkerEngine`
+        (the caller's persistent one, or a per-invocation engine warmed
+        for this campaign's factor space).  Returns ``True`` if the pool
+        broke and the remaining specs were executed in crash-isolated
+        per-spec subprocesses instead.
         """
-        payloads = [spec.to_dict() for spec in specs]
-        # Warm the parent first: with the fork start method every worker
-        # inherits the imported scenario registry instead of rebuilding
-        # it on its first task.
-        _worker_init()
-        context = multiprocessing.get_context(_start_method())
-        chunk = _chunk_size(len(payloads), self.workers)
-        committed = 0
-        pool = context.Pool(processes=min(self.workers, len(payloads)),
-                            initializer=_worker_init,
-                            initargs=(self.policy.to_dict(),))
+        from .engine import EngineBroken, WarmupSpec, WarmWorkerEngine
+
+        engine = self.engine
+        owned = engine is None
+        if owned:
+            engine = WarmWorkerEngine(
+                workers=self.workers,
+                policy=self.policy,
+                warmup=WarmupSpec.for_campaign(self.campaign),
+            )
         try:
-            # imap (not imap_unordered) yields in submission order, so
-            # the store's record order matches the serial run while
-            # completed results still stream to disk as the head of the
-            # line finishes.  Batching is explicit (one task = one list
-            # of runs) rather than via imap's chunksize: with chunksize
-            # > 1 ``Pool.imap`` returns a flattening generator without
-            # the timeout-capable ``next`` the watchdog needs.
-            batches = [payloads[start:start + chunk]
-                       for start in range(0, len(payloads), chunk)]
-            results = pool.imap(_execute_payload_batch, batches, chunksize=1)
-            while committed < len(payloads):
-                try:
-                    batch = results.next(timeout=self._watchdog_budget(chunk))
-                except StopIteration:  # pragma: no cover - defensive
-                    break
-                except multiprocessing.TimeoutError:
-                    # A worker died (or is wedged beyond every per-run
-                    # bound): the pool's result pipeline is stalled for
-                    # good.  Tear it down and finish the remaining specs
-                    # crash-isolated, one subprocess each.
-                    pool.terminate()
-                    pool.join()
-                    self._run_isolated(specs[committed:], commit, context)
-                    return True
-                for record in batch:
-                    commit(record)
-                    committed += 1
-            pool.close()
-            pool.join()
-            return False
-        except BaseException:
-            # KeyboardInterrupt / CampaignAborted: kill outstanding work,
-            # reap the workers, and let the caller see the exception.  The
-            # store is already flushed up to the last commit.
-            pool.terminate()
-            pool.join()
-            raise
-
-    def _watchdog_budget(self, chunk: int) -> float:
-        """Worst-case seconds between two pool results while healthy.
-
-        With chunked imap a result can trail its chunk-mates, so the bound
-        covers a full chunk of maximally-retried, maximally-slow runs
-        before declaring the pool dead.
-        """
-        per_run = self.policy.timeout_s or DEFAULT_WATCHDOG_RUN_S
-        per_run = (per_run + self.policy.backoff_s
-                   * self.policy.max_attempts) * self.policy.max_attempts
-        return per_run * max(1, chunk) + 5.0
+            try:
+                engine.execute(specs, commit)
+                return False
+            except EngineBroken as broken:
+                # A worker died mid-lease or wedged past every bound: the
+                # pool is gone.  Finish the remaining specs crash-isolated,
+                # one subprocess each, so a poisoned run cannot take the
+                # sweep down with it.
+                context = multiprocessing.get_context(_start_method())
+                self._run_isolated(specs[broken.committed:], commit, context)
+                return True
+        finally:
+            self.kernel_cache_totals = engine.stats.kernel_cache_totals()
+            if owned:
+                engine.close()
 
     def _run_isolated(self, specs: List[RunSpec],
                       commit: Callable[[Dict], None], context) -> None:

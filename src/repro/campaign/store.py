@@ -36,10 +36,13 @@ STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
 #: The worker process executing the run died (crash / kill -9 / OOM).
 STATUS_WORKER_LOST = "worker_lost"
+#: The run repeatedly killed its executor (lease-queue poison pill) and
+#: was taken out of circulation after ``max_attempts`` lease generations.
+STATUS_QUARANTINED = "quarantined"
 
 #: Statuses that count as "needs re-running" on resume.
 FAILURE_STATUSES = frozenset({STATUS_FAILED, STATUS_TIMEOUT,
-                              STATUS_WORKER_LOST})
+                              STATUS_WORKER_LOST, STATUS_QUARANTINED})
 
 #: Fields every well-formed record must carry (results or failure alike).
 REQUIRED_RECORD_FIELDS = ("run_id", "fingerprint", "campaign", "scenario",
@@ -65,6 +68,17 @@ def strip_timing(record: Dict) -> Dict:
             if key not in TIMING_FIELDS}
 
 
+def encode_record(record: Dict) -> str:
+    """The record's canonical store line (without the trailing newline).
+
+    This is the *single* encoding used everywhere a record meets disk —
+    :meth:`ResultStore.append` delegates here, and warm-engine workers
+    pre-encode their rows with it so the parent can append the bytes
+    verbatim and a parallel store stays byte-identical to a serial one.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
 class ResultStore:
     """Append-only JSONL store of one record per completed run."""
 
@@ -81,9 +95,18 @@ class ResultStore:
         torn bytes are truncated first — appending after them would merge
         two records into one unparseable interior line.
         """
+        self.append_line(encode_record(record))
+
+    def append_line(self, line: str) -> None:
+        """Append one pre-encoded canonical record line (and flush).
+
+        The warm-engine fast path: workers encode records with
+        :func:`encode_record` once, and the parent appends the line
+        without re-serialising.  The caller is responsible for the line
+        being one complete canonical JSON record without a newline.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._truncate_torn_tail()
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
@@ -134,6 +157,75 @@ class ResultStore:
         with self.path.open("r", encoding="utf-8") as handle:
             yield from handle
 
+    def _iter_positioned_lines(self) -> Iterator[Tuple[Tuple[int, int, bytes], bool]]:
+        """Stream ``((line_no, offset, raw), is_last)`` without buffering.
+
+        Mirrors :meth:`_scan`'s coordinates and trailing-blank handling —
+        trailing blank lines are dropped, interior ones are surfaced — but
+        holds at most one record line in memory, so multi-gigabyte stores
+        stream.  ``is_last`` marks the final surfaced line (the only
+        position where a torn record is tolerated).
+        """
+        if not self.path.exists():
+            return
+        hold: Optional[Tuple[int, int, bytes]] = None
+        blanks: List[Tuple[int, int, bytes]] = []
+        offset = 0
+        with self.path.open("rb") as handle:
+            for index, raw in enumerate(handle):
+                item = (index + 1, offset, raw.rstrip(b"\r\n"))
+                offset += len(raw)
+                if not item[2].strip():
+                    blanks.append(item)
+                    continue
+                if hold is not None:
+                    yield hold, False
+                for blank in blanks:
+                    yield blank, False
+                blanks = []
+                hold = item
+        if hold is not None:
+            yield hold, True
+
+    def iter_records(self) -> Iterator[Dict]:
+        """Stream records in append order, holding one line at a time.
+
+        Same tolerance contract as :meth:`load`: an unparseable *final*
+        line is dropped (interrupted append), an unparseable line anywhere
+        else raises :class:`StoreError` with its 1-based line number and
+        byte offset.  This is what report streaming consumes — a store of
+        millions of records never materialises as a list.
+        """
+        for (line_no, byte_offset, raw), is_last in self._iter_positioned_lines():
+            try:
+                yield json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if is_last:
+                    return  # torn tail from an interrupt; resume re-runs it
+                raise StoreError(
+                    f"{self.path}: corrupt record on line {line_no} "
+                    f"(byte offset {byte_offset}): {exc}"
+                ) from exc
+
+    def iter_effective_records(self) -> Iterator[Dict]:
+        """Stream records with re-runs deduplicated (last record wins).
+
+        Two passes over the file: the first builds a fingerprint ->
+        last-position index (ints only — memory is O(distinct runs), not
+        O(file)), the second yields exactly the surviving records in
+        append order.  The streamed sequence equals
+        :meth:`effective_records`.
+        """
+        last_index: Dict[str, int] = {}
+        for index, record in enumerate(self.iter_records()):
+            fingerprint = record.get("fingerprint")
+            if fingerprint is not None:
+                last_index[fingerprint] = index
+        for index, record in enumerate(self.iter_records()):
+            fingerprint = record.get("fingerprint")
+            if fingerprint is None or last_index[fingerprint] == index:
+                yield record
+
     def _scan(self) -> List[Tuple[int, int, bytes]]:
         """Raw lines with their positions: ``(line_no, byte_offset, bytes)``.
 
@@ -161,19 +253,7 @@ class ResultStore:
         unparseable line anywhere else raises :class:`StoreError` naming
         the 1-based line number and the byte offset of the bad record.
         """
-        lines = self._scan()
-        records: List[Dict] = []
-        for position, (line_no, offset, raw) in enumerate(lines):
-            try:
-                records.append(json.loads(raw.decode("utf-8")))
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                if position == len(lines) - 1:
-                    break  # torn tail from an interrupt; resume re-runs it
-                raise StoreError(
-                    f"{self.path}: corrupt record on line {line_no} "
-                    f"(byte offset {offset}): {exc}"
-                ) from exc
-        return records
+        return list(self.iter_records())
 
     def fingerprints(self) -> Set[str]:
         """Fingerprints of every run recorded in the store (any status)."""

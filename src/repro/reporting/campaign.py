@@ -8,11 +8,17 @@ and drop totals, packet-delay means and flow-completion-time statistics.
 The rows render with :func:`~repro.reporting.tables.render_table`, so the
 CLI's ``repro campaign report`` output matches the rest of the report
 suite.
+
+Aggregation is a single streaming pass: records may come from any
+iterable — a list, :meth:`~repro.campaign.store.ResultStore.iter_effective_records`,
+or a lease-queue segment merge — and memory stays proportional to the
+number of *groups*, not records, so a multi-executor store with hundreds
+of thousands of rows summarises without being loaded wholesale.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 GROUPABLE_KEYS = (
     "campaign",
@@ -27,28 +33,94 @@ GROUPABLE_KEYS = (
 
 DEFAULT_GROUP_BY = ("scenario", "variant")
 
+#: Metric columns averaged across a group's healthy runs (store field,
+#: output column, scale factor).
+_MEAN_METRICS = (
+    ("mean_delay", "mean_delay_ms", 1e3),
+    ("fct_mean", "fct_mean_ms", 1e3),
+    ("fct_p99", "fct_p99_ms", 1e3),
+    ("wall_clock_s", "wall_clock_s", 1.0),
+)
 
-def _mean(values: List[float]) -> float | None:
-    return sum(values) / len(values) if values else None
+#: Count columns summed across a group's healthy runs.
+_SUM_METRICS = ("delivered", "dropped", "lost_to_faults")
+
+
+class _GroupAccumulator:
+    """Running aggregates for one factor-level combination.
+
+    Holds sums/counts/maxima only — O(1) per group however many records
+    stream through it.
+    """
+
+    __slots__ = ("runs", "failed", "sums", "mean_sums", "mean_counts",
+                 "max_delay")
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.failed = 0
+        self.sums = {name: 0 for name in _SUM_METRICS}
+        self.mean_sums = {name: 0.0 for name, _, _ in _MEAN_METRICS}
+        self.mean_counts = {name: 0 for name, _, _ in _MEAN_METRICS}
+        self.max_delay: float | None = None
+
+    def add(self, record: Mapping, ok: bool) -> None:
+        self.runs += 1
+        if not ok:
+            # Failure records (failed / timeout / worker_lost /
+            # quarantined) count into ``failed`` but contribute to no
+            # metric — a crashed run has no delivery totals, and letting
+            # its zeros into the means would skew the healthy statistics.
+            self.failed += 1
+            return
+        for name in _SUM_METRICS:
+            self.sums[name] += record.get(name, 0)
+        for name, _, _ in _MEAN_METRICS:
+            value = record.get(name)
+            if value is not None:
+                self.mean_sums[name] += value
+                self.mean_counts[name] += 1
+        value = record.get("max_delay")
+        if value is not None:
+            self.max_delay = (value if self.max_delay is None
+                              else max(self.max_delay, value))
+
+    def row(self, group_by: Tuple[str, ...], group_key: Tuple) -> Dict:
+        row: Dict = {
+            key: ("-" if value is None else value)
+            for key, value in zip(group_by, group_key)
+        }
+        row["runs"] = self.runs
+        row["failed"] = self.failed
+        for name in _SUM_METRICS:
+            row[name] = self.sums[name]
+        metrics = {}
+        for name, column, scale in _MEAN_METRICS:
+            count = self.mean_counts[name]
+            metrics[column] = (_scale(self.mean_sums[name] / count, scale)
+                               if count else None)
+        row["mean_delay_ms"] = metrics["mean_delay_ms"]
+        row["max_delay_ms"] = _scale(self.max_delay, 1e3)
+        row["fct_mean_ms"] = metrics["fct_mean_ms"]
+        row["fct_p99_ms"] = metrics["fct_p99_ms"]
+        row["wall_clock_s"] = metrics["wall_clock_s"]
+        return row
 
 
 def summarize_records(
-    records: Sequence[Mapping],
+    records: Iterable[Mapping],
     group_by: Sequence[str] = DEFAULT_GROUP_BY,
 ) -> List[Dict]:
     """Fold run records into one summary row per factor-level combination.
 
-    Metric columns are averaged *across runs* in the group (each run
-    already aggregates its own packets/flows); counts are summed.  Rows
-    come back sorted by the group key, so output order is stable no matter
-    the store's append order.
-
-    Failure records (status failed / timeout / worker_lost) count into the
-    ``failed`` column but are excluded from every metric — a crashed run
-    has no delivery totals, and letting its zeros into the means would
-    skew the healthy runs' statistics.
+    ``records`` is any iterable (list or generator — the pass is single
+    and streaming).  Metric columns are averaged *across runs* in the
+    group (each run already aggregates its own packets/flows); counts are
+    summed.  Rows come back sorted by the group key, so output order is
+    stable no matter the store's append order.
     """
     from ..campaign.store import record_is_ok
+
     group_by = tuple(group_by)
     for key in group_by:
         if key not in GROUPABLE_KEYS:
@@ -56,10 +128,13 @@ def summarize_records(
             raise ValueError(
                 f"cannot group by {key!r}; groupable factors: {known}"
             )
-    groups: Dict[Tuple, List[Mapping]] = {}
+    groups: Dict[Tuple, _GroupAccumulator] = {}
     for record in records:
         group_key = tuple(record.get(key) for key in group_by)
-        groups.setdefault(group_key, []).append(record)
+        accumulator = groups.get(group_key)
+        if accumulator is None:
+            accumulator = groups[group_key] = _GroupAccumulator()
+        accumulator.add(record, record_is_ok(record))
 
     def sort_key(item):
         # Type-aware per-component ordering: numerics in numeric order,
@@ -71,37 +146,8 @@ def summarize_records(
             for part in item[0]
         )
 
-    rows: List[Dict] = []
-    for group_key, members in sorted(groups.items(), key=sort_key):
-        row: Dict = {
-            key: ("-" if value is None else value)
-            for key, value in zip(group_by, group_key)
-        }
-        healthy = [record for record in members if record_is_ok(record)]
-
-        def metric(name: str) -> List[float]:
-            return [record[name] for record in healthy
-                    if record.get(name) is not None]
-
-        row.update({
-            "runs": len(members),
-            "failed": len(members) - len(healthy),
-            "delivered": sum(record.get("delivered", 0) for record in healthy),
-            "dropped": sum(record.get("dropped", 0) for record in healthy),
-            "lost_to_faults": sum(record.get("lost_to_faults", 0)
-                                  for record in healthy),
-            "mean_delay_ms": _scale(_mean(metric("mean_delay")), 1e3),
-            "max_delay_ms": _scale(_max(metric("max_delay")), 1e3),
-            "fct_mean_ms": _scale(_mean(metric("fct_mean")), 1e3),
-            "fct_p99_ms": _scale(_mean(metric("fct_p99")), 1e3),
-            "wall_clock_s": _mean(metric("wall_clock_s")),
-        })
-        rows.append(row)
-    return rows
-
-
-def _max(values: List[float]) -> float | None:
-    return max(values) if values else None
+    return [accumulator.row(group_by, group_key)
+            for group_key, accumulator in sorted(groups.items(), key=sort_key)]
 
 
 def _scale(value: float | None, factor: float) -> float | None:
@@ -109,7 +155,7 @@ def _scale(value: float | None, factor: float) -> float | None:
 
 
 def campaign_report_text(
-    records: Sequence[Mapping],
+    records: Iterable[Mapping],
     group_by: Sequence[str] = DEFAULT_GROUP_BY,
     title: str = "Campaign summary",
 ) -> str:

@@ -1,0 +1,123 @@
+"""Property test of the lease protocol: exactly-once-or-quarantined.
+
+Hypothesis drives K executors over one shared queue with randomised
+crash points, interleavings and heartbeat-expiry timing (all on a fake
+clock — no real sleeping, no real subprocesses).  Whatever the schedule,
+the protocol must deliver:
+
+* **coverage** — after the queue drains, the merge holds exactly one
+  record per run-table entry;
+* **exactly-once-or-quarantined** — every record is either ``ok`` or
+  ``quarantined``; a crash schedule can delay a run but never lose it or
+  double-count it;
+* **clean merge** — the merged store passes
+  :meth:`~repro.campaign.store.ResultStore.verify_records` with zero
+  issues against the campaign's expected fingerprint set.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    Campaign,
+    LeaseQueue,
+    ResultStore,
+    STATUS_QUARANTINED,
+    STATUS_OK,
+)
+from tests.campaign.test_queue import Crash, FakeClock, fake_execute
+
+TTL = 30.0
+MAX_ATTEMPTS = 3
+#: Safety valve: a protocol bug that livelocks shows up as hitting this.
+MAX_ROUNDS = 200
+
+
+def protocol_campaign(runs: int) -> Campaign:
+    return Campaign(
+        name="lease_protocol",
+        title="synthetic table for protocol property tests",
+        scenarios=["fig6_chain"],
+        variants=["FIFO"],
+        pifo_backends=["sorted"],
+        lang_backends=[None],
+        load_scales=[1.0],
+        replicates=runs,
+    )
+
+
+class CrashyExecutor:
+    """Executes fake runs, dying whenever the drawn schedule says so."""
+
+    def __init__(self, crashes: list) -> None:
+        self._crashes = crashes  # shared across executors, consumed in order
+
+    def __call__(self, spec, policy):
+        if self._crashes and self._crashes.pop(0):
+            raise Crash(spec.run_id)
+        return fake_execute(spec, policy)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    runs=st.integers(min_value=1, max_value=12),
+    shard_size=st.integers(min_value=1, max_value=5),
+    executors=st.integers(min_value=1, max_value=4),
+    crashes=st.lists(st.booleans(), max_size=30),
+    # Per-round clock advance: sometimes inside the TTL (leases stay
+    # live), sometimes past it (crashed/slow leases become stealable).
+    advances=st.lists(st.sampled_from([0.0, TTL / 2, TTL + 1.0]),
+                      max_size=40),
+)
+def test_exactly_once_or_quarantined(tmp_path_factory, runs, shard_size,
+                                     executors, crashes, advances):
+    clock = FakeClock()
+    campaign = protocol_campaign(runs)
+    specs = campaign.expand(quick=True)
+    root = tmp_path_factory.mktemp("lease_protocol")
+    queue = LeaseQueue.initialize(
+        root / "q", specs, campaign=campaign.name, shard_size=shard_size,
+        lease_ttl_s=TTL, max_attempts=MAX_ATTEMPTS, time_fn=clock)
+    execute = CrashyExecutor(list(crashes))
+    advances = list(advances)
+
+    rounds = 0
+    while not queue.drained():
+        rounds += 1
+        assert rounds <= MAX_ROUNDS, "protocol livelocked"
+        for index in range(executors):
+            try:
+                queue.work(f"executor-{index}", execute=execute,
+                           max_shards=1)
+            except Crash:
+                pass  # the executor "process" died; its lease will expire
+        # Once the crash budget is spent, always advance past the TTL so
+        # orphaned leases become stealable and the queue can drain.
+        clock.advance(advances.pop(0) if advances else TTL + 1.0)
+
+    store = ResultStore(root / "merged.jsonl")
+    queue.merge(store)
+    records = store.load()
+
+    # Coverage: exactly one record per run-table entry, in table order.
+    assert [r["fingerprint"] for r in records] == [s.fingerprint()
+                                                   for s in specs]
+    # Exactly-once-or-quarantined: no other terminal state exists.
+    assert all(r["status"] in (STATUS_OK, STATUS_QUARANTINED)
+               for r in records)
+    # A run is quarantined only after MAX_ATTEMPTS lease generations died
+    # on it — impossible with fewer total crashes than that.
+    quarantined = [r for r in records
+                   if r["status"] == STATUS_QUARANTINED]
+    if sum(crashes) < MAX_ATTEMPTS:
+        assert not quarantined
+
+    # Clean merge: schema + fingerprint verification finds nothing.
+    summary = store.verify_records(
+        expected_fingerprints={s.fingerprint() for s in specs})
+    assert summary["issues"] == []
+    assert summary["missing"] == 0
