@@ -29,7 +29,16 @@ from typing import Dict, Iterator, Tuple
 
 #: Benchmark artifacts gated by this script, with extractors yielding
 #: ``(metric_name, packets_or_runs_per_second)`` pairs.
-GATED_ARTIFACTS = ("BENCH_network_fabric.json", "BENCH_campaign.json")
+GATED_ARTIFACTS = ("BENCH_network_fabric.json", "BENCH_campaign.json",
+                   "BENCH_obs_overhead.json")
+
+#: Metrics held to an absolute floor on the *current* value instead of a
+#: baseline-relative tolerance.  The obs ratio pairs rates interleaved
+#: round-robin within one benchmark, so drift cancels and the contract
+#: bound (metrics off costs <= 2%) applies directly.
+ABSOLUTE_FLOORS = {
+    "obs/metrics-off vs paired baseline": 0.98,
+}
 
 
 def _fabric_metrics(payload: Dict) -> Iterator[Tuple[str, float]]:
@@ -67,9 +76,24 @@ def _campaign_metrics(payload: Dict) -> Iterator[Tuple[str, float]]:
             yield f"campaign/{label} serial runs/s", float(serial)
 
 
+def _obs_metrics(payload: Dict) -> Iterator[Tuple[str, float]]:
+    # The metrics-off rate is the same configuration the fabric benchmark
+    # gates; holding it here too means the obs artifact cannot silently
+    # stop measuring the real hot path.
+    yield "obs/metrics-off pkt/s", float(payload["metrics_off_pps"])
+    # The acceptance gate: after a collection session, the disabled hot
+    # path must run within 2% of the never-collected baseline measured
+    # in the same interleaved round-robin.  Compared against
+    # ABSOLUTE_FLOORS, not the committed baseline.
+    ratio = payload.get("off_vs_baseline")
+    if ratio is not None:
+        yield "obs/metrics-off vs paired baseline", float(ratio)
+
+
 EXTRACTORS = {
     "BENCH_network_fabric.json": _fabric_metrics,
     "BENCH_campaign.json": _campaign_metrics,
+    "BENCH_obs_overhead.json": _obs_metrics,
 }
 
 
@@ -103,11 +127,28 @@ def main(argv=None) -> int:
         except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
             print(f"FAIL: {exc}", file=sys.stderr)
             return 1
-        for metric, base_value in baseline.items():
+        for metric in sorted(set(baseline) | set(ABSOLUTE_FLOORS)):
+            base_value = baseline.get(metric)
             if metric not in current:
+                if base_value is None:
+                    continue  # floor metric absent on both sides
                 failures.append(f"{metric}: missing from current run")
                 continue
             value = current[metric]
+            floor = ABSOLUTE_FLOORS.get(metric)
+            if floor is not None:
+                # Absolute gate on the fresh value; the committed baseline
+                # is informational (same-session ratios do not drift).
+                status = "ok" if value >= floor else "REGRESSION"
+                rows.append((metric, floor, value, value / floor, status))
+                if status != "ok":
+                    failures.append(
+                        f"{metric}: {value:.3f} below absolute floor "
+                        f"{floor:.2f}"
+                    )
+                continue
+            if base_value is None:
+                continue  # new metric with no committed baseline yet
             ratio = value / base_value if base_value > 0 else float("inf")
             status = "ok" if ratio >= 1.0 - args.tolerance else "REGRESSION"
             rows.append((metric, base_value, value, ratio, status))

@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import merge_counts
 from .spec import Campaign, RunSpec
 from .store import encode_record
 from .runner import (
@@ -242,10 +243,7 @@ class EngineStats:
 
     def kernel_cache_totals(self) -> Dict[str, int]:
         """Kernel cache counters summed across the pool's workers."""
-        totals: Dict[str, int] = {}
-        for info in self.kernel_by_pid.values():
-            for key, value in info.items():
-                totals[key] = totals.get(key, 0) + value
+        totals = merge_counts(self.kernel_by_pid.values())
         totals["workers"] = len(self.kernel_by_pid)
         return totals
 
@@ -342,6 +340,7 @@ class WarmWorkerEngine:
         self,
         specs: Sequence[RunSpec],
         commit: Callable[[Dict, Optional[str]], None],
+        heartbeat: Optional[Callable[[int], None]] = None,
     ) -> int:
         """Run every spec through the pool; commit records in table order.
 
@@ -349,6 +348,11 @@ class WarmWorkerEngine:
         order, with the decoded record *and* its pre-encoded canonical
         store line (append the line, not a re-serialisation).  Returns the
         number of committed runs.
+
+        ``heartbeat`` (if given) is called with the number of runs
+        currently leased out whenever the in-flight set changes — the
+        live-status sidecar hangs off this so an operator can watch a
+        long lease make progress before any record commits.
 
         Raises :class:`EngineBroken` — with the committed count — when the
         pool stalls beyond the lease watchdog budget (dead or wedged
@@ -374,6 +378,8 @@ class WarmWorkerEngine:
                         _execute_lease, (next_submit, batch))
                     inflight.append(_Lease(next_submit, size, result))
                     next_submit += size
+                if heartbeat is not None:
+                    heartbeat(sum(lease.size for lease in inflight))
                 head = inflight[0]
                 try:
                     outcome = head.result.get(timeout=self._budget(inflight))

@@ -55,6 +55,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import ReproError
+from ..obs.progress import ProgressWriter
 from .spec import RunSpec
 from .store import (
     STATUS_QUARANTINED,
@@ -389,16 +390,30 @@ class LeaseQueue:
         run = execute or execute_spec_guarded
         report = WorkReport(executor=executor)
         store = self.segment_store(executor)
+        # Per-executor live status, next to the manifest: every executor
+        # publishes its own ``progress_<name>.json`` (atomic tmp+rename),
+        # which ``repro campaign status <queue-dir>`` folds together with
+        # the lease-level shard counts.
+        status = ProgressWriter(
+            str(self.root / f"progress_{executor}.json"),
+            campaign=self.manifest["campaign"],
+            total=len(self.specs),
+            workers=1,
+            executor=executor,
+            time_fn=self._time_fn,
+        )
         while max_shards is None or report.shards < max_shards:
             lease = self.claim_next(executor)
             if lease is None:
                 if not block or self.drained():
                     break
+                status.heartbeat(leases_in_flight=0)
                 time.sleep(poll_s)
                 continue
             report.shards += 1
             specs = self.shard_specs(lease.shard)
             preempted = False
+            status.heartbeat(leases_in_flight=len(specs) - lease.cursor)
             while lease.cursor < len(specs):
                 if not self._owns(lease):
                     # A stealer decided we were dead.  Stop touching the
@@ -413,8 +428,11 @@ class LeaseQueue:
                 lease.attempt = 1
                 lease.attempt_cursor = lease.cursor
                 self._write_lease(lease)
+                status.leases_in_flight = len(specs) - lease.cursor
+                status.record_run(ok=record_is_ok(record))
             if not preempted:
                 self._finish(lease)
+        status.finish("done")
         return report
 
     # -- queue state -------------------------------------------------------

@@ -61,6 +61,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..obs.progress import ProgressWriter, progress_path_for
+from ..obs.resources import ResourceProbe, rss_peak_bytes
 from .spec import Campaign, RunSpec
 from .store import (
     STATUS_FAILED,
@@ -94,6 +96,7 @@ def execute_spec(spec: RunSpec) -> Dict:
     from ..net import get_scenario  # imports repro.net.scenarios -> registry
 
     scenario = get_scenario(spec.scenario)
+    probe = ResourceProbe().start()
     started = time.perf_counter()
     results = scenario.run(
         quick=spec.quick,
@@ -106,6 +109,7 @@ def execute_spec(spec: RunSpec) -> Dict:
     )
     wall_clock_s = time.perf_counter() - started
     result = results[spec.variant]
+    resources = probe.stop(events=result.events, wall_s=wall_clock_s)
 
     total_packets = sum(stats["packets"] for stats in result.flow_stats.values())
     delay_weighted = sum(
@@ -141,6 +145,7 @@ def execute_spec(spec: RunSpec) -> Dict:
         "wall_clock_s": wall_clock_s,
         "worker_pid": os.getpid(),
     })
+    record.update(resources)
     return record
 
 
@@ -246,6 +251,14 @@ def failure_record(spec: RunSpec, status: str, error: BaseException,
         "attempts": attempts,
         "wall_clock_s": wall_clock_s,
         "worker_pid": os.getpid(),
+        # Failures carry the same resource fields as successes (events=0:
+        # the run produced no usable simulation), so report columns and
+        # downstream tooling never need to special-case record shape.
+        "rss_peak_bytes": rss_peak_bytes(),
+        "cpu_user_s": 0.0,
+        "cpu_sys_s": 0.0,
+        "events": 0,
+        "events_per_s": 0.0,
     })
     return record
 
@@ -442,6 +455,15 @@ class CampaignRunner:
         failures = 0
         aborted: Optional[str] = None
         degraded = False
+        # Live-status sidecar (``<store>.progress``): atomic, throttled,
+        # best-effort.  ``repro campaign status`` reads it while the sweep
+        # runs; readers of the store itself are unaffected.
+        status = ProgressWriter(
+            progress_path_for(str(self.store.path)),
+            campaign=self.campaign.name,
+            total=len(specs),
+            workers=self.workers,
+        )
 
         def commit(record: Dict, line: Optional[str] = None) -> None:
             nonlocal failures
@@ -452,6 +474,7 @@ class CampaignRunner:
             else:
                 self.store.append(record)
             records.append(record)
+            status.record_run(ok=record.get("status", STATUS_OK) == STATUS_OK)
             if progress is not None:
                 progress(record)
             if record.get("status", STATUS_OK) != STATUS_OK:
@@ -472,9 +495,15 @@ class CampaignRunner:
                 for spec in specs:
                     commit(execute_spec_guarded(spec, self.policy))
             else:
-                degraded = self._run_engine(specs, commit)
+                degraded = self._run_engine(specs, commit, status.heartbeat)
         except CampaignAborted as stop:
             aborted = stop.reason
+        except BaseException:
+            # Ctrl-C / crash: stamp the sidecar before propagating so a
+            # status watcher sees "aborted", not an eternally-stale "running".
+            status.finish("aborted")
+            raise
+        status.finish("done" if aborted is None else "aborted")
         if self.kernel_cache_totals is None:
             # Serial (or aborted-before-telemetry) execution: the kernel
             # cache of interest is this process's own.
@@ -497,7 +526,8 @@ class CampaignRunner:
         )
 
     def _run_engine(self, specs: List[RunSpec],
-                    commit: Callable[[Dict], None]) -> bool:
+                    commit: Callable[[Dict], None],
+                    heartbeat: Optional[Callable[[int], None]] = None) -> bool:
         """Warm-engine execution with a lease watchdog.
 
         Delegates to a :class:`~repro.campaign.engine.WarmWorkerEngine`
@@ -518,7 +548,7 @@ class CampaignRunner:
             )
         try:
             try:
-                engine.execute(specs, commit)
+                engine.execute(specs, commit, heartbeat=heartbeat)
                 return False
             except EngineBroken as broken:
                 # A worker died mid-lease or wedged past every bound: the

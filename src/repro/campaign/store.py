@@ -22,11 +22,14 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from ..exceptions import ReproError
 
 #: Record fields that legitimately differ between two executions of the
-#: same RunSpec (wall-clock measurements, worker identity and — under
-#: injected faults — how many attempts a run took).  Everything else must
-#: be bit-identical regardless of worker count — the determinism tests
-#: strip exactly these keys before comparing.
-TIMING_FIELDS = ("wall_clock_s", "worker_pid", "attempts")
+#: same RunSpec (wall-clock and resource measurements, worker identity
+#: and — under injected faults — how many attempts a run took).
+#: Everything else must be bit-identical regardless of worker count —
+#: the determinism tests strip exactly these keys before comparing.
+#: ``events`` is deliberately *not* here: the simulator event count is a
+#: pure function of the spec, so determinism checks cover it.
+TIMING_FIELDS = ("wall_clock_s", "worker_pid", "attempts",
+                 "rss_peak_bytes", "cpu_user_s", "cpu_sys_s", "events_per_s")
 
 #: Run completed and produced a full result record.
 STATUS_OK = "ok"

@@ -20,7 +20,12 @@ Subcommands
 [--profile] [--json] [--out FILE]``
     Measure (or cProfile) the simulation hot path on a canonical fabric
     workload; see :mod:`repro.perf`.
-``campaign run|list|report|verify|serve|work``
+``trace SCENARIO [--variant V] [--quick] [--out spans.jsonl]
+[--chrome FILE]``
+    Run one scenario variant with the packet-trace collector attached
+    and export per-hop spans (JSONL, optionally a chrome://tracing
+    document); see :mod:`repro.obs.trace`.
+``campaign run|list|report|verify|serve|work|status``
     Execute, list and summarise parameter-sweep campaigns
     (:mod:`repro.campaign`): ``campaign run`` drives a campaign's run
     table through the warm-worker engine and appends one JSONL record per
@@ -28,7 +33,9 @@ Subcommands
     summary tables grouped by any factor; ``campaign serve`` initialises
     a shared lease-queue directory (and merges its segments into a
     canonical store once drained) while any number of ``campaign work``
-    executors — separate processes or hosts — drain its shards.
+    executors — separate processes or hosts — drain its shards;
+    ``campaign status`` reads the live progress sidecar a runner or
+    executor publishes (``--watch`` polls until the campaign ends).
 
 Tables print to stdout.  The commands that produce machine-readable
 results (``run --json``, ``campaign report --json``) accept ``--out FILE``
@@ -141,6 +148,25 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--out", metavar="FILE", default=None,
                              help="write the --json result to FILE "
                                   "(implies --json)")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="export per-hop packet spans for one scenario variant"
+    )
+    trace_parser.add_argument("scenario", help="scenario name "
+                                              "(see 'scenarios')")
+    trace_parser.add_argument("--variant", default=None, metavar="V",
+                              help="scheduler variant to trace "
+                                   "(default: the scenario's first)")
+    trace_parser.add_argument("--quick", action="store_true",
+                              help="shorter simulation duration")
+    trace_parser.add_argument("--out", metavar="FILE", default="spans.jsonl",
+                              help="span JSONL output path "
+                                   "(default spans.jsonl)")
+    trace_parser.add_argument("--chrome", metavar="FILE", default=None,
+                              help="also write a chrome://tracing / "
+                                   "Perfetto JSON document to FILE")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="print the trace summary as JSON")
 
     campaign_parser = subparsers.add_parser(
         "campaign", help="run and summarise parameter-sweep campaigns"
@@ -272,6 +298,22 @@ def build_parser() -> argparse.ArgumentParser:
     cwork.add_argument("--out", metavar="FILE", default=None,
                        help="write the --json report to FILE instead of "
                             "stdout (implies --json)")
+
+    cstatus = campaign_sub.add_parser(
+        "status", help="read a campaign's live progress sidecar"
+    )
+    cstatus.add_argument("target",
+                         help="result store path (reads <store>.progress) "
+                              "or lease-queue directory (folds together "
+                              "every executor's progress file)")
+    cstatus.add_argument("--watch", action="store_true",
+                         help="poll and reprint until the campaign leaves "
+                              "the 'running' state")
+    cstatus.add_argument("--interval", type=float, default=2.0, metavar="S",
+                         help="seconds between --watch polls (default 2)")
+    cstatus.add_argument("--json", action="store_true",
+                         help="print the status as JSON (one document per "
+                              "--watch poll)")
 
     return parser
 
@@ -671,6 +713,125 @@ def _cmd_campaign_work(queue_dir: str, executor: Optional[str],
     return 0
 
 
+def _format_status_line(progress: Dict) -> str:
+    """One-line human rendering of a progress snapshot (--watch mode)."""
+    eta = progress.get("eta_s") or 0.0
+    return (f"{progress.get('campaign', '?')}: "
+            f"{progress.get('done', 0)}/{progress.get('total', '?')} done "
+            f"({progress.get('ok', 0)} ok, {progress.get('failed', 0)} failed"
+            f", {progress.get('quarantined', 0)} quarantined), "
+            f"{progress.get('leases_in_flight', 0)} in flight, "
+            f"{progress.get('runs_per_s', 0.0):.2f} runs/s, "
+            f"eta {eta:.0f}s [{progress.get('state', '?')}]")
+
+
+def _collect_campaign_status(target: str) -> Optional[Dict]:
+    """One status snapshot for a store path or lease-queue directory.
+
+    A queue directory (identified by its ``manifest.json``) folds the
+    shard-level queue status together with every executor's
+    ``progress_<name>.json``; a store path reads its ``<store>.progress``
+    sidecar and cross-checks against the store's effective records.
+    Returns ``None`` when the target has no readable status at all.
+    """
+    import glob
+    import os
+
+    from .obs.progress import progress_path_for, read_progress
+
+    if os.path.isdir(target) and os.path.exists(
+            os.path.join(target, "manifest.json")):
+        from .campaign import LeaseQueue
+
+        queue = LeaseQueue(target)
+        status = queue.status()
+        executors = []
+        for path in sorted(glob.glob(os.path.join(target,
+                                                  "progress_*.json"))):
+            snap = read_progress(path)
+            if snap is not None:
+                executors.append(snap)
+        drained = queue.drained()
+        payload = {
+            "mode": "queue",
+            "source": target,
+            "campaign": status["campaign"],
+            "state": "done" if drained else "running",
+            "total": status["runs"],
+            "done": sum(e.get("done", 0) for e in executors),
+            "ok": sum(e.get("ok", 0) for e in executors),
+            "failed": sum(e.get("failed", 0) for e in executors),
+            "quarantined": sum(e.get("quarantined", 0) for e in executors),
+            "leases_in_flight": sum(e.get("leases_in_flight", 0)
+                                    for e in executors
+                                    if e.get("state") == "running"),
+            "runs_per_s": round(sum(e.get("runs_per_s", 0.0)
+                                    for e in executors
+                                    if e.get("state") == "running"), 4),
+            "shards_done": status["done"],
+            "shards": status["shards"],
+            "shards_leased": status["leased"],
+            "shards_expired": status["expired"],
+            "executors": executors,
+        }
+        return payload
+
+    progress = read_progress(progress_path_for(target))
+    from .campaign import ResultStore, record_is_ok
+
+    store = ResultStore(target)
+    counts = None
+    if store.exists():
+        ok = failed = 0
+        for record in store.iter_effective_records():
+            if record_is_ok(record):
+                ok += 1
+            else:
+                failed += 1
+        counts = {"store_records": ok + failed, "store_ok": ok,
+                  "store_failed": failed}
+    if progress is None and counts is None:
+        return None
+    payload = {"mode": "store", "source": target}
+    if progress is not None:
+        payload.update(progress)
+    else:
+        payload["state"] = "no-progress-file"
+    if counts is not None:
+        payload.update(counts)
+    return payload
+
+
+def _cmd_campaign_status(target: str, watch: bool, interval_s: float,
+                         as_json: bool) -> int:
+    """Read (and optionally poll) a campaign's live progress."""
+    import time as _time
+
+    while True:
+        payload = _collect_campaign_status(target)
+        if payload is None:
+            print(f"no progress sidecar or result store at {target} "
+                  f"(is the campaign running with this store/queue?)",
+                  file=sys.stderr)
+            return 2
+        if as_json:
+            print(json.dumps(payload, sort_keys=True))
+        elif watch:
+            print(_format_status_line(payload))
+        else:
+            executors = payload.pop("executors", None)
+            print(render_kv(payload, title=f"Campaign status ({target})"))
+            for snap in executors or ():
+                print(f"  {snap.get('executor', '?')}: "
+                      f"{_format_status_line(snap)}")
+        if not watch or payload.get("state") != "running":
+            return 0
+        try:
+            _time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 130
+
+
 def _cmd_perf(workload: str, packets: int, pifo_backend: str,
               telemetry: bool, tree_kernel: bool, profile: bool, top: int,
               as_json: bool, out: Optional[str]) -> int:
@@ -733,6 +894,53 @@ def _cmd_perf(workload: str, packets: int, pifo_backend: str,
         print()
         print("(profiled throughput is 2-3x below unprofiled; compare "
               "tottime shares, not absolute rates)")
+    return 0
+
+
+def _cmd_trace(scenario_name: str, variant: Optional[str], quick: bool,
+               out: str, chrome_out: Optional[str], as_json: bool) -> int:
+    """Run one scenario variant with the trace collector attached."""
+    from .net import get_scenario
+    from .obs.trace import TraceCollector, spans_to_chrome, write_spans
+
+    try:
+        scenario = get_scenario(scenario_name)
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+    if variant is None:
+        variant = next(iter(scenario.variants))
+    collector = TraceCollector()
+    try:
+        # Tracing wraps the interpreted per-port seams, so the fused
+        # kernels are forced off for this run (results are identical).
+        results = scenario.run(quick=quick, variant=variant, telemetry=True,
+                               tree_kernel=False, trace_hook=collector.attach)
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+    count = write_spans(collector.spans, out)
+    summary = {
+        "scenario": scenario_name,
+        "variant": variant,
+        "spans": count,
+        "nodes": len({span["node"] for span in collector.spans}),
+        "delivered": results[variant].conservation.get("delivered", 0),
+        "out": out,
+    }
+    if chrome_out is not None:
+        doc = spans_to_chrome(collector.spans)
+        with open(chrome_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+            handle.write("\n")
+        summary["chrome"] = chrome_out
+    if as_json:
+        _emit_json(summary, None)
+        return 0
+    print(render_kv(summary, title=f"Packet trace ({scenario_name})"))
+    if chrome_out is not None:
+        print(f"\nopen {chrome_out} in chrome://tracing or "
+              f"https://ui.perfetto.dev")
     return 0
 
 
@@ -820,10 +1028,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_perf(args.workload, args.packets, args.pifo_backend,
                          args.telemetry, args.tree_kernel, args.profile,
                          args.top, args.json, args.out)
+    if args.command == "trace":
+        return _cmd_trace(args.scenario, args.variant, args.quick,
+                          args.out, args.chrome, args.json)
     if args.command == "campaign":
         if args.campaign_command is None:
             print("usage: repro campaign "
-                  "{run,list,report,verify,serve,work} ...",
+                  "{run,list,report,verify,serve,work,status} ...",
                   file=sys.stderr)
             return 2
         if args.campaign_command == "list":
@@ -850,6 +1061,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_campaign_work(args.queue, args.executor,
                                       args.max_shards, args.block, args.poll,
                                       args.json, args.out)
+        if args.campaign_command == "status":
+            return _cmd_campaign_status(args.target, args.watch,
+                                        args.interval, args.json)
     parser.error(f"unhandled command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

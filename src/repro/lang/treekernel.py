@@ -56,6 +56,7 @@ from math import floor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.packet import EMPTY_FIELDS, Packet
+from ..obs import metrics as obs_metrics
 from ..core.pifo import (
     BucketedPIFO,
     CalendarPIFO,
@@ -117,6 +118,12 @@ def clear_kernel_cache() -> None:
     _CACHE.clear()
     for key in _stats:
         _stats[key] = 0
+
+
+# The cache counters predate the metrics registry and accumulate whether
+# or not one is enabled; publishing them as a global source makes every
+# registry snapshot (and ``repro perf``) read the same numbers.
+obs_metrics.register_global_source("lang.kernel_cache", kernel_cache_info)
 
 
 # --------------------------------------------------------------------------- #

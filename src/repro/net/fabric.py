@@ -29,6 +29,7 @@ from ..core.packet import EMPTY_FIELDS, Packet
 from ..core.scheduler import ProgrammableScheduler
 from ..core.tree import single_node_tree
 from ..exceptions import RoutingError
+from ..obs import metrics as obs_metrics
 from ..sim.simulator import Simulator
 from ..sim.sink import PacketSink
 from ..sim.source import PacketSource
@@ -185,6 +186,15 @@ class Fabric:
             self._fault_injector.schedule()
         elif fused_delivery is not False:
             self._fuse_hot_path()
+
+        # Lazy metrics: when a registry is enabled, register a callback
+        # that exports the fabric's counters at snapshot() time.  The
+        # forwarding path itself is never touched — collection cost is
+        # paid only by whoever asks for a snapshot.
+        registry = obs_metrics.active()
+        if registry is not None:
+            registry.register_callback(f"fabric.{network.name}",
+                                       self.metrics_snapshot)
 
     # -- construction helpers ----------------------------------------------
     @staticmethod
@@ -766,6 +776,26 @@ class Fabric:
             "down_links": sorted(injector.down_links),
             "down_switches": sorted(injector.down_switches),
         }
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat counter mapping for the metrics registry.
+
+        Conservation totals, per-node/per-port traffic counters, buffer
+        occupancy, and fault blackholes — pulled lazily at registry
+        ``snapshot()`` time, so the hot path pays nothing.
+        """
+        out: Dict[str, float] = dict(self.conservation_check())
+        out["fused_ports"] = self.fused_ports
+        for name in sorted(self.node_switches):
+            out.update(self.node_switches[name].metrics_snapshot())
+        faults = self.fault_summary()
+        if faults:
+            out["faults.topology_changes"] = faults["topology_changes"]
+            out["faults.down_links"] = len(faults["down_links"])
+            out["faults.down_switches"] = len(faults["down_switches"])
+            for cause, count in sorted(faults["lost_by_cause"].items()):
+                out[f"faults.lost.{cause}"] = count
+        return out
 
     def stats_by_node(self) -> Dict[str, Dict]:
         """JSON-friendly per-node stats with per-port breakdowns."""

@@ -190,6 +190,10 @@ class ScenarioResult:
     #: Fault-injection outcome (topology changes, loss by cause); empty
     #: when the scenario runs without a fault plan.
     fault_summary: Dict[str, Any] = field(default_factory=dict)
+    #: Simulator events processed for this variant — deterministic for a
+    #: given scenario/seed, and the denominator behind the campaign
+    #: records' ``events_per_s``.
+    events: int = 0
 
     def delivered(self) -> int:
         return self.conservation["delivered"]
@@ -294,7 +298,9 @@ class Scenario:
             load_scale: float = 1.0,
             base_seed: Optional[int] = None,
             telemetry: bool = True,
-            tree_kernel: Optional[bool] = None) -> Dict[str, ScenarioResult]:
+            tree_kernel: Optional[bool] = None,
+            trace_hook: Optional[Callable[[Fabric], None]] = None
+            ) -> Dict[str, ScenarioResult]:
         """Run each scheduler variant on a fresh fabric; results by label.
 
         ``lang_backend`` switches to the scenario's transaction-language
@@ -315,6 +321,12 @@ class Scenario:
         scheduler's own default (on, minus unfusable trees),
         ``False`` forces the interpreted scheduler *and* interpreted
         fabric delivery — the lockstep reference configuration.
+
+        ``trace_hook`` is called with each variant's fabric after
+        construction and before any traffic: the observability layer's
+        seam for attaching a :class:`repro.obs.TraceCollector` (which
+        requires ``tree_kernel=False`` so the wrappable interpreted
+        delivery path is in effect).
         """
         duration = (self.quick_duration if quick and self.quick_duration
                     else self.duration)
@@ -337,6 +349,8 @@ class Scenario:
                 fused_delivery=None if tree_kernel is not False else False,
                 fault_plan=self.fault_plan,
             )
+            if trace_hook is not None:
+                trace_hook(fabric)
             by_host: Dict[str, List[Iterable[Arrival]]] = {}
             for demand in self.demands:
                 by_host.setdefault(demand.src, []).append(
@@ -375,6 +389,7 @@ class Scenario:
             fct_short=FCTSummary.from_completions(short) if short else None,
             stats_by_node=fabric.stats_by_node(),
             fault_summary=fabric.fault_summary(),
+            events=fabric.sim.events_processed,
         )
         # Every run asserts the conservation identity — a leak anywhere in
         # the datapath (fused or interpreted, faulted or not) fails fast.

@@ -1,0 +1,59 @@
+"""Unified observability layer: metrics, traces, resources, progress.
+
+Four small subsystems with one shared principle — observability must be
+free when off and must never change simulation results when on:
+
+* :mod:`repro.obs.metrics` — process-wide metrics registry.  Components
+  capture their instruments (or ``None``) at construction; the hot loop
+  pays a single local ``is not None`` check when disabled.
+* :mod:`repro.obs.trace` — per-hop packet span collection and the
+  chrome://tracing converter behind ``repro trace``.
+* :mod:`repro.obs.resources` — per-run RSS/CPU/event-rate capture from
+  stdlib ``getrusage`` (no psutil), written into every campaign record.
+* :mod:`repro.obs.progress` — atomic sidecar progress files behind
+  ``repro campaign status [--watch]``.
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS,
+    active,
+    collecting,
+    disable,
+    enable,
+    is_enabled,
+    merge_counts,
+    register_global_source,
+    global_sources_snapshot,
+)
+from repro.obs.progress import (  # noqa: F401
+    ProgressWriter,
+    progress_path_for,
+    read_progress,
+)
+from repro.obs.resources import (  # noqa: F401
+    RESOURCE_FIELDS,
+    ResourceProbe,
+    rss_peak_bytes,
+)
+from repro.obs.trace import (  # noqa: F401
+    TraceCollector,
+    read_spans,
+    spans_from_chrome,
+    spans_to_chrome,
+    write_spans,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS", "active", "collecting", "disable", "enable",
+    "is_enabled", "merge_counts", "register_global_source",
+    "global_sources_snapshot",
+    "ProgressWriter", "progress_path_for", "read_progress",
+    "RESOURCE_FIELDS", "ResourceProbe", "rss_peak_bytes",
+    "TraceCollector", "read_spans", "spans_from_chrome", "spans_to_chrome",
+    "write_spans",
+]

@@ -1,0 +1,81 @@
+"""Per-run resource capture from stdlib ``resource.getrusage``.
+
+No third-party dependency (psutil is deliberately avoided): everything
+here comes from ``getrusage(RUSAGE_SELF)``, which every POSIX Python
+ships.  CPU times are measured as deltas across the probed section.
+``ru_maxrss`` is a *lifetime* high-water mark for the process — it can
+only grow — so ``rss_peak_bytes`` is reported as the absolute peak
+observed by the end of the run, not a delta.  Within a warm worker that
+still upper-bounds each run and matches what an operator cares about
+(did this worker's footprint blow up, and when).
+
+On platforms without the ``resource`` module (Windows) the probe
+degrades to zeros rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional
+
+try:  # pragma: no cover - absent only on Windows
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None  # type: ignore[assignment]
+
+__all__ = ["ResourceProbe", "RESOURCE_FIELDS", "rss_peak_bytes"]
+
+#: Store-record fields produced by the probe (events is supplied by the
+#: caller, from the simulator's deterministic event count).
+RESOURCE_FIELDS = (
+    "rss_peak_bytes", "cpu_user_s", "cpu_sys_s", "events", "events_per_s",
+)
+
+# ru_maxrss units: kilobytes on Linux, bytes on macOS.
+_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+
+def rss_peak_bytes() -> int:
+    """Process-lifetime RSS high-water mark, in bytes (0 if unsupported)."""
+    if _resource is None:
+        return 0
+    return _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss * _MAXRSS_SCALE
+
+
+class ResourceProbe:
+    """Bracket a run: ``start()`` ... ``stop(events, wall_s)`` -> fields."""
+
+    __slots__ = ("_user0", "_sys0")
+
+    def __init__(self) -> None:
+        self._user0 = 0.0
+        self._sys0 = 0.0
+
+    def start(self) -> "ResourceProbe":
+        if _resource is not None:
+            usage = _resource.getrusage(_resource.RUSAGE_SELF)
+            self._user0 = usage.ru_utime
+            self._sys0 = usage.ru_stime
+        return self
+
+    def stop(self, events: int = 0,
+             wall_s: Optional[float] = None) -> Dict[str, float]:
+        """Finish the bracket and return the record fields."""
+        if _resource is None:
+            cpu_user = cpu_sys = 0.0
+            peak = 0
+        else:
+            usage = _resource.getrusage(_resource.RUSAGE_SELF)
+            cpu_user = max(0.0, usage.ru_utime - self._user0)
+            cpu_sys = max(0.0, usage.ru_stime - self._sys0)
+            peak = usage.ru_maxrss * _MAXRSS_SCALE
+        events_per_s = 0.0
+        if wall_s and wall_s > 0 and events:
+            events_per_s = events / wall_s
+        return {
+            "rss_peak_bytes": peak,
+            "cpu_user_s": round(cpu_user, 6),
+            "cpu_sys_s": round(cpu_sys, 6),
+            "events": int(events),
+            "events_per_s": round(events_per_s, 3),
+        }

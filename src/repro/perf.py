@@ -239,6 +239,8 @@ def profile_workload(
         raise KeyError(
             f"unknown perf workload {workload!r}; known workloads: {known}"
         ) from None
+    pool_before = pool_size()
+    cache_before = kernel_cache_info()
     sim = Simulator()
     fabric = builder(sim, packets, pifo_backend, telemetry, tree_kernel)
     profiler = cProfile.Profile()
@@ -247,6 +249,11 @@ def profile_workload(
     fabric.run(drain=True)
     profiler.disable()
     elapsed = time.perf_counter() - started
+    # Same accounting as run_workload: the kernel-cache deltas identify
+    # *which* datapath was actually profiled (installs > 0 means the fused
+    # kernels ran; fallbacks > 0 means something refused to fuse), so the
+    # hotspot listing is never silently attributed to the wrong backend.
+    cache_after = kernel_cache_info()
     perf = PerfResult(
         workload=workload,
         pifo_backend=pifo_backend,
@@ -255,8 +262,12 @@ def profile_workload(
         delivered=fabric.delivered_packets,
         elapsed_s=elapsed,
         events=sim.events_processed,
-        pool_recycled=0,
+        pool_recycled=max(0, pool_size() - pool_before),
         tree_kernel=tree_kernel,
+        kernel_cache_hits=cache_after["hits"] - cache_before["hits"],
+        kernel_compiles=cache_after["misses"] - cache_before["misses"],
+        kernel_installs=cache_after["installs"] - cache_before["installs"],
+        kernel_fallbacks=cache_after["fallbacks"] - cache_before["fallbacks"],
     )
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream).sort_stats("tottime")

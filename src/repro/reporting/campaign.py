@@ -40,6 +40,8 @@ _MEAN_METRICS = (
     ("fct_mean", "fct_mean_ms", 1e3),
     ("fct_p99", "fct_p99_ms", 1e3),
     ("wall_clock_s", "wall_clock_s", 1.0),
+    ("cpu_user_s", "cpu_user_s", 1.0),
+    ("events_per_s", "events_per_s", 1.0),
 )
 
 #: Count columns summed across a group's healthy runs.
@@ -54,7 +56,7 @@ class _GroupAccumulator:
     """
 
     __slots__ = ("runs", "failed", "sums", "mean_sums", "mean_counts",
-                 "max_delay")
+                 "max_delay", "rss_peak")
 
     def __init__(self) -> None:
         self.runs = 0
@@ -63,6 +65,7 @@ class _GroupAccumulator:
         self.mean_sums = {name: 0.0 for name, _, _ in _MEAN_METRICS}
         self.mean_counts = {name: 0 for name, _, _ in _MEAN_METRICS}
         self.max_delay: float | None = None
+        self.rss_peak: float | None = None
 
     def add(self, record: Mapping, ok: bool) -> None:
         self.runs += 1
@@ -84,6 +87,10 @@ class _GroupAccumulator:
         if value is not None:
             self.max_delay = (value if self.max_delay is None
                               else max(self.max_delay, value))
+        value = record.get("rss_peak_bytes")
+        if value is not None:
+            self.rss_peak = (value if self.rss_peak is None
+                             else max(self.rss_peak, value))
 
     def row(self, group_by: Tuple[str, ...], group_key: Tuple) -> Dict:
         row: Dict = {
@@ -104,6 +111,11 @@ class _GroupAccumulator:
         row["fct_mean_ms"] = metrics["fct_mean_ms"]
         row["fct_p99_ms"] = metrics["fct_p99_ms"]
         row["wall_clock_s"] = metrics["wall_clock_s"]
+        # Resource columns (PR 9): absent from pre-observability stores,
+        # in which case they render as "-" like any other missing metric.
+        row["cpu_user_s"] = metrics["cpu_user_s"]
+        row["events_per_s"] = metrics["events_per_s"]
+        row["rss_peak_mb"] = _scale(self.rss_peak, 1.0 / (1024 * 1024))
         return row
 
 

@@ -21,6 +21,7 @@ import heapq
 from typing import Any, Callable, List, Optional, Set, Tuple
 
 from ..exceptions import SimulationError
+from ..obs import metrics
 
 #: A scheduled callback: ``(time, seq, callback)``.  Returned by
 #: :meth:`EventQueue.push` as the cancellation handle.
@@ -34,12 +35,23 @@ class EventQueue:
     tuple, which doubles as the handle for :meth:`cancel`.
     """
 
-    __slots__ = ("_heap", "_tombstones", "_next_seq")
+    __slots__ = ("_heap", "_tombstones", "_next_seq", "_metrics")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._tombstones: Set[int] = set()
         self._next_seq = 0
+        # Captured once at construction: the active metrics registry's
+        # instruments, or None.  push/cancel/pop stay untouched — only
+        # compact() (rare by design) reports, so the disabled cost here
+        # is literally zero on the per-event path.
+        registry = metrics.active()
+        self._metrics = None if registry is None else (
+            registry.counter("sim.event_compactions"),
+            registry.histogram("sim.tombstone_ratio",
+                               buckets=(0.1, 0.25, 0.5, 0.75, 1.0)),
+            registry.gauge("sim.heap_size"),
+        )
 
     def push(self, time: float, callback: Callable[[], Any],
              name: str = "") -> Event:
@@ -79,9 +91,17 @@ class EventQueue:
         tombstones = self._tombstones
         if tombstones:
             heap = self._heap
+            m = self._metrics
+            if m is not None:
+                compactions, ratio, heap_size = m
+                compactions.inc()
+                if heap:
+                    ratio.observe(len(tombstones) / len(heap))
             heap[:] = [entry for entry in heap if entry[1] not in tombstones]
             heapq.heapify(heap)
             tombstones.clear()
+            if m is not None:
+                heap_size.set(len(heap))
 
     def pop(self) -> Event:
         """Remove and return the earliest live (non-cancelled) event."""

@@ -26,16 +26,32 @@ Design notes
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from ..exceptions import SimulationError
+from ..obs import metrics
 from .events import Event, EventQueue
+
+
+class _SimMetrics:
+    """Instruments for the event loop, captured once at construction."""
+
+    __slots__ = ("run_wall_s", "drain_width", "events", "heap_size")
+
+    def __init__(self, registry: "metrics.MetricsRegistry") -> None:
+        self.run_wall_s = registry.histogram("sim.run_wall_s")
+        self.drain_width = registry.histogram(
+            "sim.drain_width", buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128))
+        self.events = registry.counter("sim.events")
+        self.heap_size = registry.gauge("sim.heap_size")
 
 
 class Simulator:
     """Discrete-event simulation kernel."""
 
-    __slots__ = ("now", "_queue", "events_processed", "_running", "_deferred")
+    __slots__ = ("now", "_queue", "events_processed", "_running", "_deferred",
+                 "_metrics")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -46,6 +62,11 @@ class Simulator:
         #: recently fast-scheduled event, kept out of the heap while it is
         #: a plausible next-event candidate.
         self._deferred: Optional[Event] = None
+        # None unless a metrics registry was enabled when this simulator
+        # was built; run() binds it to a local, so the disabled cost is
+        # one pointer comparison per outer loop iteration.
+        registry = metrics.active()
+        self._metrics = None if registry is None else _SimMetrics(registry)
 
     # -- scheduling -----------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], Any], name: str = "") -> Event:
@@ -127,6 +148,10 @@ class Simulator:
         self._running = True
         processed = 0
         stop = False
+        m = self._metrics
+        wall_start = perf_counter() if m is not None else 0.0
+        if m is not None:
+            m.heap_size.set(len(heap))
         try:
             while not stop:
                 # Candidate: the (time, seq)-smallest of the deferred slot
@@ -169,6 +194,7 @@ class Simulator:
                 # loop the moment a callback prefetches a deferred event
                 # (it may order before the heap head).
                 if self._deferred is None:
+                    batch_start = processed
                     while heap:
                         entry = heap[0]
                         if entry[0] != time or self._deferred is not None:
@@ -182,6 +208,8 @@ class Simulator:
                         if max_events is not None and processed >= max_events:
                             stop = True
                             break
+                    if m is not None:
+                        m.drain_width.observe(processed - batch_start)
         finally:
             self._running = False
             # Flush the deferral slot so the queue is authoritative again
@@ -191,6 +219,10 @@ class Simulator:
                 heappush(heap, deferred)
                 self._deferred = None
             self.events_processed += processed
+            if m is not None:
+                m.run_wall_s.observe(perf_counter() - wall_start)
+                m.events.inc(processed)
+                m.heap_size.set(len(heap))
         if until is not None:
             next_time = queue.peek_time()
             if next_time is None or next_time > until:

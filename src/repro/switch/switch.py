@@ -398,3 +398,36 @@ class SharedMemorySwitch:
 
     def total_transmitted(self) -> int:
         return sum(port.transmitted_packets for port in self.ports.values())
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat ``<switch>.<metric>`` counters for the metrics registry.
+
+        Read lazily at registry snapshot time — the forwarding path never
+        updates anything beyond the counters it already maintains.  With
+        telemetry off the per-port counters are not tracked; the port-level
+        backlog and drop counts (kept by the ports themselves) still are.
+        """
+        prefix = self.name
+        stats = self.stats
+        out: Dict[str, float] = {
+            f"{prefix}.received": stats.received,
+            f"{prefix}.admitted": stats.admitted,
+            f"{prefix}.transmitted": stats.transmitted,
+            f"{prefix}.dropped_admission": stats.dropped_admission,
+            f"{prefix}.dropped_scheduler": stats.dropped_scheduler,
+            f"{prefix}.buffer.used_cells": self.buffer.used_cells,
+            f"{prefix}.buffer.used_bytes": self.buffer.used_bytes,
+            f"{prefix}.buffer.total_cells": self.buffer.total_cells,
+        }
+        for name in sorted(self.ports):
+            port = self.ports[name]
+            out[f"{prefix}.{name}.backlog"] = port.backlog_packets()
+            out[f"{prefix}.{name}.dropped"] = port.dropped_packets
+            out[f"{prefix}.{name}.transmitted"] = port.transmitted_packets
+        if self.telemetry:
+            for name, counters in sorted(stats.per_port.items()):
+                out[f"{prefix}.{name}.dropped_admission"] = \
+                    counters.dropped_admission
+                out[f"{prefix}.{name}.dropped_scheduler"] = \
+                    counters.dropped_scheduler
+        return out

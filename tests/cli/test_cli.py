@@ -385,3 +385,99 @@ class TestCampaignQueueCommands:
         payload = json.loads(capsys.readouterr().out)
         assert "kernel_cache" in payload
         assert payload["kernel_cache"]["installs"] >= 0
+
+class TestTraceCommand:
+    def test_trace_writes_spans_and_chrome(self, capsys, tmp_path):
+        spans_path = tmp_path / "spans.jsonl"
+        chrome_path = tmp_path / "trace.json"
+        assert main(["trace", "fig6_chain", "--quick",
+                     "--out", str(spans_path),
+                     "--chrome", str(chrome_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Packet trace" in out
+        from repro.obs.trace import read_spans, spans_from_chrome
+
+        spans = read_spans(str(spans_path))
+        assert spans
+        doc = json.loads(chrome_path.read_text())
+        restored = spans_from_chrome(doc)
+        canon = lambda rows: sorted(
+            json.dumps(dict(sorted(r.items())), sort_keys=True)
+            for r in rows)
+        assert canon(restored) == canon(spans)
+
+    def test_trace_json_summary(self, capsys, tmp_path):
+        spans_path = tmp_path / "spans.jsonl"
+        assert main(["trace", "fig6_chain", "--quick", "--variant", "FIFO",
+                     "--out", str(spans_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variant"] == "FIFO"
+        assert payload["spans"] > 0
+
+    def test_trace_unknown_scenario(self, capsys):
+        assert main(["trace", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_trace_unknown_variant(self, capsys, tmp_path):
+        assert main(["trace", "fig6_chain", "--variant", "NOPE",
+                     "--out", str(tmp_path / "s.jsonl")]) == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+
+class TestCampaignStatusCommand:
+    def test_status_of_finished_store(self, capsys, tmp_path, cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "store"
+        assert payload["state"] == "done"
+        assert payload["done"] == payload["total"] == 1
+        # The sidecar's counters converge with the store's records.
+        assert payload["store_records"] == 1
+        assert payload["store_ok"] == 1
+
+    def test_status_of_queue_dir(self, capsys, tmp_path, cli_campaign):
+        queue_dir = tmp_path / "q"
+        assert main(["campaign", "serve", "cli_probe", "--quick",
+                     "--queue", str(queue_dir)]) == 0
+        assert main(["campaign", "work", "--queue", str(queue_dir),
+                     "--executor", "alice"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", str(queue_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "queue"
+        assert payload["state"] == "done"
+        assert payload["done"] == payload["total"] == 1
+        assert payload["executors"][0]["executor"] == "alice"
+
+    def test_status_human_rendering(self, capsys, tmp_path, cli_campaign):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign status" in out
+        assert "done" in out
+
+    def test_status_missing_target(self, capsys, tmp_path):
+        assert main(["campaign", "status",
+                     str(tmp_path / "missing.jsonl")]) == 2
+        assert "no progress sidecar" in capsys.readouterr().err
+
+    def test_status_store_without_sidecar_falls_back_to_counts(
+            self, capsys, tmp_path, cli_campaign):
+        import os
+
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", "cli_probe", "--quick",
+                     "--store", str(store)]) == 0
+        os.remove(str(store) + ".progress")
+        capsys.readouterr()
+        assert main(["campaign", "status", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["state"] == "no-progress-file"
+        assert payload["store_records"] == 1

@@ -1,0 +1,43 @@
+"""Per-run resource capture (repro.obs.resources).
+
+The probe reports CPU time as start/stop *deltas* and peak RSS as the
+process-lifetime high-water mark (that is what getrusage exposes); both
+degrade to zeros where the resource module is unavailable.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.resources import RESOURCE_FIELDS, ResourceProbe, rss_peak_bytes
+
+
+class TestResourceProbe:
+    def test_stop_returns_every_field(self):
+        result = ResourceProbe().start().stop(events=100, wall_s=2.0)
+        assert set(result) == set(RESOURCE_FIELDS)
+        assert result["events"] == 100
+        assert result["events_per_s"] == 50.0
+
+    def test_cpu_deltas_are_nonnegative_and_bounded(self):
+        probe = ResourceProbe().start()
+        # Burn a little CPU so the user-time delta is measurable.
+        sum(i * i for i in range(200_000))
+        result = probe.stop()
+        assert result["cpu_user_s"] >= 0.0
+        assert result["cpu_sys_s"] >= 0.0
+        # A delta, not the process's lifetime total: this probe ran for
+        # well under a second of CPU.
+        assert result["cpu_user_s"] < 5.0
+
+    def test_rss_peak_is_plausible(self):
+        peak = rss_peak_bytes()
+        if sys.platform.startswith(("linux", "darwin")):
+            # A running CPython interpreter is at least a few MB.
+            assert peak > 1_000_000
+        else:  # pragma: no cover - resource module unavailable
+            assert peak == 0
+
+    def test_events_per_s_zero_without_wall_clock(self):
+        result = ResourceProbe().start().stop(events=100, wall_s=0.0)
+        assert result["events_per_s"] == 0.0
