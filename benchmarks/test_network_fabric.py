@@ -32,8 +32,21 @@ BENCH_QUICK = bool(os.environ.get("BENCH_QUICK"))
 #: Packets pushed end to end through each topology, per backend.
 CHAIN_PACKETS = 2_000 if BENCH_QUICK else 10_000
 CLOS_PACKETS = 2_000 if BENCH_QUICK else 10_000
+#: Best-of-N rounds per configuration: the artifact gates CI, so one
+#: scheduler hiccup must not commit as a regression.
+ROUNDS = int(os.environ.get("BENCH_ROUNDS", "1" if BENCH_QUICK else "3"))
 BACKENDS = ["sorted", "calendar", "bucketed"]
 BENCH_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_network_fabric.json"
+
+
+def _best_run(topology, count, **kwargs):
+    """Best-of-``ROUNDS`` measurement (max pkt/s; results are identical)."""
+    best = None
+    for _ in range(ROUNDS):
+        result = run_workload(topology, packets=count, **kwargs)
+        if best is None or result.packets_per_second > best.packets_per_second:
+            best = result
+    return best
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -68,8 +81,7 @@ def test_fabric_throughput_summary():
         entry = {"packets": count, "backends": {}, "interpreted": {}}
         artifact["topologies"][topology] = entry
         for backend in BACKENDS:
-            result = run_workload(topology, packets=count,
-                                  pifo_backend=backend)
+            result = _best_run(topology, count, pifo_backend=backend)
             assert result.delivered >= count * 0.99
             assert result.kernel_installs > 0
             assert result.kernel_fallbacks == 0
@@ -87,8 +99,8 @@ def test_fabric_throughput_summary():
         # Interpreted reference on the default backend only: one row per
         # topology bounds the benchmark's runtime while still gating the
         # fallback path end to end.
-        reference = run_workload(topology, packets=count,
-                                 pifo_backend="sorted", tree_kernel=False)
+        reference = _best_run(topology, count,
+                              pifo_backend="sorted", tree_kernel=False)
         assert reference.delivered >= count * 0.99
         assert reference.kernel_installs == 0
         entry["interpreted"]["sorted"] = reference.packets_per_second

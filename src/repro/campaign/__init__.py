@@ -20,6 +20,10 @@ is that execution layer:
   work queue letting many executors (processes or hosts) drain one run
   table via atomic lease files with heartbeat, expiry-steal, and
   quarantine, merged into a canonical store;
+* :mod:`~repro.campaign.workload_cache` — per-process bounded-LRU
+  memoisation of built arrival schedules and topologies: paired runs
+  (same workload, different substrate) replay a recorded arrival stream
+  instead of regenerating it, with byte-identical results;
 * :mod:`~repro.campaign.store` — append-only JSONL :class:`ResultStore`
   with per-run config fingerprints, making interrupted campaigns
   resumable (``--resume`` re-runs exactly the missing and failed sets);
@@ -62,6 +66,7 @@ from .engine import (
     warm_kernel_cache,
 )
 from .queue import LeaseQueue, QueueError, WorkReport
+from .workload_cache import WorkloadCache, active_cache, reset_cache
 from .spec import FACTOR_KEYS, Campaign, RunSpec
 from .store import (
     FAILURE_STATUSES,
@@ -96,6 +101,9 @@ __all__ = [
     "LeaseQueue",
     "QueueError",
     "WorkReport",
+    "WorkloadCache",
+    "active_cache",
+    "reset_cache",
     "ResultStore",
     "StoreError",
     "encode_record",

@@ -94,6 +94,7 @@ def execute_spec(spec: RunSpec) -> Dict:
     :class:`~repro.net.scenario.ScenarioResult` into a JSON-safe record.
     """
     from ..net import get_scenario  # imports repro.net.scenarios -> registry
+    from .workload_cache import active_cache
 
     scenario = get_scenario(spec.scenario)
     probe = ResourceProbe().start()
@@ -106,6 +107,9 @@ def execute_spec(spec: RunSpec) -> Dict:
         load_scale=spec.load_scale,
         base_seed=spec.seed,
         telemetry=spec.telemetry,
+        # Paired runs share a workload by construction; the process cache
+        # replays it instead of regenerating it (see workload_cache).
+        workload_cache=active_cache(),
     )
     wall_clock_s = time.perf_counter() - started
     result = results[spec.variant]

@@ -30,6 +30,7 @@ from ..core.scheduler import ProgrammableScheduler
 from ..core.tree import single_node_tree
 from ..exceptions import RoutingError
 from ..obs import metrics as obs_metrics
+from ..sim.link import DEFAULT_BATCH_LIMIT
 from ..sim.simulator import Simulator
 from ..sim.sink import PacketSink
 from ..sim.source import PacketSource
@@ -105,6 +106,11 @@ class Fabric:
         link, threshold-free admission on both ends; ``False`` disables
         fusion (the reference interpreted path); ``True`` requests it
         (still subject to the same per-port safety conditions).
+    batch_limit:
+        Max back-to-back packets a saturated port transmits per completion
+        event (the batched-transmit fast-forward loop; see
+        :mod:`repro.sim.link`).  ``1`` forces strict single-stepping;
+        ``None`` keeps the ports' default.
     """
 
     def __init__(
@@ -121,6 +127,7 @@ class Fabric:
         host_scheduler_factory: SchedulerFactory = _default_host_scheduler,
         fused_delivery: Optional[bool] = None,
         fault_plan: Optional[FaultPlan] = None,
+        batch_limit: Optional[int] = None,
     ) -> None:
         network.validate()
         self.sim = sim
@@ -174,9 +181,27 @@ class Fabric:
                 name=name,
             )
 
+        if batch_limit is not None:
+            if batch_limit < 1:
+                raise ValueError("batch_limit must be >= 1")
+            for node_switch in self.node_switches.values():
+                for node_port in node_switch.ports.values():
+                    node_port.batch_limit = batch_limit
+        self.batch_limit = (batch_limit if batch_limit is not None
+                            else DEFAULT_BATCH_LIMIT)
+
         self._install_routes()
         #: Number of egress ports running the fused hot-path closure.
         self.fused_ports = 0
+        #: host -> one-slot box read by that host's fused NIC egress for
+        #: arrival prefetch.  ``attach_source`` fills the slot with
+        #: ``(source, fused_receive)`` when the host has exactly one source
+        #: (and clears it back to ``None`` if a second one is attached).
+        self._arrival_pull_boxes: Dict[str, list] = {}
+        self._host_source_count: Dict[str, int] = {}
+        #: Per-port fused next-hop target caches (flow -> resolved egress);
+        #: cleared whenever routing changes (see :meth:`reinstall_routes`).
+        self._fused_target_caches: list = []
         if self._fault_plan is not None:
             # Faults mutate routing and port liveness at runtime — the
             # per-port fused closures bake both in at construction, so the
@@ -226,6 +251,10 @@ class Fabric:
             for dst, hops in tables[node].items():
                 if hops:
                     switch.install_route(dst, [self.port_to(h) for h in hops])
+        # Fused ports memoise resolved next-hop targets per flow; a routing
+        # change invalidates them all.
+        for cache in self._fused_target_caches:
+            cache.clear()
 
     def _make_delivery(self, node: str, neighbor: str) -> Callable[[Packet], None]:
         if self._fault_plan is not None:
@@ -343,11 +372,12 @@ class Fabric:
                 if not to_host:
                     if not self.node_switches[neighbor]._untracked_buffer:
                         continue
-                port._tx_complete = self._fuse_port(port, switch, neighbor,
-                                                    to_host)
+                port._tx_complete = self._fuse_port(port, switch, name,
+                                                    neighbor, to_host)
                 self.fused_ports += 1
 
-    def _fuse_port(self, port, switch, neighbor: str, to_host: bool):
+    def _fuse_port(self, port, switch, node: str, neighbor: str,
+                   to_host: bool):
         """Build the fused transmit-completion closure for one egress port.
 
         Inlines, in order and with identical observable effects:
@@ -355,16 +385,30 @@ class Fabric:
         (wait-time stamp; hop records are off by construction), the
         next-hop switch's route lookup + occupancy-only ingress (or the
         host arrival), the departure callback, and the next dequeue with
-        its completion prefetched into the simulator's deferral slot.
+        its completion pushed straight onto the event queue.
         Rare/error paths (missing route, ``dst`` ``None``) fall back to the
         interpreted methods so diagnostics stay identical.
+
+        Two datapath-v3 optimisations live here.  **Per-flow target
+        memoisation**: route lookup + ECMP hash + port dict walk resolve to
+        the same next-hop egress for every packet of a flow, so the
+        resolved ``(dst, out_port, out_scheduler)`` is cached per flow
+        (guarded by ``dst``, invalidated by :meth:`reinstall_routes`).
+        **Batched transmit**: while the port stays saturated and nothing
+        else in the simulation can run before the next completion, the
+        closure fast-forwards the clock and transmits up to
+        ``batch_limit`` back-to-back packets in one event (same protocol
+        as ``OutputPort._on_tx_complete``; ties never fast-forward).
         """
         fabric = self
         sim = self.sim
         queue = sim._queue
-        heap = queue._heap
+        #: Raw heap for the default backend; None routes scheduling through
+        #: the queue's insert() (timing wheel).
+        heap = sim._raw_heap
         scheduler = port.scheduler
         inv_rate = port._inv_rate
+        batch_limit = port.batch_limit
         own_stats = switch.stats
         own_buffer = switch.buffer
         own_cell_bytes = own_buffer.cell_bytes
@@ -372,13 +416,25 @@ class Fabric:
         #: so late wrapping (chain_hops) falls back to the dynamic call.
         release = port.on_departure
         kernelable = isinstance(scheduler, ProgrammableScheduler)
+        #: Arrival prefetch: a single-egress host NIC can pull its (sole)
+        #: source's next arrival at its own transmit completion instead of
+        #: round-tripping through a scheduled arrival event — one event per
+        #: packet in steady state.  Only a single-egress NIC qualifies (the
+        #: stolen arrival provably transmits on *this* port, so nothing else
+        #: can observe the switch between the true arrival instant and now).
+        if self.network.is_host(node) and len(switch.ports) == 1:
+            pull_box = self._arrival_pull_boxes.setdefault(node, [None])
+        else:
+            pull_box = None
         if to_host:
             sink = self.host_sinks[neighbor]
+            sink_record = sink.record
             nxt = nxt_stats = nxt_buffer = nxt_routes = None
             nxt_ports = nxt_hashes = None
             nxt_cell_bytes = 0
+            targets = None
         else:
-            sink = None
+            sink = sink_record = None
             nxt = self.node_switches[neighbor]
             nxt_stats = nxt.stats
             nxt_buffer = nxt.buffer
@@ -390,155 +446,309 @@ class Fabric:
                 isinstance(p.scheduler, ProgrammableScheduler)
                 for p in nxt_ports.values()
             )
+            #: flow -> (dst, out_port, out_scheduler, out_tx_complete,
+            #: out_inv_rate).  Keyed by flow with the dst stored as a
+            #: guard: flows normally map to one dst, so the common case is
+            #: one dict probe; a flow name reused toward a different dst
+            #: just misses the cache and re-resolves.  The completion
+            #: callback and inverse rate ride along so the forwarding path
+            #: skips their per-packet attribute loads (safe: fused ports
+            #: never run under fault plans, so the callback is never
+            #: re-wrapped after fusion).
+            targets: Dict[str, tuple] = {}
+            self._fused_target_caches.append(targets)
 
         def _tx_complete() -> None:
             packet = port._tx_packet
-            port._tx_packet = None
             now = sim.now
-            packet.departure_time = now
-            port.busy = False
-            port.transmitted_packets += 1
-            length = packet.length
-            port.transmitted_bytes += length
-            # Inlined delivery closure (telemetry off): stamp the in-band
-            # wait-time field the next hop's LSTF transaction consumes.
-            enq = packet.enqueue_time
-            deq = packet.dequeue_time
-            wait = deq - enq if (enq is not None and deq is not None) else 0.0
-            fields = packet.fields
-            if fields is EMPTY_FIELDS:
-                packet.fields = {PREV_WAIT_FIELD: wait}
-            else:
-                fields[PREV_WAIT_FIELD] = fields.get(PREV_WAIT_FIELD, 0.0) + wait
-            if to_host:
-                if packet.dst != neighbor:
-                    raise RoutingError(
-                        f"packet for {packet.dst!r} delivered to host "
-                        f"{neighbor!r}; hosts do not forward transit traffic"
-                    )
-                fabric.delivered_packets += 1
-                sink.record(packet)
-            else:
-                candidates = nxt_routes.get(packet.dst)
-                if not candidates:
-                    # Missing/empty route (or dst None): the interpreted
-                    # path raises the canonical RoutingError.
-                    nxt.forward(packet)
+            budget = batch_limit
+            while True:
+                port._tx_packet = None
+                packet.departure_time = now
+                port.busy = False
+                port.transmitted_packets += 1
+                length = packet.length
+                port.transmitted_bytes += length
+                # Inlined delivery closure (telemetry off): stamp the
+                # in-band wait-time field the next hop's LSTF transaction
+                # consumes.
+                enq = packet.enqueue_time
+                deq = packet.dequeue_time
+                wait = (deq - enq
+                        if (enq is not None and deq is not None) else 0.0)
+                fields = packet.fields
+                if fields is EMPTY_FIELDS:
+                    packet.fields = {PREV_WAIT_FIELD: wait}
                 else:
-                    if len(candidates) == 1:
-                        egress = candidates[0]
+                    fields[PREV_WAIT_FIELD] = \
+                        fields.get(PREV_WAIT_FIELD, 0.0) + wait
+                if to_host:
+                    if packet.dst != neighbor:
+                        raise RoutingError(
+                            f"packet for {packet.dst!r} delivered to host "
+                            f"{neighbor!r}; hosts do not forward transit "
+                            f"traffic"
+                        )
+                    fabric.delivered_packets += 1
+                    sink_record(packet)
+                else:
+                    dst = packet.dst
+                    flow = packet.flow
+                    target = targets.get(flow)
+                    if target is not None and target[0] == dst:
+                        out = target[1]
+                        osched = target[2]
+                        out_cb = target[3]
+                        out_inv = target[4]
                     else:
-                        flow = packet.flow
-                        digest = nxt_hashes.get(flow)
-                        if digest is None:
-                            digest = nxt_hashes[flow] = crc32(flow.encode())
-                        egress = candidates[digest % len(candidates)]
-                    # Inlined occupancy-only SharedMemorySwitch.receive.
-                    nxt_stats.received += 1
-                    cells = (length + nxt_cell_bytes - 1) // nxt_cell_bytes
-                    if nxt_buffer.used_cells + cells > nxt_buffer.total_cells:
-                        nxt_stats.dropped_admission += 1
-                    else:
-                        nxt_buffer.used_cells += cells
-                        nxt_buffer.used_bytes += length
-                        out = nxt_ports[egress]
-                        # Inlined OutputPort.receive + _try_transmit.  On
-                        # an idle port with a live kernel the enqueue and
-                        # immediate dequeue collapse into the kernel's
-                        # cut-through transfer.
-                        packet.arrival_time = now
-                        osched = out.scheduler
-                        if (not out.busy and nxt_kernelable
-                                and osched.tree_kernel is not None):
-                            head = osched.transfer(packet, now)
-                            if head is None:
-                                out.dropped_packets += 1
-                                nxt_buffer.used_cells -= cells
-                                nxt_buffer.used_bytes -= length
-                                nxt_stats.dropped_scheduler += 1
+                        out = None
+                        candidates = nxt_routes.get(dst)
+                        if not candidates:
+                            # Missing/empty route (or dst None): the
+                            # interpreted path raises the canonical
+                            # RoutingError.
+                            nxt.forward(packet)
+                        else:
+                            if len(candidates) == 1:
+                                egress = candidates[0]
                             else:
-                                nxt_stats.admitted += 1
-                                out.busy = True
-                                out._tx_packet = head
-                                seq = queue._next_seq
-                                queue._next_seq = seq + 1
-                                entry = (now + head.length * out._inv_rate,
-                                         seq, out._tx_complete)
-                                if sim._running:
-                                    previous = sim._deferred
-                                    if previous is not None:
-                                        heappush(heap, previous)
-                                    sim._deferred = entry
-                                else:
-                                    heappush(heap, entry)
-                        elif osched.enqueue(packet, now):
-                            nxt_stats.admitted += 1
-                            if not out.busy:
-                                head = osched.dequeue(now)
+                                digest = nxt_hashes.get(flow)
+                                if digest is None:
+                                    digest = nxt_hashes[flow] = \
+                                        crc32(flow.encode())
+                                egress = candidates[digest % len(candidates)]
+                            out = nxt_ports[egress]
+                            osched = out.scheduler
+                            out_cb = out._tx_complete
+                            out_inv = out._inv_rate
+                            targets[flow] = (dst, out, osched, out_cb,
+                                             out_inv)
+                    if out is not None:
+                        # Inlined occupancy-only SharedMemorySwitch.receive.
+                        nxt_stats.received += 1
+                        cells = (length + nxt_cell_bytes - 1) // nxt_cell_bytes
+                        if (nxt_buffer.used_cells + cells
+                                > nxt_buffer.total_cells):
+                            nxt_stats.dropped_admission += 1
+                        else:
+                            nxt_buffer.used_cells += cells
+                            nxt_buffer.used_bytes += length
+                            # Inlined OutputPort.receive + _try_transmit.
+                            # On an idle port with a live kernel the enqueue
+                            # and immediate dequeue collapse into the
+                            # kernel's cut-through transfer.
+                            packet.arrival_time = now
+                            if (not out.busy and nxt_kernelable
+                                    and osched.tree_kernel is not None):
+                                head = osched.transfer(packet, now)
                                 if head is None:
-                                    out._arm_wakeup()
+                                    out.dropped_packets += 1
+                                    nxt_buffer.used_cells -= cells
+                                    nxt_buffer.used_bytes -= length
+                                    nxt_stats.dropped_scheduler += 1
                                 else:
+                                    nxt_stats.admitted += 1
                                     out.busy = True
                                     out._tx_packet = head
                                     seq = queue._next_seq
                                     queue._next_seq = seq + 1
-                                    entry = (now + head.length * out._inv_rate,
-                                             seq, out._tx_complete)
-                                    if sim._running:
-                                        previous = sim._deferred
-                                        if previous is not None:
-                                            heappush(heap, previous)
-                                        sim._deferred = entry
-                                    else:
+                                    entry = (now + head.length * out_inv,
+                                             seq, out_cb)
+                                    if heap is not None:
                                         heappush(heap, entry)
-                        else:
-                            out.dropped_packets += 1
-                            nxt_buffer.used_cells -= cells
-                            nxt_buffer.used_bytes -= length
-                            nxt_stats.dropped_scheduler += 1
-            # Departure callback: the switch release is inlined; anything
-            # else (a source wrapped it after construction) is called.
-            on_departure = port.on_departure
-            if on_departure is release:
-                own_stats.transmitted += 1
-                cells = (length + own_cell_bytes - 1) // own_cell_bytes
-                if own_buffer.used_cells >= cells:
-                    own_buffer.used_cells -= cells
-                    own_buffer.used_bytes -= length
+                                    else:
+                                        queue.insert(entry)
+                            elif osched.enqueue(packet, now):
+                                nxt_stats.admitted += 1
+                                if not out.busy:
+                                    head = osched.dequeue(now)
+                                    if head is None:
+                                        out._arm_wakeup()
+                                    else:
+                                        out.busy = True
+                                        out._tx_packet = head
+                                        seq = queue._next_seq
+                                        queue._next_seq = seq + 1
+                                        entry = (now
+                                                 + head.length * out_inv,
+                                                 seq, out_cb)
+                                        if heap is not None:
+                                            heappush(heap, entry)
+                                        else:
+                                            queue.insert(entry)
+                            else:
+                                out.dropped_packets += 1
+                                nxt_buffer.used_cells -= cells
+                                nxt_buffer.used_bytes -= length
+                                nxt_stats.dropped_scheduler += 1
+                # Departure callback: the switch release is inlined;
+                # anything else (a source wrapped it after construction) is
+                # called.
+                on_departure = port.on_departure
+                if on_departure is release:
+                    own_stats.transmitted += 1
+                    cells = (length + own_cell_bytes - 1) // own_cell_bytes
+                    if own_buffer.used_cells >= cells:
+                        own_buffer.used_cells -= cells
+                        own_buffer.used_bytes -= length
+                    else:
+                        own_buffer.used_cells = 0
+                        own_buffer.used_bytes = max(
+                            0, own_buffer.used_bytes - length)
+                elif on_departure is not None:
+                    on_departure(packet)
+                # Next packet.  A live tree kernel guarantees a
+                # work-conserving tree (shaping never compiles), so an empty
+                # scheduler needs neither the dequeue call nor a shaping
+                # wakeup.
+                if kernelable and scheduler.tree_kernel is not None:
+                    if not scheduler._buffered_packets:
+                        # Arrival prefetch: the scheduler is dry, so the
+                        # only thing that can wake this port again is its
+                        # source's next arrival.  Pull it now and run the
+                        # fused injection at the arrival's own timestamp —
+                        # observably identical to the arrival event firing,
+                        # minus the event.  Arrivals past the run horizon
+                        # (or with degenerate dst) are parked back onto the
+                        # normal event path.
+                        if pull_box is None:
+                            return
+                        sr = pull_box[0]
+                        if sr is None:
+                            return
+                        src_source = sr[0]
+                        nic_receive = sr[1]
+                        horizon = sim._ff_horizon
+                        while True:
+                            # PacketSource._peek_arrival/_take_arrival,
+                            # inlined: the pull loop runs once per delivered
+                            # packet, where the two call frames alone are
+                            # measurable at fabric scale.  ``s_pending`` is
+                            # non-None only on the first pull after the
+                            # source owned the stream (the in-flight arrival
+                            # event gets tombstoned); afterwards the loop
+                            # walks the materialised batch directly.
+                            s_pending = src_source._pending
+                            if s_pending is not None:
+                                a_time = s_pending[0]
+                                stolen = src_source._pending_packet
+                            else:
+                                s_batch = src_source._batch
+                                s_index = src_source._index
+                                if s_index < len(s_batch):
+                                    a_time, stolen = s_batch[s_index]
+                                elif src_source._refill():
+                                    s_batch = src_source._batch
+                                    s_index = 0
+                                    a_time, stolen = s_batch[0]
+                                else:
+                                    stolen = None
+                            if stolen is None:
+                                if scheduler._buffered_packets:
+                                    break
+                                return
+                            if a_time < now:
+                                # The port outpaced the stream inside an
+                                # overload window: enqueue at the true
+                                # arrival instant (port marked busy so the
+                                # injection cannot cut through), keep
+                                # pulling until the stream catches up with
+                                # the clock, then dequeue at ``now`` below.
+                                src_source.generated_packets += 1
+                                if s_pending is not None:
+                                    sim.cancel(s_pending)
+                                    src_source._pending = None
+                                    src_source._pending_packet = None
+                                else:
+                                    src_source._index = s_index + 1
+                                    src_source._last_time = a_time
+                                sim.events_processed += 1
+                                sim.now = a_time
+                                port.busy = True
+                                nic_receive(stolen)
+                                port.busy = False
+                                sim.now = now
+                                continue
+                            if (a_time + stolen.length * inv_rate > horizon
+                                    or stolen.dst is None
+                                    or stolen.dst == node
+                                    or scheduler._buffered_packets):
+                                # Ownership may only persist while the next
+                                # completion provably lands inside this run
+                                # (a stopped drain must not discard
+                                # arrivals the event path would have
+                                # fired), and never across a backlog.
+                                # Re-arm the normal arrival event.
+                                src_source._park_arrival()
+                                if scheduler._buffered_packets:
+                                    break
+                                return
+                            src_source.generated_packets += 1
+                            if s_pending is not None:
+                                sim.cancel(s_pending)
+                                src_source._pending = None
+                                src_source._pending_packet = None
+                            else:
+                                src_source._index = s_index + 1
+                                src_source._last_time = a_time
+                            sim.events_processed += 1
+                            sim.now = a_time
+                            ok = nic_receive(stolen)
+                            sim.now = now
+                            if ok:
+                                if port.busy:
+                                    # Cut-through scheduled this port's
+                                    # next completion; the pull chain
+                                    # continues there.
+                                    return
+                                # Enqueued without transmitting (shaped
+                                # NIC awaiting a wakeup): hand the stream
+                                # back to the event path.
+                                src_source._park_arrival()
+                                return
+                            # Admission-dropped the stolen arrival; the
+                            # port is still idle — pull the next one.
+                    next_packet = scheduler.dequeue(now)
+                    if next_packet is None:
+                        return
                 else:
-                    own_buffer.used_cells = 0
-                    own_buffer.used_bytes = max(
-                        0, own_buffer.used_bytes - length)
-            elif on_departure is not None:
-                on_departure(packet)
-            # Next packet.  A live tree kernel guarantees a work-conserving
-            # tree (shaping never compiles), so an empty scheduler needs
-            # neither the dequeue call nor a shaping wakeup.
-            if kernelable and scheduler.tree_kernel is not None:
-                if not scheduler._buffered_packets:
-                    return
-                next_packet = scheduler.dequeue(now)
-                if next_packet is None:
-                    return
-            else:
-                next_packet = scheduler.dequeue(now)
-                if next_packet is None:
-                    port._arm_wakeup()
-                    return
-            port.busy = True
-            port._tx_packet = next_packet
-            # Inlined Simulator.schedule_fast: prefetch our own completion
-            # into the deferral slot.
-            seq = queue._next_seq
-            queue._next_seq = seq + 1
-            entry = (now + next_packet.length * inv_rate, seq, _tx_complete)
-            if sim._running:
-                previous = sim._deferred
-                if previous is not None:
-                    heappush(heap, previous)
-                sim._deferred = entry
-            else:
-                heappush(heap, entry)
+                    next_packet = scheduler.dequeue(now)
+                    if next_packet is None:
+                        port._arm_wakeup()
+                        return
+                port.busy = True
+                port._tx_packet = next_packet
+                t_next = now + next_packet.length * inv_rate
+                # Fast-forward: transmit the next packet inside this event
+                # when provably nothing else can run before it completes
+                # (fused ports never run under fault plans, so no faulted
+                # check is needed here).
+                if budget > 1 and t_next <= sim._ff_horizon:
+                    deferred = sim._deferred
+                    if deferred is None or deferred[0] > t_next:
+                        if heap is not None:
+                            head_time = heap[0][0] if heap else None
+                        else:
+                            head_time = queue.peek_time()
+                        if head_time is None or head_time > t_next:
+                            budget -= 1
+                            sim.now = now = t_next
+                            sim.events_processed += 1
+                            packet = next_packet
+                            continue
+                # Schedule our own completion.  Fused paths push straight
+                # to the queue rather than through the deferral slot: the
+                # slot only pays off for back-to-back self-reschedules,
+                # which the fast-forward loop above now handles without
+                # any event at all.
+                seq = queue._next_seq
+                queue._next_seq = seq + 1
+                entry = (t_next, seq, _tx_complete)
+                if heap is not None:
+                    heappush(heap, entry)
+                else:
+                    queue.insert(entry)
+                return
 
         return _tx_complete
 
@@ -595,7 +805,7 @@ class Fabric:
         fabric = self
         sim = self.sim
         queue = sim._queue
-        heap = queue._heap
+        heap = sim._raw_heap
         stats = switch.stats
         buffer = switch.buffer
         cell_bytes = buffer.cell_bytes
@@ -606,6 +816,11 @@ class Fabric:
             isinstance(p.scheduler, ProgrammableScheduler)
             for p in ports.values()
         )
+        #: flow -> (dst, out_port, out_scheduler, out_tx_complete,
+        #: out_inv_rate); same per-flow target memoisation as the egress
+        #: fusion.
+        targets: Dict[str, tuple] = {}
+        self._fused_target_caches.append(targets)
 
         def receive(packet: Packet) -> bool:
             dst = packet.dst
@@ -616,17 +831,29 @@ class Fabric:
             now = sim.now
             packet.injection_time = now
             fabric.injected_packets += 1
-            candidates = routes.get(dst)
-            if not candidates:
-                return switch.forward(packet)
-            if len(candidates) == 1:
-                egress = candidates[0]
+            flow = packet.flow
+            target = targets.get(flow)
+            if target is not None and target[0] == dst:
+                out = target[1]
+                osched = target[2]
+                out_cb = target[3]
+                out_inv = target[4]
             else:
-                flow = packet.flow
-                digest = hashes.get(flow)
-                if digest is None:
-                    digest = hashes[flow] = crc32(flow.encode())
-                egress = candidates[digest % len(candidates)]
+                candidates = routes.get(dst)
+                if not candidates:
+                    return switch.forward(packet)
+                if len(candidates) == 1:
+                    egress = candidates[0]
+                else:
+                    digest = hashes.get(flow)
+                    if digest is None:
+                        digest = hashes[flow] = crc32(flow.encode())
+                    egress = candidates[digest % len(candidates)]
+                out = ports[egress]
+                osched = out.scheduler
+                out_cb = out._tx_complete
+                out_inv = out._inv_rate
+                targets[flow] = (dst, out, osched, out_cb, out_inv)
             # Inlined occupancy-only ingress + OutputPort.receive + kick
             # (same straight-line path as the egress fusion).
             stats.received += 1
@@ -637,9 +864,7 @@ class Fabric:
                 return False
             buffer.used_cells += cells
             buffer.used_bytes += length
-            out = ports[egress]
             packet.arrival_time = now
-            osched = out.scheduler
             if (not out.busy and kernelable
                     and osched.tree_kernel is not None):
                 head = osched.transfer(packet, now)
@@ -654,15 +879,12 @@ class Fabric:
                 out._tx_packet = head
                 seq = queue._next_seq
                 queue._next_seq = seq + 1
-                entry = (now + head.length * out._inv_rate,
-                         seq, out._tx_complete)
-                if sim._running:
-                    previous = sim._deferred
-                    if previous is not None:
-                        heappush(heap, previous)
-                    sim._deferred = entry
-                else:
+                entry = (now + head.length * out_inv,
+                         seq, out_cb)
+                if heap is not None:
                     heappush(heap, entry)
+                else:
+                    queue.insert(entry)
                 return True
             if not osched.enqueue(packet, now):
                 out.dropped_packets += 1
@@ -680,15 +902,11 @@ class Fabric:
                     out._tx_packet = head
                     seq = queue._next_seq
                     queue._next_seq = seq + 1
-                    entry = (now + head.length * out._inv_rate,
-                             seq, out._tx_complete)
-                    if sim._running:
-                        previous = sim._deferred
-                        if previous is not None:
-                            heappush(heap, previous)
-                        sim._deferred = entry
-                    else:
+                    entry = (now + head.length * out_inv, seq, out_cb)
+                    if heap is not None:
                         heappush(heap, entry)
+                    else:
+                        queue.insert(entry)
             return True
 
         return receive
@@ -697,9 +915,20 @@ class Fabric:
                       arrivals: Iterable[Tuple[float, Packet]],
                       name: Optional[str] = None) -> PacketSource:
         """Replay an arrival stream into the fabric at ``host``."""
-        source = PacketSource(self.sim, self.injector(host), arrivals,
+        injector = self.injector(host)
+        source = PacketSource(self.sim, injector, arrivals,
                               name=name or f"{host}.source")
         self._sources.append(source)
+        # Arrival prefetch: hand the host's fused NIC egress a handle to
+        # this source (and the fused injection path) so it can pull
+        # arrivals at its own completions.  Only valid with exactly one
+        # source per host — a second attach disables the box for good,
+        # since interleaving two streams needs the event queue.
+        box = self._arrival_pull_boxes.get(host)
+        if box is not None:
+            count = self._host_source_count.get(host, 0) + 1
+            self._host_source_count[host] = count
+            box[0] = (source, source._receive) if count == 1 else None
         return source
 
     # -- execution ---------------------------------------------------------

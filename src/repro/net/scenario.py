@@ -299,7 +299,8 @@ class Scenario:
             base_seed: Optional[int] = None,
             telemetry: bool = True,
             tree_kernel: Optional[bool] = None,
-            trace_hook: Optional[Callable[[Fabric], None]] = None
+            trace_hook: Optional[Callable[[Fabric], None]] = None,
+            workload_cache=None,
             ) -> Dict[str, ScenarioResult]:
         """Run each scheduler variant on a fresh fabric; results by label.
 
@@ -327,6 +328,14 @@ class Scenario:
         seam for attaching a :class:`repro.obs.TraceCollector` (which
         requires ``tree_kernel=False`` so the wrappable interpreted
         delivery path is in effect).
+
+        ``workload_cache`` (a
+        :class:`repro.campaign.workload_cache.WorkloadCache`) replays
+        this run's arrival schedule and topology from the cache instead
+        of rebuilding them — campaign workers pass their process cache so
+        paired runs stop regenerating the identical workload.  Replays
+        are observably identical to a rebuild (fresh packets stamped from
+        recorded prototypes, in the recorded merge order).
         """
         duration = (self.quick_duration if quick and self.quick_duration
                     else self.duration)
@@ -340,7 +349,8 @@ class Scenario:
             sim = Simulator()
             fabric = Fabric(
                 sim,
-                self.topology(),
+                (workload_cache.topology_for(self)
+                 if workload_cache is not None else self.topology()),
                 factory,
                 ecmp=self.ecmp,
                 pifo_backend=pifo_backend,
@@ -351,14 +361,21 @@ class Scenario:
             )
             if trace_hook is not None:
                 trace_hook(fabric)
-            by_host: Dict[str, List[Iterable[Arrival]]] = {}
-            for demand in self.demands:
-                by_host.setdefault(demand.src, []).append(
-                    demand.build_arrivals(duration, base_seed=seed,
-                                          load_scale=load_scale)
-                )
-            for host, streams in sorted(by_host.items()):
-                fabric.attach_source(host, lazy_merge_arrivals(*streams))
+            if workload_cache is not None:
+                protos = workload_cache.arrivals_for(
+                    self, duration, base_seed=seed, load_scale=load_scale)
+                for host in sorted(protos):
+                    fabric.attach_source(
+                        host, workload_cache.replay(protos[host]))
+            else:
+                by_host: Dict[str, List[Iterable[Arrival]]] = {}
+                for demand in self.demands:
+                    by_host.setdefault(demand.src, []).append(
+                        demand.build_arrivals(duration, base_seed=seed,
+                                              load_scale=load_scale)
+                    )
+                for host, streams in sorted(by_host.items()):
+                    fabric.attach_source(host, lazy_merge_arrivals(*streams))
             fabric.run(until=duration, drain=True)
             results[label] = self._collect(fabric, label, duration)
         return results

@@ -19,6 +19,7 @@ invocations on the same machine measure the same simulation.
 from __future__ import annotations
 
 import cProfile
+import gc
 import io
 import pstats
 import time
@@ -31,6 +32,7 @@ from .core.scheduler import ProgrammableScheduler
 from .core.tree import single_node_tree
 from .lang.treekernel import kernel_cache_info
 from .net import Fabric, leaf_spine, linear_chain
+from .sim.link import DEFAULT_BATCH_LIMIT
 from .sim.simulator import Simulator
 from .traffic.flows import FlowSpec
 from .traffic.generators import cbr_arrivals
@@ -64,22 +66,29 @@ def _host_factory(tree_kernel: bool) -> Callable[[str, str], ProgrammableSchedul
 
 
 def _build_chain(sim: Simulator, packets: int, pifo_backend, telemetry: bool,
-                 tree_kernel: bool = True) -> Fabric:
+                 tree_kernel: bool = True,
+                 batch_limit: Optional[int] = None) -> Fabric:
     """CBR overload across a 3-switch linear chain."""
     fabric = Fabric(sim, linear_chain(3, link_rate_bps=LINK_RATE_BPS),
                     _fifo_factory(tree_kernel), pifo_backend=pifo_backend,
                     keep_packets=False, telemetry=telemetry,
                     host_scheduler_factory=_host_factory(tree_kernel),
-                    fused_delivery=None if tree_kernel else False)
+                    fused_delivery=None if tree_kernel else False,
+                    batch_limit=batch_limit)
     duration = packets * PACKET_SIZE * 8.0 / (LOAD_FRACTION * LINK_RATE_BPS)
     spec = FlowSpec(name="load", rate_bps=LOAD_FRACTION * LINK_RATE_BPS,
                     packet_size=PACKET_SIZE, dst="h_dst")
-    fabric.attach_source("h_src", cbr_arrivals(spec, duration=duration))
+    # Workloads are pre-materialised (same policy as the campaign
+    # workload cache): arrival construction happens here, before the
+    # timed section, so the measurement is the datapath, not the traffic
+    # generator.
+    fabric.attach_source("h_src", list(cbr_arrivals(spec, duration=duration)))
     return fabric
 
 
 def _build_leaf_spine(sim: Simulator, packets: int, pifo_backend,
-                      telemetry: bool, tree_kernel: bool = True) -> Fabric:
+                      telemetry: bool, tree_kernel: bool = True,
+                      batch_limit: Optional[int] = None) -> Fabric:
     """Four cross-leaf CBR senders over a 4x2 leaf-spine Clos with ECMP."""
     fabric = Fabric(sim, leaf_spine(leaves=4, spines=2, hosts_per_leaf=1,
                                     host_rate_bps=LINK_RATE_BPS),
@@ -87,7 +96,8 @@ def _build_leaf_spine(sim: Simulator, packets: int, pifo_backend,
                     pifo_backend=pifo_backend,
                     keep_packets=False, telemetry=telemetry,
                     host_scheduler_factory=_host_factory(tree_kernel),
-                    fused_delivery=None if tree_kernel else False)
+                    fused_delivery=None if tree_kernel else False,
+                    batch_limit=batch_limit)
     pairs = [("h0_0", "h2_0"), ("h1_0", "h3_0"),
              ("h2_0", "h0_0"), ("h3_0", "h1_0")]
     per_sender = max(1, packets // len(pairs))
@@ -96,7 +106,8 @@ def _build_leaf_spine(sim: Simulator, packets: int, pifo_backend,
         spec = FlowSpec(name=f"{src}->{dst}",
                         rate_bps=LOAD_FRACTION * LINK_RATE_BPS,
                         packet_size=PACKET_SIZE, src=src, dst=dst)
-        fabric.attach_source(src, cbr_arrivals(spec, duration=duration))
+        # Pre-materialised for the same reason as _build_chain.
+        fabric.attach_source(src, list(cbr_arrivals(spec, duration=duration)))
     return fabric
 
 
@@ -122,6 +133,10 @@ class PerfResult:
     pool_recycled: int
     #: Whether the fused tree kernel (and fused fabric delivery) was on.
     tree_kernel: bool = True
+    #: Event-queue backend the run used (``heap``/``wheel``).
+    event_queue: str = "heap"
+    #: Per-callback transmit batch limit of the fabric's ports.
+    batch_limit: int = DEFAULT_BATCH_LIMIT
     #: Kernel-cache activity during this run (deltas of
     #: :func:`repro.lang.treekernel.kernel_cache_info`).
     kernel_cache_hits: int = 0
@@ -137,6 +152,14 @@ class PerfResult:
     def events_per_second(self) -> float:
         return self.events / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def datapath(self) -> str:
+        """One-line description of the datapath variant that was measured."""
+        kernels = "fused kernels" if self.tree_kernel else "interpreted"
+        return (f"{kernels} · queue={self.event_queue} · "
+                f"batch_limit={self.batch_limit} · "
+                f"telemetry={'on' if self.telemetry else 'off'}")
+
     def to_dict(self) -> Dict:
         return {
             "workload": self.workload,
@@ -150,6 +173,8 @@ class PerfResult:
             "events_per_second": self.events_per_second,
             "pool_recycled": self.pool_recycled,
             "tree_kernel": self.tree_kernel,
+            "event_queue": self.event_queue,
+            "batch_limit": self.batch_limit,
             "kernel_cache_hits": self.kernel_cache_hits,
             "kernel_compiles": self.kernel_compiles,
             "kernel_installs": self.kernel_installs,
@@ -173,6 +198,8 @@ def run_workload(
     pifo_backend: Optional[str] = "sorted",
     telemetry: bool = False,
     tree_kernel: bool = True,
+    event_queue: Optional[str] = None,
+    batch_limit: Optional[int] = None,
 ) -> PerfResult:
     """Drive one throughput workload to completion and time it.
 
@@ -180,6 +207,9 @@ def run_workload(
     tuned for; pass ``True`` to measure the figure-run configuration.
     ``tree_kernel=False`` measures the interpreted reference datapath
     (no fused scheduler kernels, no fused fabric delivery).
+    ``event_queue`` selects the simulator's event-queue backend
+    (``heap``/``wheel``; ``None`` consults ``REPRO_EVENT_QUEUE``) and
+    ``batch_limit`` caps the ports' per-callback transmit bursts.
     """
     try:
         builder = WORKLOADS[workload]
@@ -190,11 +220,22 @@ def run_workload(
         ) from None
     pool_before = pool_size()
     cache_before = kernel_cache_info()
-    sim = Simulator()
-    fabric = builder(sim, packets, pifo_backend, telemetry, tree_kernel)
-    started = time.perf_counter()
-    fabric.run(drain=True)
-    elapsed = time.perf_counter() - started
+    sim = Simulator(event_queue=event_queue)
+    fabric = builder(sim, packets, pifo_backend, telemetry, tree_kernel,
+                     batch_limit=batch_limit)
+    # The timed section runs with the cyclic collector paused (the campaign
+    # workers do the same): the datapath allocates at a rate that makes
+    # gen-0 sweeps a double-digit share of wall time, and the slotted
+    # packet/event objects are acyclic.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        fabric.run(drain=True)
+        elapsed = time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     if fabric.in_flight_packets() != 0:
         raise RuntimeError(
             f"perf workload {workload!r} left packets in flight: "
@@ -211,6 +252,8 @@ def run_workload(
         events=sim.events_processed,
         pool_recycled=max(0, pool_size() - pool_before),
         tree_kernel=tree_kernel,
+        event_queue=sim.event_queue_kind,
+        batch_limit=fabric.batch_limit,
         kernel_cache_hits=cache_after["hits"] - cache_before["hits"],
         kernel_compiles=cache_after["misses"] - cache_before["misses"],
         kernel_installs=cache_after["installs"] - cache_before["installs"],
@@ -224,6 +267,8 @@ def profile_workload(
     pifo_backend: Optional[str] = "sorted",
     telemetry: bool = False,
     tree_kernel: bool = True,
+    event_queue: Optional[str] = None,
+    batch_limit: Optional[int] = None,
     top: int = 20,
 ) -> ProfileResult:
     """Run a workload under :mod:`cProfile` and return the hottest functions.
@@ -241,8 +286,9 @@ def profile_workload(
         ) from None
     pool_before = pool_size()
     cache_before = kernel_cache_info()
-    sim = Simulator()
-    fabric = builder(sim, packets, pifo_backend, telemetry, tree_kernel)
+    sim = Simulator(event_queue=event_queue)
+    fabric = builder(sim, packets, pifo_backend, telemetry, tree_kernel,
+                     batch_limit=batch_limit)
     profiler = cProfile.Profile()
     started = time.perf_counter()
     profiler.enable()
@@ -264,6 +310,8 @@ def profile_workload(
         events=sim.events_processed,
         pool_recycled=max(0, pool_size() - pool_before),
         tree_kernel=tree_kernel,
+        event_queue=sim.event_queue_kind,
+        batch_limit=fabric.batch_limit,
         kernel_cache_hits=cache_after["hits"] - cache_before["hits"],
         kernel_compiles=cache_after["misses"] - cache_before["misses"],
         kernel_installs=cache_after["installs"] - cache_before["installs"],

@@ -40,6 +40,11 @@ from .sink import PacketSink
 #: elements the sorted list's O(n) inserts dominate a simulation's runtime.
 AUTO_CALENDAR_THRESHOLD = 4096
 
+#: Default cap on back-to-back packets a saturated port transmits per
+#: completion event (the batched-transmit fast-forward loop).  ``1``
+#: disables batching (strict one-event-per-packet single-stepping).
+DEFAULT_BATCH_LIMIT = 32
+
 
 class OutputPort:
     """A single output port: scheduler + transmitter at ``rate_bps``.
@@ -93,7 +98,7 @@ class OutputPort:
         "on_departure", "propagation_delay", "delivery", "busy",
         "transmitted_packets", "transmitted_bytes", "dropped_packets",
         "_wakeup", "_tx_packet", "_wire", "_inv_rate", "_has_release",
-        "_tx_complete", "faulted",
+        "_tx_complete", "faulted", "batch_limit",
     )
 
     def __init__(
@@ -108,11 +113,14 @@ class OutputPort:
         expected_backlog: Optional[int] = None,
         propagation_delay: float = 0.0,
         delivery: Optional[Callable[[Packet], None]] = None,
+        batch_limit: int = DEFAULT_BATCH_LIMIT,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("rate_bps must be positive")
         if propagation_delay < 0:
             raise ValueError("propagation_delay must be non-negative")
+        if batch_limit < 1:
+            raise ValueError("batch_limit must be >= 1")
         self.sim = sim
         self.scheduler = scheduler
         self.pifo_backend = self._apply_backend(pifo_backend, expected_backlog)
@@ -144,6 +152,9 @@ class OutputPort:
         #: starts a new transmission; the fault layer (``repro.net.faults``)
         #: wraps ``_tx_complete`` to blackhole the packet already in flight.
         self.faulted = False
+        #: Max back-to-back packets transmitted per completion event while
+        #: the link stays saturated (see :meth:`_on_tx_complete`).
+        self.batch_limit = batch_limit
 
     def _apply_backend(
         self, pifo_backend: BackendSpec, expected_backlog: Optional[int]
@@ -210,34 +221,63 @@ class OutputPort:
         sim.schedule(packet.length * self._inv_rate, self._tx_complete)
 
     def _on_tx_complete(self) -> None:
+        # Batched transmit: while the link stays saturated (another packet
+        # ready the instant one finishes) and *provably* nothing else in
+        # the simulation can run before the next completion — no queued
+        # event, no deferred event, no horizon/budget crossing at or
+        # before it — the port **fast-forwards**: it advances the clock to
+        # the completion time and transmits the next packet inside the
+        # same callback, amortising one event reschedule over up to
+        # ``batch_limit`` back-to-back packets.  Timestamps, delivery
+        # order and counters (``events_processed`` included) are exactly
+        # those of single-stepping; ties are never fast-forwarded, since a
+        # same-instant event could share state with this port.
         sim = self.sim
+        scheduler = self.scheduler
+        budget = self.batch_limit
         packet = self._tx_packet
-        self._tx_packet = None
-        packet.departure_time = sim.now
-        self.busy = False
-        self.transmitted_packets += 1
-        self.transmitted_bytes += packet.length
-        if self.propagation_delay > 0.0:
-            # The link frees up immediately (pipelining); the packet lands at
-            # the far end one wire latency later.  FIFO: same delay per port.
-            self._wire.append(packet)
-            sim.schedule(self.propagation_delay, self._on_wire_arrival)
-        elif self.delivery is not None:
-            self.delivery(packet)
-        else:
-            self.sink.record(packet)
-        if self.on_departure is not None:
-            self.on_departure(packet)
-        # Self-reschedule: pull the next packet without leaving the event.
-        next_packet = self.scheduler.dequeue(now=sim.now)
-        if next_packet is None:
-            self._arm_wakeup()
+        now = sim.now
+        while True:
+            self._tx_packet = None
+            packet.departure_time = now
+            self.busy = False
+            self.transmitted_packets += 1
+            self.transmitted_bytes += packet.length
+            if self.propagation_delay > 0.0:
+                # The link frees up immediately (pipelining); the packet
+                # lands at the far end one wire latency later.  FIFO: same
+                # delay per port.
+                self._wire.append(packet)
+                sim.schedule(self.propagation_delay, self._on_wire_arrival)
+            elif self.delivery is not None:
+                self.delivery(packet)
+            else:
+                self.sink.record(packet)
+            if self.on_departure is not None:
+                self.on_departure(packet)
+            # Self-reschedule: pull the next packet without leaving the event.
+            next_packet = scheduler.dequeue(now=now)
+            if next_packet is None:
+                self._arm_wakeup()
+                return
+            self.busy = True
+            self._tx_packet = next_packet
+            t_next = now + next_packet.length * self._inv_rate
+            if budget > 1 and not self.faulted and t_next <= sim._ff_horizon:
+                deferred = sim._deferred
+                if deferred is None or deferred[0] > t_next:
+                    head_time = sim._queue.peek_time()
+                    if head_time is None or head_time > t_next:
+                        budget -= 1
+                        sim.now = now = t_next
+                        sim.events_processed += 1
+                        packet = next_packet
+                        continue
+            # Fast path: a busy port's next completion is usually the very
+            # next event — let the run loop prefetch it from the deferral
+            # slot.
+            sim.schedule_fast(t_next - now, self._tx_complete)
             return
-        self.busy = True
-        self._tx_packet = next_packet
-        # Fast path: a busy port's next completion is usually the very next
-        # event — let the run loop prefetch it from the deferral slot.
-        sim.schedule_fast(next_packet.length * self._inv_rate, self._tx_complete)
 
     def _on_wire_arrival(self) -> None:
         packet = self._wire.popleft()

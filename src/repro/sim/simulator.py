@@ -27,11 +27,14 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from time import perf_counter
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from ..exceptions import SimulationError
 from ..obs import metrics
-from .events import Event, EventQueue
+from .events import Event, EventQueue, TimingWheelQueue, make_event_queue
+
+_INF = float("inf")
+_NEG_INF = float("-inf")
 
 
 class _SimMetrics:
@@ -51,22 +54,47 @@ class Simulator:
     """Discrete-event simulation kernel."""
 
     __slots__ = ("now", "_queue", "events_processed", "_running", "_deferred",
-                 "_metrics")
+                 "_metrics", "_raw_heap", "_ff_horizon")
 
-    def __init__(self) -> None:
+    def __init__(self, event_queue: Union[None, str, EventQueue,
+                                          TimingWheelQueue] = None) -> None:
         self.now: float = 0.0
-        self._queue = EventQueue()
+        #: Event queue backend: a backend name (``"heap"``/``"wheel"``), a
+        #: queue instance, or ``None`` to consult ``REPRO_EVENT_QUEUE``.
+        if event_queue is None or isinstance(event_queue, str):
+            self._queue = make_event_queue(event_queue)
+        else:
+            self._queue = event_queue
+        #: The heap backend's raw tuple list, or None for other backends.
+        #: The schedule methods and run() inline heappush/heappop against
+        #: it; when absent they go through the queue's insert/pop/peek API.
+        self._raw_heap = getattr(self._queue, "_heap", None)
         self.events_processed = 0
         self._running = False
         #: One-slot deferral buffer (see :meth:`schedule_fast`): the most
         #: recently fast-scheduled event, kept out of the heap while it is
         #: a plausible next-event candidate.
         self._deferred: Optional[Event] = None
+        #: Latest time a port may fast-forward a transmit completion to
+        #: without going through the event loop (see the batched-transmit
+        #: loop in :mod:`repro.sim.link`).  run() raises it to the active
+        #: horizon while events are unbounded; -inf disables fast-forward
+        #: outside run() and under ``max_events``.
+        self._ff_horizon: float = _NEG_INF
         # None unless a metrics registry was enabled when this simulator
         # was built; run() binds it to a local, so the disabled cost is
         # one pointer comparison per outer loop iteration.
         registry = metrics.active()
         self._metrics = None if registry is None else _SimMetrics(registry)
+
+    @property
+    def event_queue_kind(self) -> str:
+        """Name of the active event-queue backend (``heap``/``wheel``)."""
+        if isinstance(self._queue, TimingWheelQueue):
+            return "wheel"
+        if isinstance(self._queue, EventQueue):
+            return "heap"
+        return type(self._queue).__name__
 
     # -- scheduling -----------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], Any], name: str = "") -> Event:
@@ -79,7 +107,11 @@ class Simulator:
         seq = queue._next_seq
         queue._next_seq = seq + 1
         entry = (self.now + delay, seq, callback)
-        heappush(queue._heap, entry)
+        heap = self._raw_heap
+        if heap is not None:
+            heappush(heap, entry)
+        else:
+            queue.insert(entry)
         return entry
 
     def schedule_at(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
@@ -93,7 +125,11 @@ class Simulator:
         seq = queue._next_seq
         queue._next_seq = seq + 1
         entry = (time if time > now else now, seq, callback)
-        heappush(queue._heap, entry)
+        heap = self._raw_heap
+        if heap is not None:
+            heappush(heap, entry)
+        else:
+            queue.insert(entry)
         return entry
 
     def schedule_fast(self, delay: float, callback: Callable[[], Any]) -> Event:
@@ -114,15 +150,22 @@ class Simulator:
         seq = queue._next_seq
         queue._next_seq = seq + 1
         entry = (self.now + delay, seq, callback)
+        heap = self._raw_heap
         if self._running:
             previous = self._deferred
             if previous is not None:
-                heappush(queue._heap, previous)
+                if heap is not None:
+                    heappush(heap, previous)
+                else:
+                    queue.insert(previous)
             self._deferred = entry
         else:
             # Outside run() the slot is never drained; keep the queue
             # authoritative so peek/len stay exact.
-            heappush(queue._heap, entry)
+            if heap is not None:
+                heappush(heap, entry)
+            else:
+                queue.insert(entry)
         return entry
 
     def cancel(self, event: Event) -> None:
@@ -140,89 +183,108 @@ class Simulator:
         exactly at ``until`` are processed.
         """
         queue = self._queue
-        # Bind the queue internals once: entries pushed by callbacks land in
-        # the same list objects, and EventQueue.compact rebuilds in place.
-        heap = queue._heap
-        tombstones = queue._tombstones
-        pop = heappop
+        # Horizon / budget as float sentinels: one comparison per event
+        # instead of a None test plus a comparison.
+        until_f = _INF if until is None else until
+        max_f = _INF if max_events is None else max_events
+        heap = self._raw_heap
         self._running = True
+        # Ports may fast-forward back-to-back transmit completions (the
+        # batched-transmit loop) only while the event budget is unbounded
+        # and never past the run horizon.
+        self._ff_horizon = until_f if max_events is None else _NEG_INF
         processed = 0
         stop = False
         m = self._metrics
         wall_start = perf_counter() if m is not None else 0.0
         if m is not None:
-            m.heap_size.set(len(heap))
+            m.heap_size.set(len(queue))
         try:
-            while not stop:
-                # Candidate: the (time, seq)-smallest of the deferred slot
-                # and the heap head.  The slot is the previous iteration's
-                # prefetched transmit completion (schedule_fast) and very
-                # often wins, skipping the heappush/heappop pair entirely.
-                deferred = self._deferred
-                if deferred is None:
-                    if not heap:
-                        break
-                    entry = heap[0]
-                    time = entry[0]
-                    if until is not None and time > until:
-                        break
-                    pop(heap)
-                elif heap and heap[0] < deferred:
-                    entry = heap[0]
-                    time = entry[0]
-                    if until is not None and time > until:
-                        break
-                    pop(heap)
-                else:
-                    entry = deferred
-                    time = entry[0]
-                    if until is not None and time > until:
-                        break
-                    self._deferred = None
-                if tombstones and entry[1] in tombstones:
-                    tombstones.discard(entry[1])
-                    continue
-                if time > self.now:
-                    self.now = time
-                entry[2]()
-                processed += 1
-                if max_events is not None and processed >= max_events:
-                    break
-                # Batch drain: every heap event already due at this exact
-                # instant is eligible — run them without re-checking the
-                # horizon or re-advancing the clock.  Bail to the outer
-                # loop the moment a callback prefetches a deferred event
-                # (it may order before the heap head).
-                if self._deferred is None:
-                    batch_start = processed
-                    while heap:
+            if heap is None:
+                processed = self._run_generic(queue, until_f, max_f)
+            else:
+                # Bind the queue internals once: entries pushed by callbacks
+                # land in the same list objects, and EventQueue.compact
+                # rebuilds in place.
+                tombstones = queue._tombstones
+                pop = heappop
+                while not stop:
+                    # Candidate: the (time, seq)-smallest of the deferred
+                    # slot and the heap head.  The slot is the previous
+                    # iteration's prefetched transmit completion
+                    # (schedule_fast) and very often wins, skipping the
+                    # heappush/heappop pair entirely.
+                    deferred = self._deferred
+                    if deferred is None:
+                        if not heap:
+                            break
                         entry = heap[0]
-                        if entry[0] != time or self._deferred is not None:
+                        time = entry[0]
+                        if time > until_f:
                             break
                         pop(heap)
-                        if tombstones and entry[1] in tombstones:
-                            tombstones.discard(entry[1])
-                            continue
-                        entry[2]()
-                        processed += 1
-                        if max_events is not None and processed >= max_events:
-                            stop = True
+                    elif heap and heap[0] < deferred:
+                        entry = heap[0]
+                        time = entry[0]
+                        if time > until_f:
                             break
-                    if m is not None:
-                        m.drain_width.observe(processed - batch_start)
+                        pop(heap)
+                    else:
+                        entry = deferred
+                        time = entry[0]
+                        if time > until_f:
+                            break
+                        self._deferred = None
+                    if tombstones and entry[1] in tombstones:
+                        tombstones.discard(entry[1])
+                        continue
+                    self.now = time
+                    entry[2]()
+                    processed += 1
+                    if processed >= max_f:
+                        break
+                    # Batch drain: every heap event already due at this
+                    # exact instant is eligible — run them without
+                    # re-checking the horizon or re-advancing the clock.
+                    # Bail to the outer loop the moment a callback
+                    # prefetches a deferred event (it may order before the
+                    # heap head).  A fast-forwarding port advances the
+                    # clock past ``time`` only when no due event remains,
+                    # so the drain condition still holds.
+                    if self._deferred is None:
+                        batch_start = processed
+                        while heap:
+                            entry = heap[0]
+                            if entry[0] != time or self._deferred is not None:
+                                break
+                            pop(heap)
+                            if tombstones and entry[1] in tombstones:
+                                tombstones.discard(entry[1])
+                                continue
+                            entry[2]()
+                            processed += 1
+                            if processed >= max_f:
+                                stop = True
+                                break
+                        if m is not None:
+                            m.drain_width.observe(processed - batch_start)
         finally:
             self._running = False
+            self._ff_horizon = _NEG_INF
             # Flush the deferral slot so the queue is authoritative again
             # for peek/len/next run().
             deferred = self._deferred
             if deferred is not None:
-                heappush(heap, deferred)
+                if heap is not None:
+                    heappush(heap, deferred)
+                else:
+                    queue.insert(deferred)
                 self._deferred = None
             self.events_processed += processed
             if m is not None:
                 m.run_wall_s.observe(perf_counter() - wall_start)
                 m.events.inc(processed)
-                m.heap_size.set(len(heap))
+                m.heap_size.set(len(queue))
         if until is not None:
             next_time = queue.peek_time()
             if next_time is None or next_time > until:
@@ -232,6 +294,53 @@ class Simulator:
                 if until > self.now:
                     self.now = until
         return self.now
+
+    def _run_generic(self, queue, until_f: float, max_f: float) -> int:
+        """Run loop for non-heap backends (the timing wheel).
+
+        Drives the queue through its ``peek``/``pop``/``insert`` API
+        instead of raw heap access; ordering semantics — deferral slot
+        included — are identical to the flat loop.
+        """
+        peek = queue.peek
+        pop = queue.pop
+        processed = 0
+        while True:
+            deferred = self._deferred
+            head = peek()
+            if deferred is None:
+                if head is None:
+                    break
+                entry = head
+                time = entry[0]
+                if time > until_f:
+                    break
+                pop()
+            elif head is not None and head < deferred:
+                entry = head
+                time = entry[0]
+                if time > until_f:
+                    break
+                pop()
+            else:
+                entry = deferred
+                time = entry[0]
+                if time > until_f:
+                    break
+                self._deferred = None
+                # Simulator.cancel clears the slot, but a direct
+                # queue.cancel on a deferred entry leaves a tombstone —
+                # honour it like the flat loop does.
+                tombstones = queue._tombstones
+                if tombstones and entry[1] in tombstones:
+                    tombstones.discard(entry[1])
+                    continue
+            self.now = time
+            entry[2]()
+            processed += 1
+            if processed >= max_f:
+                break
+        return processed
 
     @property
     def pending_events(self) -> int:

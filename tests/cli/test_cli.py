@@ -424,6 +424,28 @@ class TestTraceCommand:
         assert "unknown variant" in capsys.readouterr().err
 
 
+class TestPerfCommand:
+    def test_perf_prints_datapath_variant(self, capsys):
+        assert main(["perf", "--packets", "500", "--event-queue", "wheel",
+                     "--batch-limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "queue=wheel" in out
+        assert "batch_limit=4" in out
+        assert "fused kernels" in out
+
+    def test_perf_json_records_datapath_knobs(self, capsys):
+        assert main(["perf", "--packets", "500", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["event_queue"] == "heap"
+        assert payload["batch_limit"] == 32
+        assert payload["delivered"] >= 495
+
+    def test_perf_rejects_unknown_event_queue(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["perf", "--event-queue", "splay"])
+        assert excinfo.value.code == 2
+
+
 class TestCampaignStatusCommand:
     def test_status_of_finished_store(self, capsys, tmp_path, cli_campaign):
         store = tmp_path / "store.jsonl"

@@ -1,0 +1,180 @@
+"""Event-queue backends: lockstep equivalence and exact accounting.
+
+The timing wheel (:class:`~repro.sim.events.TimingWheelQueue`) must be
+*observationally identical* to the binary heap
+(:class:`~repro.sim.events.EventQueue`): same ``(time, seq)`` pop order on
+any schedule, including interleaved cancellations, aliased slots (times a
+full wheel turn apart), far-horizon overflow, and pushes below the cursor.
+Hypothesis drives randomized schedules through both backends in lockstep.
+
+Plus the exact-length contract: ``len(queue)`` counts *live* events on
+both backends — tombstones, cancel-after-fire, and compaction must never
+skew it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.sim.events import EventQueue, TimingWheelQueue, make_event_queue
+from repro.sim.simulator import Simulator
+
+BACKENDS = {
+    "heap": EventQueue,
+    "wheel": TimingWheelQueue,
+}
+
+
+def _noop() -> None:
+    pass
+
+
+def drain(queue):
+    order = []
+    while queue:
+        time, seq, _cb = queue.pop()
+        order.append((time, seq))
+    return order
+
+
+# --------------------------------------------------------------------------- #
+# Lockstep equivalence                                                         #
+# --------------------------------------------------------------------------- #
+#: An operation is (kind, value): push at a time offset, or cancel the
+#: i-th pushed event (modulo pushes so far).
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"),
+                  st.floats(min_value=0.0, max_value=0.1,
+                            allow_nan=False, allow_infinity=False)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    min_size=1, max_size=200,
+)
+
+
+class TestWheelHeapLockstep:
+    @given(ops=ops_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_pop_order_identical(self, ops):
+        """Any push/cancel/pop interleaving pops identically on both."""
+        heap = EventQueue()
+        wheel = TimingWheelQueue(tick=1e-3, slots=16)  # tiny: forces
+        # aliasing and overflow on ordinary schedules
+        heap_handles, wheel_handles = [], []
+        for kind, value in ops:
+            if kind == "push":
+                heap_handles.append(heap.push(value, _noop))
+                wheel_handles.append(wheel.push(value, _noop))
+            elif kind == "cancel" and heap_handles:
+                i = value % len(heap_handles)
+                heap.cancel(heap_handles[i])
+                wheel.cancel(wheel_handles[i])
+            elif kind == "pop":
+                assert bool(heap) == bool(wheel)
+                if heap:
+                    h = heap.pop()
+                    w = wheel.pop()
+                    assert (h[0], h[1]) == (w[0], w[1])
+            assert len(heap) == len(wheel)
+        assert drain(heap) == drain(wheel)
+
+    @given(times=st.lists(
+        st.floats(min_value=0.0, max_value=1e-3,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_simulator_runs_identically_on_both(self, times):
+        """Full Simulator runs: same callback firing order per backend."""
+        orders = {}
+        for kind in ("heap", "wheel"):
+            sim = Simulator(event_queue=kind)
+            fired = []
+            for i, t in enumerate(times):
+                sim.schedule_at(t, lambda i=i: fired.append((sim.now, i)))
+            sim.run()
+            orders[kind] = fired
+        assert orders["heap"] == orders["wheel"]
+
+    def test_aliased_future_entry_never_jumps_the_queue(self):
+        # With 16 slots of 1ms, t=0.001 and t=0.017 share a slot.
+        wheel = TimingWheelQueue(tick=1e-3, slots=16)
+        wheel.push(0.017, _noop)
+        wheel.push(0.001, _noop)
+        assert wheel.pop()[0] == 0.001
+        assert wheel.pop()[0] == 0.017
+
+    def test_push_below_cursor_after_peek(self):
+        wheel = TimingWheelQueue(tick=1e-3, slots=16)
+        wheel.push(0.010, _noop)
+        assert wheel.peek_time() == 0.010  # advances the cursor
+        wheel.push(0.002, _noop)           # earlier than the cursor
+        assert wheel.pop()[0] == 0.002
+        assert wheel.pop()[0] == 0.010
+
+
+# --------------------------------------------------------------------------- #
+# Exact length accounting                                                      #
+# --------------------------------------------------------------------------- #
+class TestExactLen:
+    @pytest.mark.parametrize("kind", sorted(BACKENDS))
+    def test_len_counts_live_events_only(self, kind):
+        queue = BACKENDS[kind]()
+        handles = [queue.push(i * 1e-6, _noop) for i in range(10)]
+        assert len(queue) == 10
+        for handle in handles[:4]:
+            queue.cancel(handle)
+        assert len(queue) == 6
+        queue.cancel(handles[0])  # idempotent
+        assert len(queue) == 6
+        assert len(drain(queue)) == 6
+        assert len(queue) == 0 and not queue
+
+    @pytest.mark.parametrize("kind", sorted(BACKENDS))
+    def test_cancel_after_fire_does_not_undercount(self, kind):
+        queue = BACKENDS[kind]()
+        first = queue.push(1e-6, _noop)
+        queue.push(2e-6, _noop)
+        queue.pop()            # fires `first`
+        queue.cancel(first)    # stale cancel for an already-popped event
+        assert len(queue) == 1
+        assert bool(queue)
+        queue.compact()
+        assert len(queue) == 1
+
+    @pytest.mark.parametrize("kind", sorted(BACKENDS))
+    def test_compaction_preserves_order_and_len(self, kind):
+        queue = BACKENDS[kind]()
+        handles = [queue.push(i * 1e-6, _noop) for i in range(100)]
+        for handle in handles[::2]:
+            queue.cancel(handle)   # triggers compaction past the threshold
+        assert len(queue) == 50
+        times = [entry[0] for entry in
+                 iter(lambda: queue.pop() if queue else None, None)]
+        assert times == sorted(times) and len(times) == 50
+
+    @pytest.mark.parametrize("kind", sorted(BACKENDS))
+    def test_pop_empty_raises(self, kind):
+        with pytest.raises(SimulationError):
+            BACKENDS[kind]().pop()
+
+
+class TestFactory:
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_QUEUE", "wheel")
+        assert isinstance(make_event_queue(), TimingWheelQueue)
+        monkeypatch.delenv("REPRO_EVENT_QUEUE")
+        assert isinstance(make_event_queue(), EventQueue)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_event_queue("splay")
+
+    def test_simulator_reports_kind(self, monkeypatch):
+        assert Simulator(event_queue="wheel").event_queue_kind == "wheel"
+        monkeypatch.delenv("REPRO_EVENT_QUEUE", raising=False)
+        assert Simulator().event_queue_kind == "heap"
